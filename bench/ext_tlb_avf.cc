@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension experiment for the paper's footnote 1: "We were not able
+ * to collect data for TLBs since a reasonable M value required for
+ * effectively exercising them is close to 1 million cycles."
+ *
+ * We demonstrate exactly that. The dTLB carries per-entry error bits;
+ * Algorithm 1 injects into its 128 slots and waits M cycles. A TLB
+ * entry's error surfaces only when the entry translates *another*
+ * access — and inter-use gaps for TLB entries run to the hundreds of
+ * thousands of cycles. Sweeping M shows the online estimate rising
+ * toward the exact ACE reference (computed by the TLB itself from
+ * inter-use spans) only as M approaches 10^5..10^6 cycles.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/tlb_estimator.hh"
+#include "cpu/pipeline.hh"
+#include "stats/table_printer.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+#include "util/env.hh"
+
+int
+main()
+{
+    using namespace avf;
+    using stats::TablePrinter;
+
+    const bool fast = envFlag("AVF_FAST");
+    // Per-M sample budget: enough injections for a stable estimate
+    // (sigma <= 0.5/sqrt(800) ~ 0.018) while keeping the largest-M
+    // rows affordable.
+    const std::uint32_t n = fast ? 400 : 800;
+
+    std::printf("Extension: online dTLB AVF estimation (equake), "
+                "sweeping the wait window M\n");
+
+    TablePrinter table("dTLB AVF estimate vs wait window M "
+                       "(reference = exact inter-use ACE analysis)");
+    table.setHeader({"M (cycles)", "injections", "online AVF",
+                     "reference AVF", "coverage"});
+
+    const std::vector<Cycle> ms = {1'000, 10'000, 50'000, 100'000,
+                                   250'000};
+    for (Cycle m : ms) {
+        trace::SyntheticTraceGenerator gen(
+            trace::specProfile("equake"));
+        cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+        core::TlbEstimatorConfig conf;
+        conf.m = m;
+        conf.n = n;
+        core::TlbAvfEstimator est(pipe, conf);
+        pipe.addObserver(&est);
+
+        pipe.run(m * static_cast<Cycle>(n) + m);
+
+        double online = est.estimates().empty() ? est.partialAvf()
+                                                : est.meanEstimate();
+        double reference = pipe.memory().dtlb().referenceAvf(
+            pipe.now());
+        table.addRow({TablePrinter::intNum(static_cast<long long>(m)),
+                      TablePrinter::intNum(static_cast<long long>(
+                          est.totalInjections())),
+                      TablePrinter::num(online, 4),
+                      TablePrinter::num(reference, 4),
+                      TablePrinter::pct(reference > 0
+                                            ? online / reference * 100
+                                            : 0)});
+    }
+    table.print();
+
+    std::printf("\nReading: with the paper's M = 1000 the dTLB "
+                "estimate misses half or more of the vulnerability, "
+                "because a TLB entry's error only surfaces at its "
+                "*next* use and inter-use gaps are huge. The window "
+                "must grow by one to two orders of magnitude before "
+                "the estimate converges, making each N-injection "
+                "estimate cost N x M = tens to hundreds of millions "
+                "of cycles — precisely why the paper excluded TLBs "
+                "(footnote 1). Synthetic page reuse is tighter than "
+                "real SPEC's, so real hardware would need the full "
+                "~10^6-cycle windows the footnote quotes.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: simulator throughput with and
+ * without the estimation machinery attached (the paper argues the
+ * hardware overhead is negligible; here we show the *simulation*
+ * overhead of the error-bit plane and the observers), plus component
+ * throughputs (trace generation, cache access, ACE analysis).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/online_estimator.hh"
+#include "cpu/pipeline.hh"
+#include "mem/hierarchy.hh"
+#include "softarch/ace_analyzer.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace avf;
+
+void
+BM_SyntheticGenerator(benchmark::State &state)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    trace::TraceInstruction in;
+    for (auto _ : state) {
+        gen.next(in);
+        benchmark::DoNotOptimize(in);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::MemoryHierarchy hier;
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.dataAccess(addr));
+        addr = (addr + 64) & 0x3FFFFF;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PipelineBare(benchmark::State &state)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+    for (auto _ : state)
+        pipe.step();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ipc"] = pipe.stats().ipc();
+}
+BENCHMARK(BM_PipelineBare)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PipelineWithEstimators(benchmark::State &state)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+    std::vector<std::unique_ptr<core::OnlineAvfEstimator>> ests;
+    for (int s = 0; s < core::numStructures; ++s) {
+        ests.push_back(std::make_unique<core::OnlineAvfEstimator>(
+            pipe, static_cast<core::Structure>(s)));
+        pipe.addObserver(ests.back().get());
+    }
+    for (auto _ : state)
+        pipe.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineWithEstimators)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PipelineFullHarness(benchmark::State &state)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+    std::vector<std::unique_ptr<core::OnlineAvfEstimator>> ests;
+    for (int s = 0; s < core::numStructures; ++s) {
+        ests.push_back(std::make_unique<core::OnlineAvfEstimator>(
+            pipe, static_cast<core::Structure>(s)));
+        pipe.addObserver(ests.back().get());
+    }
+    softarch::AceAnalyzer analyzer(pipe);
+    pipe.addObserver(&analyzer);
+    for (auto _ : state)
+        pipe.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelineFullHarness)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ErrorChannelClear(benchmark::State &state)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+    pipe.run(10'000);
+    for (auto _ : state) {
+        pipe.injectRegError(5, 1);
+        pipe.clearErrorChannels(1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ErrorChannelClear);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Workload characterization table (the companion table evaluation
+ * sections typically carry): per benchmark, the dynamic instruction
+ * mix, branch-prediction accuracy, cache/TLB miss rates, IPC, and
+ * the mean AVF of each structure — context for interpreting the
+ * figure reproductions, and a quick check that the synthetic
+ * stand-ins behave like the workload classes they model.
+ */
+
+#include <cstdio>
+
+#include "cpu/pipeline.hh"
+#include "softarch/ace_analyzer.hh"
+#include "stats/table_printer.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+#include "util/env.hh"
+
+int
+main()
+{
+    using namespace avf;
+    using core::Structure;
+    using stats::TablePrinter;
+
+    const Cycle cycles = envFlag("AVF_FAST") ? 2'000'000
+                                             : 10'000'000;
+
+    TablePrinter perf("Workload characterization: performance");
+    perf.setHeader({"app", "IPC", "branch acc", "L1D miss",
+                    "L2 miss", "dTLB miss", "mix int/fp/ld/st/br"});
+
+    TablePrinter avf("Workload characterization: mean AVF "
+                     "(SoftArch reference)");
+    avf.setHeader({"app", "iq", "reg", "fxu", "fpu", "freg"});
+
+    for (const auto &name : trace::specBenchmarkNames()) {
+        std::fprintf(stderr, "running %s...\n", name.c_str());
+        trace::SyntheticTraceGenerator gen(trace::specProfile(name));
+
+        // Instruction-mix census on a generator clone.
+        trace::SyntheticTraceGenerator census(
+            trace::specProfile(name));
+        std::uint64_t counts[16] = {};
+        const int census_n = 300'000;
+        trace::TraceInstruction in;
+        for (int i = 0; i < census_n; ++i) {
+            census.next(in);
+            ++counts[static_cast<int>(in.op)];
+        }
+        using trace::OpClass;
+        auto pct = [&](std::initializer_list<OpClass> ops) {
+            std::uint64_t total = 0;
+            for (auto op : ops)
+                total += counts[static_cast<int>(op)];
+            return 100.0 * static_cast<double>(total) / census_n;
+        };
+        char mix[64];
+        std::snprintf(mix, sizeof(mix),
+                      "%2.0f/%2.0f/%2.0f/%2.0f/%2.0f",
+                      pct({OpClass::IntAlu, OpClass::IntMul,
+                           OpClass::IntDiv}),
+                      pct({OpClass::FpAlu, OpClass::FpDiv}),
+                      pct({OpClass::Load}), pct({OpClass::Store}),
+                      pct({OpClass::BranchCond,
+                           OpClass::BranchUncond}));
+
+        cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+        softarch::SoftArchConfig sa;
+        sa.intervalCycles = cycles / 4;
+        softarch::AceAnalyzer analyzer(pipe, sa);
+        pipe.addObserver(&analyzer);
+        pipe.run(cycles + sa.lookahead + 100);
+        analyzer.finalizeAll(2);
+
+        const auto &dtlb = pipe.memory().dtlb().stats();
+        perf.addRow(
+            {name, TablePrinter::num(pipe.stats().ipc(), 2),
+             TablePrinter::pct(
+                 pipe.branchPredictor().stats().accuracy() * 100, 1),
+             TablePrinter::pct(
+                 pipe.memory().l1d().stats().missRate() * 100, 1),
+             TablePrinter::pct(
+                 pipe.memory().l2().stats().missRate() * 100, 1),
+             TablePrinter::pct(
+                 dtlb.accesses
+                     ? 100.0 * static_cast<double>(dtlb.misses) /
+                           static_cast<double>(dtlb.accesses)
+                     : 0.0,
+                 2),
+             mix});
+
+        double sums[core::numStructures] = {};
+        std::size_t rows = analyzer.results().size();
+        for (const auto &row : analyzer.results())
+            for (int s = 0; s < core::numStructures; ++s)
+                sums[s] += row.avf[static_cast<std::size_t>(s)];
+        auto mean = [&](Structure s) {
+            return rows ? sums[static_cast<int>(s)] /
+                              static_cast<double>(rows)
+                        : 0.0;
+        };
+        avf.addRow({name, TablePrinter::num(mean(Structure::IQ)),
+                    TablePrinter::num(mean(Structure::REG)),
+                    TablePrinter::num(mean(Structure::FXU)),
+                    TablePrinter::num(mean(Structure::FPU)),
+                    TablePrinter::num(mean(Structure::FREG))});
+    }
+    perf.print();
+    avf.print();
+    return 0;
+}

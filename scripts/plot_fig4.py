@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Plot Figure 4-style AVF traces from bench/fig4_traces output.
+
+Usage:
+    build/bench/fig4_traces > fig4.txt
+    scripts/plot_fig4.py fig4.txt [outdir]
+
+Parses the `== Figure 4: <struct> AVF for <app> ==` series blocks and
+writes one gnuplot-ready .dat file per block plus a plot.gp script.
+Runs gnuplot automatically when it is installed; otherwise the data
+and script are left for manual use.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+
+def parse_blocks(path):
+    """Yield (title, header_names, rows) per series block."""
+    blocks = []
+    title, names, rows = None, None, []
+    with open(path) as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            match = re.match(r"^== (.*) ==$", line)
+            if match:
+                if title and rows:
+                    blocks.append((title, names, rows))
+                title, names, rows = match.group(1), None, []
+            elif line.startswith("#") and title:
+                names = line.lstrip("# ").split("\t")
+            elif title and line and line[0].isdigit():
+                rows.append(line.split("\t"))
+    if title and rows:
+        blocks.append((title, names, rows))
+    return blocks
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    src = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "fig4_plots"
+    os.makedirs(outdir, exist_ok=True)
+
+    blocks = parse_blocks(src)
+    if not blocks:
+        sys.exit(f"no series blocks found in {src}")
+
+    script_lines = [
+        "set terminal pngcairo size 900,500",
+        "set xlabel 'estimation interval (1M cycles)'",
+        "set ylabel 'AVF'",
+        "set yrange [0:0.6]",
+        "set key top right",
+    ]
+    for title, names, rows in blocks:
+        slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+        dat = os.path.join(outdir, f"{slug}.dat")
+        with open(dat, "w") as handle:
+            handle.write("# " + "\t".join(names) + "\n")
+            for row in rows:
+                handle.write("\t".join(row) + "\n")
+        script_lines.append(f"set output '{outdir}/{slug}.png'")
+        script_lines.append(f"set title '{title}'")
+        plots = []
+        for col, name in enumerate(names[1:], start=2):
+            label = name.replace("_", " ")
+            plots.append(f"'{dat}' using 1:{col} with lines "
+                         f"title '{label}'")
+        script_lines.append("plot " + ", \\\n     ".join(plots))
+
+    script = os.path.join(outdir, "plot.gp")
+    with open(script, "w") as handle:
+        handle.write("\n".join(script_lines) + "\n")
+    print(f"wrote {len(blocks)} data files and {script}")
+
+    if shutil.which("gnuplot"):
+        subprocess.run(["gnuplot", script], check=True)
+        print(f"rendered PNGs in {outdir}/")
+    else:
+        print("gnuplot not found; run it manually on the script")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+#include "core/occupancy_estimator.hh"
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+OccupancyEstimator::OccupancyEstimator(const cpu::Pipeline &pipe,
+                                       Cycle intervalCycles)
+    : pipeline(pipe), intervalLen(intervalCycles)
+{
+    avf_assert(intervalLen > 0, "interval length must be positive");
+}
+
+void
+OccupancyEstimator::onCycle(Cycle now)
+{
+    if ((now + 1) % intervalLen != 0)
+        return;
+    std::uint64_t sum = pipeline.stats().iqOccupancySum;
+    std::uint64_t delta = sum - lastOccupancySum;
+    lastOccupancySum = sum;
+    auto capacity = static_cast<double>(
+        pipeline.config().totalIqEntries());
+    results.push_back(static_cast<double>(delta) /
+                      (static_cast<double>(intervalLen) * capacity));
+}
+
+} // namespace avf::core

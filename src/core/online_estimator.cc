@@ -1,0 +1,135 @@
+#include "core/online_estimator.hh"
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+OnlineAvfEstimator::OnlineAvfEstimator(cpu::Pipeline &pipe,
+                                       Structure structure,
+                                       OnlineConfig config)
+    : pipeline(pipe), target(structure), conf(config),
+      channelBit(static_cast<cpu::ErrorMask>(
+          1u << channelOf(structure))),
+      rng(config.seed ^ static_cast<std::uint64_t>(
+          channelOf(structure)))
+{
+    avf_assert(conf.m > 0, "window length M must be positive");
+    avf_assert(conf.n > 0, "sample count N must be positive");
+}
+
+void
+OnlineAvfEstimator::onRetire(const cpu::DynInstr &,
+                             const cpu::RetireInfo &info)
+{
+    if ((info.failureMask & channelBit) && injectedThisWindow)
+        failureSeen = true;
+}
+
+double
+OnlineAvfEstimator::partialAvf() const
+{
+    return injections ? static_cast<double>(failures) /
+                        static_cast<double>(injections)
+                      : 0.0;
+}
+
+void
+OnlineAvfEstimator::inject()
+{
+    injectedThisWindow = true;
+    ++lifetimeInjections;
+
+    switch (target) {
+      case Structure::REG: {
+        int regs = pipeline.numIntPhysRegs();
+        pipeline.injectRegError(cursor, channelBit);
+        ++liveInjections; // liveness of a register is not observable
+        cursor = (cursor + 1) % regs;
+        break;
+      }
+      case Structure::FREG: {
+        int base = pipeline.numIntPhysRegs();
+        int regs = pipeline.config().fpPhysRegs;
+        pipeline.injectRegError(base + cursor, channelBit);
+        ++liveInjections;
+        cursor = (cursor + 1) % regs;
+        break;
+      }
+      case Structure::IQ: {
+        if (conf.fieldGranularIq) {
+            int fields = cpu::Pipeline::iqFieldsPerEntry;
+            int slots = pipeline.totalIqEntries() * fields;
+            auto outcome = pipeline.injectIqFieldError(
+                cursor / fields, cursor % fields, channelBit);
+            if (outcome == cpu::Pipeline::IqFieldInjection::Corrupted)
+                ++liveInjections;
+            cursor = (cursor + 1) % slots;
+        } else {
+            int entries = pipeline.totalIqEntries();
+            if (pipeline.injectIqEntryError(cursor, channelBit))
+                ++liveInjections;
+            cursor = (cursor + 1) % entries;
+        }
+        break;
+      }
+      case Structure::FXU: {
+        int num_units = pipeline.config().numFxu;
+        if (pipeline.injectFuError(cpu::FuClass::Fxu, cursor,
+                                   channelBit) > 0)
+            ++liveInjections;
+        cursor = (cursor + 1) % num_units;
+        break;
+      }
+      case Structure::FPU: {
+        int num_units = pipeline.config().numFpu;
+        if (pipeline.injectFuError(cpu::FuClass::Fpu, cursor,
+                                   channelBit) > 0)
+            ++liveInjections;
+        cursor = (cursor + 1) % num_units;
+        break;
+      }
+      default:
+        panic("estimator bound to invalid structure");
+    }
+}
+
+void
+OnlineAvfEstimator::windowBoundary(Cycle now)
+{
+    if (injectedThisWindow) {
+        // Close the window that just ended.
+        ++injections;
+        if (failureSeen)
+            ++failures;
+        failureSeen = false;
+        if (injections == conf.n) {
+            results.push_back(static_cast<double>(failures) /
+                              static_cast<double>(conf.n));
+            injections = 0;
+            failures = 0;
+        }
+    }
+
+    // One error at a time: wipe the channel before re-injecting.
+    pipeline.clearErrorChannels(channelBit);
+    injectedThisWindow = false;
+    windowStart = now;
+
+    if (conf.randomizeInjectionTiming) {
+        pendingInjectCycle = now + rng.below(conf.m);
+    } else {
+        pendingInjectCycle = now;
+    }
+}
+
+void
+OnlineAvfEstimator::onCycle(Cycle now)
+{
+    if (now % conf.m == 0)
+        windowBoundary(now);
+    if (!injectedThisWindow && now == pendingInjectCycle)
+        inject();
+}
+
+} // namespace avf::core

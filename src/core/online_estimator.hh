@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The paper's contribution: Algorithm 1, the online AVF estimator.
+ *
+ * Every M cycles the estimator clears its error-bit channel, picks the
+ * next injection target in its structure (round-robin across entries
+ * for storage structures, across units for logic structures — the
+ * paper's hardware-friendly approximation of random sampling), and
+ * sets the target's error bit. Program execution propagates the bit;
+ * if a retiring load, store, or branch carries it before the window
+ * closes, the injection counts as a failure. After N windows,
+ *
+ *     AVF ~= failureCount / N,
+ *
+ * and a new estimation interval begins. With M = N = 1000 an estimate
+ * is produced every one million cycles, matching the paper's setup.
+ */
+
+#ifndef AVF_CORE_ONLINE_ESTIMATOR_HH
+#define AVF_CORE_ONLINE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/structures.hh"
+#include "cpu/observer.hh"
+#include "cpu/pipeline.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace avf::core
+{
+
+/** Estimator parameters (defaults = the paper's M = N = 1000). */
+struct OnlineConfig
+{
+    /** Cycles between successive injections (the wait window M). */
+    Cycle m = 1000;
+    /** Injections per AVF estimate (the sample count N). */
+    std::uint32_t n = 1000;
+    /**
+     * When true, the injection fires at a uniformly random cycle
+     * within each M-cycle window instead of at the window start.
+     * Used by the sampling ablation (Section 3.3 discusses the
+     * fixed-interval approximation of random sampling).
+     */
+    bool randomizeInjectionTiming = false;
+    /**
+     * IQ structure only: inject at field granularity (opcode +
+     * three operand fields per entry) instead of whole-entry
+     * granularity — Section 3.6's multiple-error-bits extension.
+     * Unpopulated fields mask their injections, so the estimated
+     * AVF is lower (less conservative) than whole-entry AVF.
+     */
+    bool fieldGranularIq = false;
+    /** Seed for the randomized-timing mode. */
+    std::uint64_t seed = 12345;
+};
+
+/**
+ * Online AVF estimator for one structure, attached to the pipeline as
+ * an observer. Multiple estimators (one per structure) may coexist;
+ * each owns a distinct error-bit channel and individually obeys the
+ * one-error-at-a-time rule within its channel.
+ */
+class OnlineAvfEstimator : public cpu::PipelineObserver
+{
+  public:
+    /**
+     * @param pipe pipeline to instrument (attach is the caller's job:
+     *        pipe.addObserver(&estimator)).
+     * @param structure which structure to estimate.
+     * @param config M/N and sampling options.
+     */
+    OnlineAvfEstimator(cpu::Pipeline &pipe, Structure structure,
+                       OnlineConfig config = OnlineConfig{});
+
+    void onRetire(const cpu::DynInstr &instr,
+                  const cpu::RetireInfo &info) override;
+    void onCycle(Cycle now) override;
+
+    /** Completed per-interval AVF estimates (one per N windows). */
+    const std::vector<double> &estimates() const { return results; }
+
+    /** Structure being estimated. */
+    Structure structure() const { return target; }
+
+    /** Injections performed in the current (incomplete) interval. */
+    std::uint32_t injectionsSoFar() const { return injections; }
+
+    /** Failures observed in the current (incomplete) interval. */
+    std::uint32_t failuresSoFar() const { return failures; }
+
+    /** Total injections across all intervals. */
+    std::uint64_t totalInjections() const { return lifetimeInjections; }
+
+    /**
+     * Injections that landed on an occupied entry / busy unit (for
+     * storage and logic structures respectively); the complement was
+     * trivially masked. Diagnostic only.
+     */
+    std::uint64_t totalLiveInjections() const { return liveInjections; }
+
+    /** AVF over the windows completed so far in the open interval. */
+    double partialAvf() const;
+
+  private:
+    /** Clear the channel and fire the next injection. */
+    void inject();
+
+    /** Close the current window, then open the next one. */
+    void windowBoundary(Cycle now);
+
+    cpu::Pipeline &pipeline;
+    Structure target;
+    OnlineConfig conf;
+    cpu::ErrorMask channelBit;
+    Rng rng;
+
+    Cycle windowStart = 0;
+    Cycle pendingInjectCycle = 0;
+    bool injectedThisWindow = false;
+    bool failureSeen = false;
+
+    std::uint32_t injections = 0;
+    std::uint32_t failures = 0;
+    std::uint64_t lifetimeInjections = 0;
+    std::uint64_t liveInjections = 0;
+
+    /** Round-robin cursor over entries/units of the structure. */
+    int cursor = 0;
+
+    std::vector<double> results;
+};
+
+} // namespace avf::core
+
+#endif // AVF_CORE_ONLINE_ESTIMATOR_HH

@@ -1,0 +1,46 @@
+#include "core/predictor.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+EmaPredictor::EmaPredictor(double alpha_) : alpha(alpha_)
+{
+    avf_assert(alpha > 0.0 && alpha <= 1.0, "EMA alpha out of (0,1]");
+}
+
+void
+EmaPredictor::observe(double avf)
+{
+    if (!primed) {
+        value = avf;
+        primed = true;
+    } else {
+        value = alpha * avf + (1.0 - alpha) * value;
+    }
+}
+
+std::vector<double>
+predictionErrors(AvfPredictor &predictor,
+                 const std::vector<double> &estimates,
+                 const std::vector<double> &reference)
+{
+    avf_assert(estimates.size() == reference.size(),
+               "estimate/reference length mismatch");
+    std::vector<double> errors;
+    if (estimates.empty())
+        return errors;
+    errors.reserve(estimates.size() - 1);
+    predictor.reset();
+    predictor.observe(estimates[0]);
+    for (std::size_t i = 1; i < estimates.size(); ++i) {
+        errors.push_back(std::fabs(predictor.predict() - reference[i]));
+        predictor.observe(estimates[i]);
+    }
+    return errors;
+}
+
+} // namespace avf::core

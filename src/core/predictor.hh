@@ -1,0 +1,81 @@
+/**
+ * @file
+ * AVF predictors for the next estimation interval (the paper's
+ * Figure 5 uses the last-value predictor; the EMA variant is the
+ * natural extension mentioned as future adaptation work).
+ */
+
+#ifndef AVF_CORE_PREDICTOR_HH
+#define AVF_CORE_PREDICTOR_HH
+
+#include <vector>
+
+namespace avf::core
+{
+
+/** Interface: feed observed AVFs, ask for the next-interval value. */
+class AvfPredictor
+{
+  public:
+    virtual ~AvfPredictor() = default;
+
+    /** Record the AVF measured for the interval that just ended. */
+    virtual void observe(double avf) = 0;
+
+    /** Predicted AVF of the next interval. */
+    virtual double predict() const = 0;
+
+    /** Forget all history. */
+    virtual void reset() = 0;
+};
+
+/**
+ * "Next = last": the simple predictor evaluated in the paper, which
+ * assumes AVF is stable across consecutive intervals.
+ */
+class LastValuePredictor : public AvfPredictor
+{
+  public:
+    void observe(double avf) override { last = avf; primed = true; }
+    double predict() const override { return primed ? last : 0.0; }
+    void reset() override { last = 0.0; primed = false; }
+
+  private:
+    double last = 0.0;
+    bool primed = false;
+};
+
+/** Exponential moving average with configurable smoothing. */
+class EmaPredictor : public AvfPredictor
+{
+  public:
+    /** @param alpha weight of the newest observation, in (0, 1]. */
+    explicit EmaPredictor(double alpha = 0.5);
+
+    void observe(double avf) override;
+    double predict() const override { return primed ? value : 0.0; }
+    void reset() override { value = 0.0; primed = false; }
+
+  private:
+    double alpha;
+    double value = 0.0;
+    bool primed = false;
+};
+
+/**
+ * Evaluate a predictor over an AVF series: for each interval i >= 1,
+ * predict from intervals [0, i) and compare against the reference
+ * value of interval i.
+ *
+ * @param estimates the online estimates fed to the predictor.
+ * @param reference the true (SoftArch) AVFs compared against.
+ * @return per-interval absolute prediction errors (length
+ *         reference.size() - 1).
+ */
+std::vector<double> predictionErrors(AvfPredictor &predictor,
+                                     const std::vector<double> &estimates,
+                                     const std::vector<double> &reference);
+
+} // namespace avf::core
+
+#endif // AVF_CORE_PREDICTOR_HH

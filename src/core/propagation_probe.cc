@@ -1,0 +1,79 @@
+#include "core/propagation_probe.hh"
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+PropagationProbe::PropagationProbe(cpu::Pipeline &pipe,
+                                   Structure structure,
+                                   ProbeConfig config)
+    : pipeline(pipe), target(structure), conf(config),
+      channelBit(static_cast<cpu::ErrorMask>(1u << channelOf(structure)))
+{
+    avf_assert(conf.maxWait > 0, "probe maxWait must be positive");
+}
+
+void
+PropagationProbe::inject(Cycle now)
+{
+    pipeline.clearErrorChannels(channelBit);
+    active = true;
+    injectCycle = now;
+    ++injectionsFired;
+
+    switch (target) {
+      case Structure::REG:
+        pipeline.injectRegError(cursor, channelBit);
+        cursor = (cursor + 1) % pipeline.numIntPhysRegs();
+        break;
+      case Structure::FREG:
+        pipeline.injectRegError(pipeline.numIntPhysRegs() + cursor,
+                                channelBit);
+        cursor = (cursor + 1) % pipeline.config().fpPhysRegs;
+        break;
+      case Structure::IQ:
+        pipeline.injectIqEntryError(cursor, channelBit);
+        cursor = (cursor + 1) % pipeline.totalIqEntries();
+        break;
+      case Structure::FXU:
+        pipeline.injectFuError(cpu::FuClass::Fxu, cursor, channelBit);
+        cursor = (cursor + 1) % pipeline.config().numFxu;
+        break;
+      case Structure::FPU:
+        pipeline.injectFuError(cpu::FuClass::Fpu, cursor, channelBit);
+        cursor = (cursor + 1) % pipeline.config().numFpu;
+        break;
+      default:
+        panic("probe bound to invalid structure");
+    }
+}
+
+void
+PropagationProbe::onRetire(const cpu::DynInstr &,
+                           const cpu::RetireInfo &info)
+{
+    if (!active || !(info.failureMask & channelBit))
+        return;
+    samples.push_back(static_cast<double>(
+        pipeline.now() - injectCycle));
+    active = false;
+    pipeline.clearErrorChannels(channelBit);
+}
+
+void
+PropagationProbe::onCycle(Cycle now)
+{
+    if (finished())
+        return;
+    if (active && now - injectCycle >= conf.maxWait) {
+        // The injected error never surfaced: masked.
+        ++masked;
+        active = false;
+        pipeline.clearErrorChannels(channelBit);
+    }
+    if (!active)
+        inject(now);
+}
+
+} // namespace avf::core

@@ -1,0 +1,19 @@
+#include "core/structures.hh"
+
+namespace avf::core
+{
+
+std::string_view
+structureName(Structure s)
+{
+    switch (s) {
+      case Structure::IQ: return "iq";
+      case Structure::REG: return "reg";
+      case Structure::FXU: return "fxu";
+      case Structure::FPU: return "fpu";
+      case Structure::FREG: return "freg";
+      default: return "?";
+    }
+}
+
+} // namespace avf::core

@@ -1,0 +1,41 @@
+#include "core/throttle_controller.hh"
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+ThrottleController::ThrottleController(
+    cpu::Pipeline &pipe, const OnlineAvfEstimator &estimator,
+    ThrottleConfig config)
+    : pipeline(pipe), source(estimator), conf(config),
+      predictor(config.predictorAlpha)
+{
+    avf_assert(conf.releaseThreshold <= conf.engageThreshold,
+               "hysteresis thresholds inverted");
+    avf_assert(conf.throttledWidth > 0,
+               "throttled width must be positive");
+}
+
+void
+ThrottleController::onCycle(Cycle)
+{
+    // Act whenever the estimator has produced a new estimate.
+    if (source.estimates().size() == seenEstimates)
+        return;
+    seenEstimates = source.estimates().size();
+    predictor.observe(source.estimates().back());
+    double predicted = predictor.predict();
+
+    if (!engaged && predicted >= conf.engageThreshold)
+        engaged = true;
+    else if (engaged && predicted < conf.releaseThreshold)
+        engaged = false;
+
+    pipeline.setDispatchThrottle(engaged ? conf.throttledWidth : 0);
+    decisionLog.push_back(engaged);
+    if (engaged)
+        ++throttledCount;
+}
+
+} // namespace avf::core

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Closed-loop vulnerability control: the use case the paper builds
+ * toward (Section 1, citing Soundararajan et al.: "use the AVF input
+ * to control instruction throttling ... a real-time online AVF
+ * estimation is a must"). At the end of each estimation interval the
+ * controller predicts the next interval's AVF from the online
+ * estimate and sets the pipeline's dispatch throttle: fewer
+ * instructions in flight lowers occupancy and therefore AVF, at an
+ * IPC cost. Hysteresis prevents thrashing between levels.
+ */
+
+#ifndef AVF_CORE_THROTTLE_CONTROLLER_HH
+#define AVF_CORE_THROTTLE_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/online_estimator.hh"
+#include "core/predictor.hh"
+#include "cpu/observer.hh"
+#include "cpu/pipeline.hh"
+
+namespace avf::core
+{
+
+/** Controller policy. */
+struct ThrottleConfig
+{
+    /** Predicted AVF at or above which throttling engages. */
+    double engageThreshold = 0.30;
+    /** Predicted AVF below which throttling releases. */
+    double releaseThreshold = 0.25;
+    /** Dispatch width while throttled. */
+    int throttledWidth = 2;
+    /** Smoothing factor of the internal EMA predictor. */
+    double predictorAlpha = 0.7;
+};
+
+/**
+ * Watches one online estimator and actuates the dispatch throttle at
+ * estimation-interval boundaries.
+ */
+class ThrottleController : public cpu::PipelineObserver
+{
+  public:
+    /**
+     * @param pipe pipeline to actuate (caller attaches the
+     *        controller AFTER the estimator so it sees fresh
+     *        estimates).
+     * @param estimator source of per-interval AVF estimates.
+     * @param config policy.
+     */
+    ThrottleController(cpu::Pipeline &pipe,
+                       const OnlineAvfEstimator &estimator,
+                       ThrottleConfig config = ThrottleConfig{});
+
+    void onCycle(Cycle now) override;
+
+    /** True while the throttle is engaged. */
+    bool throttled() const { return engaged; }
+
+    /** Number of intervals spent throttled. */
+    std::uint64_t throttledIntervals() const { return throttledCount; }
+
+    /** Number of intervals observed. */
+    std::uint64_t intervals() const { return seenEstimates; }
+
+    /** Per-interval engaged/not decisions (after each estimate). */
+    const std::vector<bool> &decisions() const { return decisionLog; }
+
+  private:
+    cpu::Pipeline &pipeline;
+    const OnlineAvfEstimator &source;
+    ThrottleConfig conf;
+    EmaPredictor predictor;
+
+    std::size_t seenEstimates = 0;
+    bool engaged = false;
+    std::uint64_t throttledCount = 0;
+    std::vector<bool> decisionLog;
+};
+
+} // namespace avf::core
+
+#endif // AVF_CORE_THROTTLE_CONTROLLER_HH

@@ -1,0 +1,77 @@
+#include "core/tlb_estimator.hh"
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+TlbAvfEstimator::TlbAvfEstimator(cpu::Pipeline &pipe,
+                                 TlbEstimatorConfig config)
+    : pipeline(pipe), conf(config),
+      channelBit(static_cast<cpu::ErrorMask>(1u << conf.channel))
+{
+    avf_assert(conf.m > 0 && conf.n > 0,
+               "TLB estimator needs positive M and N");
+    avf_assert(conf.channel >= 0 && conf.channel < 8,
+               "channel out of the 8-bit error plane");
+}
+
+void
+TlbAvfEstimator::onRetire(const cpu::DynInstr &,
+                          const cpu::RetireInfo &info)
+{
+    if ((info.failureMask & channelBit) && injectedThisWindow)
+        failureSeen = true;
+}
+
+void
+TlbAvfEstimator::inject()
+{
+    injectedThisWindow = true;
+    ++lifetimeInjections;
+    pipeline.injectDtlbError(cursor, channelBit);
+    cursor = (cursor + 1) % pipeline.numDtlbSlots();
+}
+
+void
+TlbAvfEstimator::onCycle(Cycle now)
+{
+    if (now % conf.m != 0)
+        return;
+    if (injectedThisWindow) {
+        ++injections;
+        if (failureSeen)
+            ++failures;
+        failureSeen = false;
+        if (injections == conf.n) {
+            results.push_back(static_cast<double>(failures) /
+                              static_cast<double>(conf.n));
+            injections = 0;
+            failures = 0;
+        }
+    }
+    pipeline.clearErrorChannels(channelBit);
+    injectedThisWindow = false;
+    inject();
+}
+
+double
+TlbAvfEstimator::meanEstimate() const
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : results)
+        sum += v;
+    return sum / static_cast<double>(results.size());
+}
+
+double
+TlbAvfEstimator::partialAvf() const
+{
+    return injections ? static_cast<double>(failures) /
+                        static_cast<double>(injections)
+                      : 0.0;
+}
+
+} // namespace avf::core

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Online AVF estimator for the data TLB — the experiment the paper
+ * could not afford (footnote 1: a reasonable M for TLBs is close to
+ * one million cycles, so one AVF estimate costs a billion cycles of
+ * simulation; our simulator is fast enough to demonstrate the effect
+ * directly). The machinery is Algorithm 1 verbatim: round-robin
+ * injections into TLB entry slots, a wait window of M cycles, and
+ * failure when a load or store retires having used the corrupted
+ * translation.
+ */
+
+#ifndef AVF_CORE_TLB_ESTIMATOR_HH
+#define AVF_CORE_TLB_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/observer.hh"
+#include "cpu/pipeline.hh"
+#include "util/types.hh"
+
+namespace avf::core
+{
+
+/** Estimator parameters for the TLB experiment. */
+struct TlbEstimatorConfig
+{
+    /** Wait window in cycles (TLBs need very large values). */
+    Cycle m = 100'000;
+    /** Injections per estimate. */
+    std::uint32_t n = 100;
+    /** Error-bit channel to use (keep clear of the four paper
+     *  structures and FREG). */
+    int channel = 6;
+};
+
+/** Algorithm 1 pointed at the dTLB. */
+class TlbAvfEstimator : public cpu::PipelineObserver
+{
+  public:
+    TlbAvfEstimator(cpu::Pipeline &pipe,
+                    TlbEstimatorConfig config = TlbEstimatorConfig{});
+
+    void onRetire(const cpu::DynInstr &instr,
+                  const cpu::RetireInfo &info) override;
+    void onCycle(Cycle now) override;
+
+    /** Completed AVF estimates (one per N windows). */
+    const std::vector<double> &estimates() const { return results; }
+
+    /** Mean of all completed estimates (0 when none). */
+    double meanEstimate() const;
+
+    /** Failures/injections of the still-open estimate. */
+    double partialAvf() const;
+
+    /** Total injections fired. */
+    std::uint64_t totalInjections() const { return lifetimeInjections; }
+
+  private:
+    void inject();
+
+    cpu::Pipeline &pipeline;
+    TlbEstimatorConfig conf;
+    cpu::ErrorMask channelBit;
+
+    bool injectedThisWindow = false;
+    bool failureSeen = false;
+    std::uint32_t injections = 0;
+    std::uint32_t failures = 0;
+    std::uint64_t lifetimeInjections = 0;
+    int cursor = 0;
+    std::vector<double> results;
+};
+
+} // namespace avf::core
+
+#endif // AVF_CORE_TLB_ESTIMATOR_HH

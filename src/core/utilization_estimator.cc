@@ -1,0 +1,33 @@
+#include "core/utilization_estimator.hh"
+
+#include "util/logging.hh"
+
+namespace avf::core
+{
+
+UtilizationEstimator::UtilizationEstimator(const cpu::Pipeline &pipe,
+                                           cpu::FuClass cls,
+                                           Cycle intervalCycles)
+    : pipeline(pipe), fuClass(cls), intervalLen(intervalCycles)
+{
+    avf_assert(intervalLen > 0, "interval length must be positive");
+}
+
+void
+UtilizationEstimator::onCycle(Cycle now)
+{
+    // Interval k covers cycles [k * len, (k+1) * len); close it at
+    // the end of its last cycle.
+    if ((now + 1) % intervalLen != 0)
+        return;
+    std::uint64_t busy = pipeline.stats().busyUnitCycles[
+        static_cast<int>(fuClass)];
+    std::uint64_t delta = busy - lastBusy;
+    lastBusy = busy;
+    auto units = static_cast<double>(
+        pipeline.config().unitsIn(fuClass));
+    results.push_back(static_cast<double>(delta) /
+                      (static_cast<double>(intervalLen) * units));
+}
+
+} // namespace avf::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The utilization-based baseline estimator (Section 4): the AVF of a
+ * logic structure is approximated by its utilization — busy
+ * unit-cycles over total unit-cycles. Implemented as a pipeline
+ * observer sampling the busy counters at estimation-interval
+ * boundaries. The paper (and our results) show this proxy misses
+ * dead-value masking and therefore overestimates AVF, often badly.
+ */
+
+#ifndef AVF_CORE_UTILIZATION_ESTIMATOR_HH
+#define AVF_CORE_UTILIZATION_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/observer.hh"
+#include "cpu/pipeline.hh"
+#include "util/types.hh"
+
+namespace avf::core
+{
+
+/** Per-interval utilization of one functional-unit class. */
+class UtilizationEstimator : public cpu::PipelineObserver
+{
+  public:
+    /**
+     * @param pipe pipeline to watch (caller attaches).
+     * @param cls unit class (FXU or FPU in the paper).
+     * @param intervalCycles estimation-interval length (M * N).
+     */
+    UtilizationEstimator(const cpu::Pipeline &pipe, cpu::FuClass cls,
+                         Cycle intervalCycles);
+
+    void onCycle(Cycle now) override;
+
+    /** Per-interval utilization in [0, 1]. */
+    const std::vector<double> &estimates() const { return results; }
+
+  private:
+    const cpu::Pipeline &pipeline;
+    cpu::FuClass fuClass;
+    Cycle intervalLen;
+    std::uint64_t lastBusy = 0;
+    std::vector<double> results;
+};
+
+} // namespace avf::core
+
+#endif // AVF_CORE_UTILIZATION_ESTIMATOR_HH

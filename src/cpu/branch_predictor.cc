@@ -1,0 +1,44 @@
+#include "cpu/branch_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace avf::cpu
+{
+
+BranchPredictor::BranchPredictor(int tableBits, int historyBits)
+{
+    avf_assert(tableBits > 0 && tableBits <= 24,
+               "predictor table bits out of range");
+    avf_assert(historyBits >= 0 && historyBits <= tableBits,
+               "history longer than index");
+    table.assign(std::size_t(1) << tableBits, 1); // weakly not-taken
+    indexMask = (std::uint32_t(1) << tableBits) - 1;
+    historyMask = historyBits
+        ? (std::uint32_t(1) << historyBits) - 1
+        : 0;
+}
+
+bool
+BranchPredictor::predictAndUpdate(Addr pc, bool taken)
+{
+    ++statsData.lookups;
+    std::uint32_t idx =
+        (static_cast<std::uint32_t>(pc >> 2) ^ history) & indexMask;
+    std::uint8_t &ctr = table[idx];
+    bool predicted = ctr >= 2;
+
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+
+    history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+
+    if (predicted != taken) {
+        ++statsData.mispredicts;
+        return false;
+    }
+    return true;
+}
+
+} // namespace avf::cpu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Gshare direction predictor. In a trace-driven simulator the
+ * predictor exists to decide *when* fetch stalls: a mispredicted
+ * conditional branch blocks fetch until the branch resolves plus a
+ * redirect penalty, which is how Turandot-style models account for
+ * wrong-path time without simulating wrong-path instructions.
+ */
+
+#ifndef AVF_CPU_BRANCH_PREDICTOR_HH
+#define AVF_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace avf::cpu
+{
+
+/** Prediction statistics. */
+struct PredictorStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t mispredicts = 0;
+
+    /** Fraction of lookups predicted correctly. */
+    double
+    accuracy() const
+    {
+        return lookups ? 1.0 - static_cast<double>(mispredicts) /
+                               static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/** Gshare with 2-bit saturating counters. */
+class BranchPredictor
+{
+  public:
+    /**
+     * @param tableBits log2 of the counter-table size.
+     * @param historyBits global-history length (0 = pure bimodal).
+     */
+    BranchPredictor(int tableBits, int historyBits);
+
+    /**
+     * Predict-and-update for a conditional branch whose actual
+     * outcome is known from the trace.
+     *
+     * @param pc branch address.
+     * @param taken actual outcome.
+     * @return true if the prediction matched the outcome.
+     */
+    bool predictAndUpdate(Addr pc, bool taken);
+
+    /** Accumulated statistics. */
+    const PredictorStats &stats() const { return statsData; }
+
+    /** Reset statistics (tables keep training). */
+    void clearStats() { statsData = PredictorStats{}; }
+
+  private:
+    std::vector<std::uint8_t> table;
+    std::uint32_t indexMask;
+    std::uint32_t historyMask;
+    std::uint32_t history = 0;
+    PredictorStats statsData;
+};
+
+} // namespace avf::cpu
+
+#endif // AVF_CPU_BRANCH_PREDICTOR_HH

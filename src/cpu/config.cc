@@ -1,0 +1,61 @@
+#include "cpu/config.hh"
+
+#include "trace/instruction.hh"
+#include "util/logging.hh"
+
+namespace avf::cpu
+{
+
+std::string
+fuClassName(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::Fxu: return "FXU";
+      case FuClass::Fpu: return "FPU";
+      case FuClass::Lsu: return "LSU";
+      case FuClass::Bru: return "BRU";
+      default: return "?";
+    }
+}
+
+int
+CpuConfig::unitsIn(FuClass cls) const
+{
+    switch (cls) {
+      case FuClass::Fxu: return numFxu;
+      case FuClass::Fpu: return numFpu;
+      case FuClass::Lsu: return numLsu;
+      case FuClass::Bru: return numBru;
+      default: return 0;
+    }
+}
+
+void
+CpuConfig::validate() const
+{
+    if (fetchWidth <= 0 || dispatchWidth <= 0 || retireWidth <= 0)
+        fatal("cpu config: widths must be positive");
+    if (robEntries < dispatchWidth)
+        fatal("cpu config: ROB smaller than one dispatch group");
+    if (intLsIqEntries <= 0 || fpIqEntries <= 0 || brIqEntries <= 0)
+        fatal("cpu config: issue queues must be non-empty");
+    if (numFxu <= 0 || numFpu <= 0 || numLsu <= 0 || numBru <= 0)
+        fatal("cpu config: every unit class needs at least one unit");
+    if (intPhysRegs < trace::numArchIntRegs)
+        fatal("cpu config: need at least %d integer physical registers",
+              trace::numArchIntRegs);
+    if (fpPhysRegs < trace::numArchFpRegs)
+        fatal("cpu config: need at least %d FP physical registers",
+              trace::numArchFpRegs);
+    if (storeQueueEntries <= 0)
+        fatal("cpu config: store queue must be non-empty");
+    if (intAluLatency <= 0 || intMulLatency <= 0 || intDivLatency <= 0 ||
+        fpAluLatency <= 0 || fpDivLatency <= 0)
+        fatal("cpu config: latencies must be positive");
+    if (predictorBits <= 0 || predictorBits > 24)
+        fatal("cpu config: predictorBits out of range");
+    if (historyBits < 0 || historyBits > 24)
+        fatal("cpu config: historyBits out of range");
+}
+
+} // namespace avf::cpu

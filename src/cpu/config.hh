@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Machine configuration. Defaults reproduce Table 1 of the paper: a
+ * POWER4-like out-of-order superscalar with an 8-wide fetch, 5-wide
+ * dispatch groups, 2 FXU / 2 FPU / 2 LSU / 1 BR units, issue queues
+ * of 36 (int + load/store), 20 (FP), and 12 (branch) entries, 80
+ * integer and 72 FP physical registers, and a 64-entry instruction
+ * buffer, over the Table 1 memory hierarchy.
+ */
+
+#ifndef AVF_CPU_CONFIG_HH
+#define AVF_CPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/hierarchy.hh"
+
+namespace avf::cpu
+{
+
+/** Issue-queue identifiers. */
+enum class IqId : std::uint8_t
+{
+    IntLs = 0, ///< shared integer + load/store queue (36 entries)
+    Fp = 1,    ///< floating-point queue (20 entries)
+    Br = 2,    ///< branch queue (12 entries)
+    NumQueues
+};
+
+/** Functional-unit classes. */
+enum class FuClass : std::uint8_t
+{
+    Fxu = 0, ///< fixed-point (integer) units
+    Fpu = 1, ///< floating-point units
+    Lsu = 2, ///< load/store units
+    Bru = 3, ///< branch unit
+    NumClasses
+};
+
+/** Human-readable name of a functional-unit class. */
+std::string fuClassName(FuClass cls);
+
+/** Full processor configuration (defaults = Table 1). */
+struct CpuConfig
+{
+    // --- front end ---
+    /** Instructions fetched per cycle. */
+    int fetchWidth = 8;
+    /** Instruction (fetch) buffer entries. */
+    int fetchBufferEntries = 64;
+    /** Fetch-redirect penalty after a resolved misprediction. */
+    int redirectPenalty = 3;
+    /** log2 of branch-predictor table entries. */
+    int predictorBits = 12;
+    /**
+     * Branch history length for gshare; 0 selects a pure bimodal
+     * table, which is the right default for per-site-biased branch
+     * behaviour (history only dilutes bias-dominated streams).
+     */
+    int historyBits = 0;
+
+    // --- dispatch / retire ---
+    /** Max instructions dispatched per cycle (one dispatch group). */
+    int dispatchWidth = 5;
+    /** Max instructions retired per cycle (one dispatch group). */
+    int retireWidth = 5;
+    /** Reorder-buffer capacity (POWER4: 20 groups of 5). */
+    int robEntries = 100;
+
+    // --- issue queues ---
+    /** Shared integer/load/store queue entries. */
+    int intLsIqEntries = 36;
+    /** FP queue entries. */
+    int fpIqEntries = 20;
+    /** Branch queue entries. */
+    int brIqEntries = 12;
+
+    // --- execution resources ---
+    int numFxu = 2;
+    int numFpu = 2;
+    int numLsu = 2;
+    int numBru = 1;
+
+    // --- register files ---
+    int intPhysRegs = 80;
+    int fpPhysRegs = 72;
+
+    // --- store queue ---
+    int storeQueueEntries = 32;
+
+    // --- latencies (cycles) ---
+    int intAluLatency = 1;
+    int intMulLatency = 4;
+    int intDivLatency = 35;
+    int fpAluLatency = 5;
+    int fpDivLatency = 28;
+    /** Address-generation cycles added before the cache access. */
+    int agenLatency = 1;
+    /** Store execution (address + data capture). */
+    int storeLatency = 1;
+    /** Load latency when forwarded from the store queue. */
+    int forwardLatency = 2;
+    /** Branch execution latency. */
+    int branchLatency = 1;
+
+    // --- memory hierarchy ---
+    mem::MemConfig mem;
+
+    /** Total issue-queue entries across all queues. */
+    int
+    totalIqEntries() const
+    {
+        return intLsIqEntries + fpIqEntries + brIqEntries;
+    }
+
+    /** Units in @p cls. */
+    int unitsIn(FuClass cls) const;
+
+    /** Abort with fatal() if any field is inconsistent. */
+    void validate() const;
+};
+
+} // namespace avf::cpu
+
+#endif // AVF_CPU_CONFIG_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The in-flight dynamic instruction. Besides the usual out-of-order
+ * bookkeeping (renamed operands, stage timestamps), it carries the
+ * paper's error-bit state: a per-channel error mask that is seeded by
+ * injections, merged from source registers at issue ("or" gates in
+ * hardware), and checked at retirement against the failure-point
+ * definition of Section 3.2.
+ */
+
+#ifndef AVF_CPU_DYN_INSTR_HH
+#define AVF_CPU_DYN_INSTR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cpu/config.hh"
+#include "trace/instruction.hh"
+#include "util/types.hh"
+
+namespace avf::cpu
+{
+
+/**
+ * Error-bit channels. Each channel is an independent one-error-at-a-
+ * time estimation (the paper runs one structure at a time; running
+ * the four structures as four independent bit-planes is equivalent
+ * and lets a single simulation estimate all of them).
+ */
+using ErrorMask = std::uint8_t;
+
+/** Maximum number of concurrent estimation channels. */
+inline constexpr int numErrorChannels = 8;
+
+/** One in-flight instruction (lives in the ROB). */
+struct DynInstr
+{
+    /** Trace-side view of the instruction. */
+    trace::TraceInstruction in;
+
+    /** Global dynamic sequence number. */
+    InstrSeq seq = invalidSeq;
+
+    // --- renamed operands ---
+    /** Physical source registers (global phys index), -1 unused. */
+    std::array<std::int16_t, 3> srcPhys{-1, -1, -1};
+    /** Physical destination register, -1 none. */
+    std::int16_t destPhys = -1;
+    /** Previous mapping of the destination (freed at retire). */
+    std::int16_t oldDestPhys = -1;
+    /**
+     * Sequence numbers of the producers of each source value at
+     * rename time (invalidSeq when the value predates the window or
+     * the operand is unused). Consumed by the SoftArch ACE analyzer.
+     */
+    std::array<InstrSeq, 3> srcProducer{invalidSeq, invalidSeq,
+                                        invalidSeq};
+
+    // --- structure placement ---
+    /** Issue queue holding the instruction (before issue). */
+    IqId iq = IqId::NumQueues;
+    /** Entry index within its issue queue, -1 when not queued. */
+    std::int16_t iqEntry = -1;
+    /** Global issue-queue entry index (stable across queues). */
+    std::int16_t iqGlobalEntry = -1;
+    /** Functional-unit class executing this instruction. */
+    FuClass fu = FuClass::NumClasses;
+    /** Unit index within the class, -1 when none. */
+    std::int8_t fuUnit = -1;
+    /** Store-queue slot for stores, -1 otherwise. */
+    std::int16_t sqIndex = -1;
+
+    // --- timing ---
+    Cycle fetchCycle = neverCycle;
+    Cycle dispatchCycle = neverCycle;
+    Cycle issueCycle = neverCycle;
+    Cycle completeCycle = neverCycle;
+    Cycle retireCycle = neverCycle;
+
+    // --- status ---
+    bool issued = false;
+    bool completed = false;
+    bool mispredicted = false;
+    /** Source operands still awaiting writeback (wakeup counter). */
+    std::int8_t pendingSrcs = 0;
+
+    // --- error-bit plane ---
+    /**
+     * Per-channel error bits riding with this instruction's value.
+     * Sources OR in at issue; the destination register inherits the
+     * mask at completion; failure points test it at retirement.
+     */
+    ErrorMask errorMask = 0;
+
+    /** True if this op retires through a failure point (Sec. 3.2). */
+    bool
+    isFailurePoint() const
+    {
+        using trace::OpClass;
+        return in.op == OpClass::Load || in.op == OpClass::Store ||
+               in.op == OpClass::BranchCond ||
+               in.op == OpClass::BranchUncond;
+    }
+};
+
+/** Retirement notification payload for observers. */
+struct RetireInfo
+{
+    /**
+     * Channels whose error bit reached this retirement through a
+     * failure point (0 when the op is not a failure point or carries
+     * no error).
+     */
+    ErrorMask failureMask = 0;
+};
+
+} // namespace avf::cpu
+
+#endif // AVF_CPU_DYN_INSTR_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Observation interface over the pipeline. The online estimator and
+ * the SoftArch offline analyzer both attach here; the pipeline calls
+ * out at dispatch, issue, completion, retirement, and once per cycle.
+ */
+
+#ifndef AVF_CPU_OBSERVER_HH
+#define AVF_CPU_OBSERVER_HH
+
+#include "cpu/dyn_instr.hh"
+
+namespace avf::cpu
+{
+
+/** Passive pipeline observer; all hooks default to no-ops. */
+class PipelineObserver
+{
+  public:
+    virtual ~PipelineObserver() = default;
+
+    /** Instruction entered the ROB (and its issue queue). */
+    virtual void onDispatch(const DynInstr &) {}
+
+    /** Instruction left its issue queue for a functional unit. */
+    virtual void onIssue(const DynInstr &) {}
+
+    /** Instruction finished execution / wrote back. */
+    virtual void onComplete(const DynInstr &) {}
+
+    /** Instruction retired (in order). */
+    virtual void onRetire(const DynInstr &, const RetireInfo &) {}
+
+    /** End of cycle @p now. */
+    virtual void onCycle(Cycle) {}
+};
+
+} // namespace avf::cpu
+
+#endif // AVF_CPU_OBSERVER_HH

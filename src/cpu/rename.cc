@@ -1,0 +1,55 @@
+#include "cpu/rename.hh"
+
+#include "util/logging.hh"
+
+namespace avf::cpu
+{
+
+RenameUnit::RenameUnit(const CpuConfig &config)
+    : numIntPhys(config.intPhysRegs), numFpPhys(config.fpPhysRegs)
+{
+    using namespace trace;
+    map.resize(numArchRegs);
+    // Identity-map the committed architectural state.
+    for (int a = 0; a < numArchIntRegs; ++a)
+        map[static_cast<std::size_t>(a)] = a;
+    for (int a = 0; a < numArchFpRegs; ++a)
+        map[static_cast<std::size_t>(numArchIntRegs + a)] =
+            numIntPhys + a;
+    // Remaining registers populate the free lists.
+    for (int p = numArchIntRegs; p < numIntPhys; ++p)
+        intFree.push_back(p);
+    for (int p = numArchFpRegs; p < numFpPhys; ++p)
+        fpFree.push_back(numIntPhys + p);
+}
+
+bool
+RenameUnit::canAllocate(RegIndex arch) const
+{
+    return trace::isFpReg(arch) ? !fpFree.empty() : !intFree.empty();
+}
+
+int
+RenameUnit::allocate(RegIndex arch, int &oldPhys)
+{
+    auto &free_list = trace::isFpReg(arch) ? fpFree : intFree;
+    avf_assert(!free_list.empty(), "allocate() with empty free list");
+    int phys = free_list.back();
+    free_list.pop_back();
+    oldPhys = map[static_cast<std::size_t>(arch)];
+    map[static_cast<std::size_t>(arch)] = phys;
+    return phys;
+}
+
+void
+RenameUnit::release(int phys)
+{
+    avf_assert(phys >= 0 && phys < totalPhysRegs(),
+               "release of bad phys reg %d", phys);
+    if (isFpPhys(phys))
+        fpFree.push_back(phys);
+    else
+        intFree.push_back(phys);
+}
+
+} // namespace avf::cpu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Register renaming: per-class map tables from architectural to
+ * physical registers plus free lists. Physical registers live in one
+ * global index space — the integer plane first (0 .. intPhysRegs-1),
+ * then the FP plane — so the error-bit arrays and the SoftArch
+ * residency accounting can be flat.
+ */
+
+#ifndef AVF_CPU_RENAME_HH
+#define AVF_CPU_RENAME_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/config.hh"
+#include "trace/instruction.hh"
+#include "util/types.hh"
+
+namespace avf::cpu
+{
+
+/** Map tables + free lists for both register classes. */
+class RenameUnit
+{
+  public:
+    /** Build for @p config's register-file sizes. */
+    explicit RenameUnit(const CpuConfig &config);
+
+    /** Total physical registers across both planes. */
+    int totalPhysRegs() const { return numIntPhys + numFpPhys; }
+
+    /** Physical registers in the integer plane. */
+    int intPhysRegs() const { return numIntPhys; }
+
+    /** @return true if @p phys indexes the FP plane. */
+    bool isFpPhys(int phys) const { return phys >= numIntPhys; }
+
+    /** Current mapping of architectural register @p arch. */
+    int
+    mapOf(RegIndex arch) const
+    {
+        return map[static_cast<std::size_t>(arch)];
+    }
+
+    /** @return true if the class of @p arch has a free register. */
+    bool canAllocate(RegIndex arch) const;
+
+    /**
+     * Allocate a new physical register for a write to @p arch and
+     * update the map.
+     *
+     * @param arch destination architectural register.
+     * @param oldPhys out: the previous mapping (freed at retire).
+     * @return the newly allocated physical register.
+     */
+    int allocate(RegIndex arch, int &oldPhys);
+
+    /** Return @p phys to its class free list (at retirement). */
+    void release(int phys);
+
+    /** Free integer-plane registers remaining. */
+    std::size_t intFreeCount() const { return intFree.size(); }
+
+    /** Free FP-plane registers remaining. */
+    std::size_t fpFreeCount() const { return fpFree.size(); }
+
+  private:
+    int numIntPhys;
+    int numFpPhys;
+    std::vector<int> map;     // arch (0..63) -> phys
+    std::vector<int> intFree; // LIFO free lists
+    std::vector<int> fpFree;
+};
+
+} // namespace avf::cpu
+
+#endif // AVF_CPU_RENAME_HH

@@ -1,0 +1,193 @@
+#include "harness/config_loader.hh"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trace/spec_profiles.hh"
+#include "util/logging.hh"
+
+namespace avf::harness
+{
+
+namespace
+{
+
+void
+warnUnknownKeys(const KeyValueFile &file, const std::string &section,
+                const std::set<std::string> &known)
+{
+    for (const auto &key : file.keysIn(section)) {
+        if (!known.count(key))
+            warn("config: unknown key '%s' in section [%s]",
+                 key.c_str(), section.c_str());
+    }
+}
+
+} // namespace
+
+ExperimentConfig
+loadExperimentConfig(const std::string &path)
+{
+    return loadExperimentConfig(KeyValueFile::fromFile(path));
+}
+
+ExperimentConfig
+loadExperimentConfig(const KeyValueFile &file)
+{
+    ExperimentConfig conf;
+
+    // ---- [experiment] ----
+    warnUnknownKeys(file, "experiment",
+                    {"benchmark", "intervals", "lookahead"});
+    std::string bench = file.getString("experiment", "benchmark",
+                                       "mesa");
+    const auto &names = trace::specBenchmarkNames();
+    if (std::find(names.begin(), names.end(), bench) != names.end())
+        conf.profile = trace::specProfile(bench);
+    else if (bench == "generic")
+        conf.profile = trace::WorkloadProfile{};
+    else
+        fatal("config: unknown benchmark '%s'", bench.c_str());
+    conf.numIntervals = static_cast<int>(
+        file.getInt("experiment", "intervals", conf.numIntervals));
+    conf.lookahead = static_cast<Cycle>(
+        file.getInt("experiment", "lookahead",
+                    static_cast<std::int64_t>(conf.lookahead)));
+    if (conf.numIntervals <= 0)
+        fatal("config: intervals must be positive");
+
+    // ---- [online] ----
+    warnUnknownKeys(file, "online", {"m", "n", "randomize", "seed"});
+    conf.online.m = static_cast<Cycle>(
+        file.getInt("online", "m",
+                    static_cast<std::int64_t>(conf.online.m)));
+    conf.online.n = static_cast<std::uint32_t>(
+        file.getInt("online", "n", conf.online.n));
+    conf.online.randomizeInjectionTiming =
+        file.getBool("online", "randomize",
+                     conf.online.randomizeInjectionTiming);
+    conf.online.seed = static_cast<std::uint64_t>(
+        file.getInt("online", "seed",
+                    static_cast<std::int64_t>(conf.online.seed)));
+    if (conf.online.m == 0 || conf.online.n == 0)
+        fatal("config: online m and n must be positive");
+
+    // ---- [cpu] ----
+    warnUnknownKeys(
+        file, "cpu",
+        {"fetch_width", "dispatch_width", "retire_width",
+         "rob_entries", "intls_iq", "fp_iq", "br_iq", "fxu", "fpu",
+         "lsu", "bru", "int_regs", "fp_regs", "store_queue",
+         "fetch_buffer", "redirect_penalty", "predictor_bits",
+         "history_bits"});
+    auto &cpu = conf.cpu;
+    auto cpu_int = [&](const char *key, int current) {
+        return static_cast<int>(file.getInt("cpu", key, current));
+    };
+    cpu.fetchWidth = cpu_int("fetch_width", cpu.fetchWidth);
+    cpu.dispatchWidth = cpu_int("dispatch_width", cpu.dispatchWidth);
+    cpu.retireWidth = cpu_int("retire_width", cpu.retireWidth);
+    cpu.robEntries = cpu_int("rob_entries", cpu.robEntries);
+    cpu.intLsIqEntries = cpu_int("intls_iq", cpu.intLsIqEntries);
+    cpu.fpIqEntries = cpu_int("fp_iq", cpu.fpIqEntries);
+    cpu.brIqEntries = cpu_int("br_iq", cpu.brIqEntries);
+    cpu.numFxu = cpu_int("fxu", cpu.numFxu);
+    cpu.numFpu = cpu_int("fpu", cpu.numFpu);
+    cpu.numLsu = cpu_int("lsu", cpu.numLsu);
+    cpu.numBru = cpu_int("bru", cpu.numBru);
+    cpu.intPhysRegs = cpu_int("int_regs", cpu.intPhysRegs);
+    cpu.fpPhysRegs = cpu_int("fp_regs", cpu.fpPhysRegs);
+    cpu.storeQueueEntries = cpu_int("store_queue",
+                                    cpu.storeQueueEntries);
+    cpu.fetchBufferEntries = cpu_int("fetch_buffer",
+                                     cpu.fetchBufferEntries);
+    cpu.redirectPenalty = cpu_int("redirect_penalty",
+                                  cpu.redirectPenalty);
+    cpu.predictorBits = cpu_int("predictor_bits", cpu.predictorBits);
+    cpu.historyBits = cpu_int("history_bits", cpu.historyBits);
+
+    // ---- [mem] ----
+    warnUnknownKeys(file, "mem",
+                    {"l1d_kb", "l1d_ways", "l1i_kb", "l1i_ways",
+                     "l2_kb", "l2_ways", "line_bytes", "l1_lat",
+                     "l2_lat", "mem_lat", "tlb_entries",
+                     "tlb_penalty"});
+    auto &mem = conf.cpu.mem;
+    auto mem_u64 = [&](const char *key, std::uint64_t current) {
+        return static_cast<std::uint64_t>(
+            file.getInt("mem", key,
+                        static_cast<std::int64_t>(current)));
+    };
+    mem.l1d.sizeBytes = mem_u64("l1d_kb",
+                                mem.l1d.sizeBytes / 1024) * 1024;
+    mem.l1d.ways = static_cast<std::uint32_t>(
+        mem_u64("l1d_ways", mem.l1d.ways));
+    mem.l1i.sizeBytes = mem_u64("l1i_kb",
+                                mem.l1i.sizeBytes / 1024) * 1024;
+    mem.l1i.ways = static_cast<std::uint32_t>(
+        mem_u64("l1i_ways", mem.l1i.ways));
+    mem.l2.sizeBytes = mem_u64("l2_kb", mem.l2.sizeBytes / 1024) *
+                       1024;
+    mem.l2.ways = static_cast<std::uint32_t>(
+        mem_u64("l2_ways", mem.l2.ways));
+    std::uint32_t line = static_cast<std::uint32_t>(
+        mem_u64("line_bytes", mem.l1d.lineBytes));
+    mem.l1d.lineBytes = line;
+    mem.l1i.lineBytes = line;
+    mem.l2.lineBytes = line;
+    mem.l1Latency = static_cast<std::uint32_t>(
+        mem_u64("l1_lat", mem.l1Latency));
+    mem.l2Latency = static_cast<std::uint32_t>(
+        mem_u64("l2_lat", mem.l2Latency));
+    mem.memLatency = static_cast<std::uint32_t>(
+        mem_u64("mem_lat", mem.memLatency));
+    std::uint32_t tlb_entries = static_cast<std::uint32_t>(
+        mem_u64("tlb_entries", mem.dtlb.entries));
+    mem.dtlb.entries = tlb_entries;
+    mem.itlb.entries = tlb_entries;
+    std::uint32_t tlb_penalty = static_cast<std::uint32_t>(
+        mem_u64("tlb_penalty", mem.dtlb.missPenalty));
+    mem.dtlb.missPenalty = tlb_penalty;
+    mem.itlb.missPenalty = tlb_penalty;
+
+    // ---- [workload] overrides ----
+    warnUnknownKeys(file, "workload",
+                    {"load_frac", "store_frac", "branch_frac",
+                     "fp_frac", "dead_frac", "dep_recency",
+                     "footprint_kb", "stream_frac", "branch_noise",
+                     "seed"});
+    auto apply = [&](trace::PhaseParams &p) {
+        p.loadFrac = file.getDouble("workload", "load_frac",
+                                    p.loadFrac);
+        p.storeFrac = file.getDouble("workload", "store_frac",
+                                     p.storeFrac);
+        p.branchFrac = file.getDouble("workload", "branch_frac",
+                                      p.branchFrac);
+        p.fpFrac = file.getDouble("workload", "fp_frac", p.fpFrac);
+        p.deadFrac = file.getDouble("workload", "dead_frac",
+                                    p.deadFrac);
+        p.depRecency = file.getDouble("workload", "dep_recency",
+                                      p.depRecency);
+        p.footprint = static_cast<std::uint64_t>(
+            file.getInt("workload", "footprint_kb",
+                        static_cast<std::int64_t>(
+                            p.footprint / 1024))) * 1024;
+        p.streamFrac = file.getDouble("workload", "stream_frac",
+                                      p.streamFrac);
+        p.branchNoise = file.getDouble("workload", "branch_noise",
+                                       p.branchNoise);
+    };
+    apply(conf.profile.base);
+    for (auto &phase : conf.profile.phases)
+        apply(phase.params);
+    conf.profile.seed = static_cast<std::uint64_t>(
+        file.getInt("workload", "seed",
+                    static_cast<std::int64_t>(conf.profile.seed)));
+
+    conf.cpu.validate();
+    return conf;
+}
+
+} // namespace avf::harness

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Build an ExperimentConfig from an INI-style file, so machines and
+ * workloads can be explored without recompiling. Recognized sections
+ * and keys (all optional; defaults = Table 1 and M = N = 1000):
+ *
+ *   [experiment] benchmark=mesa intervals=100 lookahead=32768
+ *   [online]     m=1000 n=1000 randomize=false seed=12345
+ *   [cpu]        fetch_width, dispatch_width, retire_width,
+ *                rob_entries, intls_iq, fp_iq, br_iq, fxu, fpu, lsu,
+ *                bru, int_regs, fp_regs, store_queue, fetch_buffer,
+ *                redirect_penalty, predictor_bits, history_bits
+ *   [mem]        l1d_kb, l1d_ways, l1i_kb, l1i_ways, l2_kb, l2_ways,
+ *                line_bytes, l1_lat, l2_lat, mem_lat, tlb_entries,
+ *                tlb_penalty
+ *   [workload]   (overrides applied on top of the named benchmark's
+ *                profile) load_frac, store_frac, branch_frac,
+ *                fp_frac, dead_frac, dep_recency, footprint_kb,
+ *                stream_frac, branch_noise, seed
+ *
+ * Unknown keys are reported via warn() so typos do not silently do
+ * nothing.
+ */
+
+#ifndef AVF_HARNESS_CONFIG_LOADER_HH
+#define AVF_HARNESS_CONFIG_LOADER_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "util/keyvalue.hh"
+
+namespace avf::harness
+{
+
+/** Parse @p path into an ExperimentConfig; fatal() on bad values. */
+ExperimentConfig loadExperimentConfig(const std::string &path);
+
+/** Same, from already-parsed key/values (tests). */
+ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
+
+} // namespace avf::harness
+
+#endif // AVF_HARNESS_CONFIG_LOADER_HH

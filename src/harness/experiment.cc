@@ -1,0 +1,149 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/utilization_estimator.hh"
+#include "cpu/pipeline.hh"
+#include "softarch/ace_analyzer.hh"
+#include "trace/synthetic.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace avf::harness
+{
+
+using core::Structure;
+
+std::vector<double>
+ExperimentResult::onlineSeries(Structure s) const
+{
+    std::vector<double> out;
+    out.reserve(intervals.size());
+    for (const auto &row : intervals)
+        out.push_back(row.online[static_cast<std::size_t>(s)]);
+    return out;
+}
+
+std::vector<double>
+ExperimentResult::softarchSeries(Structure s) const
+{
+    std::vector<double> out;
+    out.reserve(intervals.size());
+    for (const auto &row : intervals)
+        out.push_back(row.softarch[static_cast<std::size_t>(s)]);
+    return out;
+}
+
+std::vector<double>
+ExperimentResult::utilizationSeries(Structure s) const
+{
+    std::vector<double> out;
+    out.reserve(intervals.size());
+    std::size_t idx = s == Structure::FXU ? 0 : 1;
+    avf_assert(s == Structure::FXU || s == Structure::FPU,
+               "utilization defined for logic structures only");
+    for (const auto &row : intervals)
+        out.push_back(row.utilization[idx]);
+    return out;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    avf_assert(config.numIntervals > 0, "need at least one interval");
+
+    const Cycle interval_len = config.online.m *
+        static_cast<Cycle>(config.online.n);
+
+    trace::SyntheticTraceGenerator generator(config.profile);
+    cpu::Pipeline pipeline(config.cpu, generator);
+
+    // Online estimators, one per structure / channel.
+    std::vector<std::unique_ptr<core::OnlineAvfEstimator>> online;
+    for (int s = 0; s < core::numStructures; ++s) {
+        online.push_back(std::make_unique<core::OnlineAvfEstimator>(
+            pipeline, static_cast<Structure>(s), config.online));
+        pipeline.addObserver(online.back().get());
+    }
+
+    // SoftArch reference.
+    softarch::SoftArchConfig sa_conf;
+    sa_conf.intervalCycles = interval_len;
+    sa_conf.lookahead = config.lookahead;
+    softarch::AceAnalyzer reference(pipeline, sa_conf);
+    pipeline.addObserver(&reference);
+
+    // Utilization baseline for the logic structures.
+    core::UtilizationEstimator util_fxu(pipeline, cpu::FuClass::Fxu,
+                                        interval_len);
+    core::UtilizationEstimator util_fpu(pipeline, cpu::FuClass::Fpu,
+                                        interval_len);
+    pipeline.addObserver(&util_fxu);
+    pipeline.addObserver(&util_fpu);
+
+    // Simulate: numIntervals intervals plus the SoftArch lookahead
+    // (plus one spare window so every boundary event fires).
+    const Cycle total = interval_len *
+        static_cast<Cycle>(config.numIntervals) +
+        config.lookahead + config.online.m;
+    pipeline.run(total);
+    reference.finalizeAll(static_cast<std::size_t>(
+        config.numIntervals - 1));
+
+    ExperimentResult result;
+    result.benchmark = config.profile.name;
+
+    auto intervals_available = static_cast<std::size_t>(
+        config.numIntervals);
+    for (const auto &est : online)
+        intervals_available = std::min(intervals_available,
+                                       est->estimates().size());
+    intervals_available = std::min(intervals_available,
+                                   reference.results().size());
+    intervals_available = std::min(intervals_available,
+                                   util_fxu.estimates().size());
+    intervals_available = std::min(intervals_available,
+                                   util_fpu.estimates().size());
+    if (intervals_available <
+        static_cast<std::size_t>(config.numIntervals)) {
+        warn("experiment '%s': only %zu of %d intervals completed",
+             config.profile.name.c_str(), intervals_available,
+             config.numIntervals);
+    }
+
+    result.intervals.resize(intervals_available);
+    for (std::size_t k = 0; k < intervals_available; ++k) {
+        auto &row = result.intervals[k];
+        for (int s = 0; s < core::numStructures; ++s)
+            row.online[static_cast<std::size_t>(s)] =
+                online[static_cast<std::size_t>(s)]->estimates()[k];
+        for (int s = 0; s < core::numStructures; ++s)
+            row.softarch[static_cast<std::size_t>(s)] =
+                reference.results()[k].avf[static_cast<std::size_t>(s)];
+        row.utilization[0] = util_fxu.estimates()[k];
+        row.utilization[1] = util_fpu.estimates()[k];
+    }
+
+    const auto &stats = pipeline.stats();
+    result.summary.ipc = stats.ipc();
+    result.summary.branchAccuracy =
+        pipeline.branchPredictor().stats().accuracy();
+    result.summary.l1dMissRate = pipeline.memory().l1d().stats()
+        .missRate();
+    result.summary.l2MissRate = pipeline.memory().l2().stats()
+        .missRate();
+    result.summary.cycles = stats.cycles;
+    result.summary.retired = stats.retired;
+    return result;
+}
+
+int
+defaultIntervals(int paperDefault)
+{
+    if (envFlag("AVF_FAST"))
+        return 12;
+    return static_cast<int>(envInt("AVF_INTERVALS", paperDefault));
+}
+
+} // namespace avf::harness

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared experiment driver: runs one workload on the Table 1 machine
+ * with the online estimator (all four structures), the SoftArch
+ * reference, and the utilization baseline attached, and returns the
+ * per-interval AVF series — the raw material for Figures 2 through 5.
+ */
+
+#ifndef AVF_HARNESS_EXPERIMENT_HH
+#define AVF_HARNESS_EXPERIMENT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/online_estimator.hh"
+#include "core/structures.hh"
+#include "cpu/config.hh"
+#include "trace/workload_profile.hh"
+#include "util/types.hh"
+
+namespace avf::harness
+{
+
+/** Full experiment parameters. */
+struct ExperimentConfig
+{
+    /** Workload to synthesize. */
+    trace::WorkloadProfile profile;
+    /** Machine parameters (defaults = Table 1). */
+    cpu::CpuConfig cpu;
+    /** Online-estimator parameters (defaults = M = N = 1000). */
+    core::OnlineConfig online;
+    /** Number of estimation intervals to collect. */
+    int numIntervals = 100;
+    /** SoftArch lookahead in cycles. */
+    Cycle lookahead = 32'768;
+};
+
+/** One estimation interval's worth of results. */
+struct IntervalResult
+{
+    /** Online estimates, indexed by core::Structure. */
+    std::array<double, core::numStructures> online{};
+    /** SoftArch reference AVFs, indexed by core::Structure. */
+    std::array<double, core::numStructures> softarch{};
+    /** Utilization baseline: [0] = FXU, [1] = FPU. */
+    std::array<double, 2> utilization{};
+};
+
+/** Aggregate run-level metrics. */
+struct RunSummary
+{
+    double ipc = 0.0;
+    double branchAccuracy = 0.0;
+    double l1dMissRate = 0.0;
+    double l2MissRate = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+};
+
+/** Result of a full experiment. */
+struct ExperimentResult
+{
+    std::string benchmark;
+    std::vector<IntervalResult> intervals;
+    RunSummary summary;
+
+    /** Extract one per-interval series. */
+    std::vector<double> onlineSeries(core::Structure s) const;
+    std::vector<double> softarchSeries(core::Structure s) const;
+    /** Utilization series; only FXU/FPU are meaningful. */
+    std::vector<double> utilizationSeries(core::Structure s) const;
+};
+
+/**
+ * Run the full experiment: simulate numIntervals estimation
+ * intervals (plus lookahead), collecting online, SoftArch, and
+ * utilization AVFs per interval.
+ */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/**
+ * Resolve the default interval count for benches: the paper uses
+ * 100-200 intervals; the environment variable AVF_INTERVALS overrides
+ * (and AVF_FAST=1 shrinks to 12 for smoke runs).
+ */
+int defaultIntervals(int paperDefault = 100);
+
+} // namespace avf::harness
+
+#endif // AVF_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,131 @@
+#include "harness/export.hh"
+
+#include <cstdio>
+
+#include "core/structures.hh"
+#include "util/logging.hh"
+
+namespace avf::harness
+{
+
+namespace
+{
+
+std::FILE *
+openOrDie(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    return file;
+}
+
+} // namespace
+
+void
+writeCsv(const ExperimentResult &result, const std::string &path)
+{
+    std::FILE *file = openOrDie(path);
+
+    std::fprintf(file, "interval");
+    for (int s = 0; s < core::numStructures; ++s) {
+        auto name = core::structureName(
+            static_cast<core::Structure>(s));
+        std::fprintf(file, ",%.*s_online,%.*s_softarch",
+                     static_cast<int>(name.size()), name.data(),
+                     static_cast<int>(name.size()), name.data());
+    }
+    std::fprintf(file, ",fxu_util,fpu_util\n");
+
+    for (std::size_t k = 0; k < result.intervals.size(); ++k) {
+        const auto &row = result.intervals[k];
+        std::fprintf(file, "%zu", k);
+        for (int s = 0; s < core::numStructures; ++s)
+            std::fprintf(file, ",%.6f,%.6f",
+                         row.online[static_cast<std::size_t>(s)],
+                         row.softarch[static_cast<std::size_t>(s)]);
+        std::fprintf(file, ",%.6f,%.6f\n", row.utilization[0],
+                     row.utilization[1]);
+    }
+    if (std::fclose(file) != 0)
+        fatal("error closing '%s'", path.c_str());
+}
+
+void
+writeJson(const ExperimentResult &result, const std::string &path)
+{
+    std::FILE *file = openOrDie(path);
+
+    std::fprintf(file, "{\n  \"benchmark\": \"%s\",\n",
+                 result.benchmark.c_str());
+    std::fprintf(file,
+                 "  \"summary\": {\"ipc\": %.4f, "
+                 "\"branch_accuracy\": %.4f, \"l1d_miss\": %.4f, "
+                 "\"l2_miss\": %.4f, \"cycles\": %llu, "
+                 "\"retired\": %llu},\n",
+                 result.summary.ipc, result.summary.branchAccuracy,
+                 result.summary.l1dMissRate, result.summary.l2MissRate,
+                 static_cast<unsigned long long>(result.summary.cycles),
+                 static_cast<unsigned long long>(
+                     result.summary.retired));
+    std::fprintf(file, "  \"intervals\": [\n");
+    for (std::size_t k = 0; k < result.intervals.size(); ++k) {
+        const auto &row = result.intervals[k];
+        std::fprintf(file, "    {\"k\": %zu", k);
+        for (int s = 0; s < core::numStructures; ++s) {
+            auto name = core::structureName(
+                static_cast<core::Structure>(s));
+            std::fprintf(
+                file,
+                ", \"%.*s\": {\"online\": %.6f, \"softarch\": %.6f}",
+                static_cast<int>(name.size()), name.data(),
+                row.online[static_cast<std::size_t>(s)],
+                row.softarch[static_cast<std::size_t>(s)]);
+        }
+        std::fprintf(file,
+                     ", \"util\": {\"fxu\": %.6f, \"fpu\": %.6f}}%s\n",
+                     row.utilization[0], row.utilization[1],
+                     k + 1 == result.intervals.size() ? "" : ",");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    if (std::fclose(file) != 0)
+        fatal("error closing '%s'", path.c_str());
+}
+
+void
+writeGnuplotScript(const std::string &csvPath,
+                   const std::string &scriptPath,
+                   const std::string &title)
+{
+    std::FILE *file = openOrDie(scriptPath);
+    std::fprintf(file,
+                 "set datafile separator ','\n"
+                 "set key outside\n"
+                 "set xlabel 'estimation interval (1M cycles)'\n"
+                 "set ylabel 'AVF'\n"
+                 "set yrange [0:0.6]\n"
+                 "set terminal pngcairo size 1200,800\n"
+                 "set output '%s_avf.png'\n"
+                 "set multiplot layout 2,2 title 'AVF for %s "
+                 "(Figure 4 style)'\n",
+                 title.c_str(), title.c_str());
+    // Columns: 1=interval, then pairs per structure in enum order.
+    const char *names[] = {"iq", "reg", "fxu", "fpu"};
+    for (int s = 0; s < 4; ++s) {
+        int online_col = 2 + 2 * s;
+        int softarch_col = online_col + 1;
+        std::fprintf(file,
+                     "set title '%s'\n"
+                     "plot '%s' every ::1 using 1:%d with lines "
+                     "title 'Real (SoftArch)', \\\n"
+                     "     '%s' every ::1 using 1:%d with lines "
+                     "title 'Online estimate'\n",
+                     names[s], csvPath.c_str(), softarch_col,
+                     csvPath.c_str(), online_col);
+    }
+    std::fprintf(file, "unset multiplot\n");
+    if (std::fclose(file) != 0)
+        fatal("error closing '%s'", scriptPath.c_str());
+}
+
+} // namespace avf::harness

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Machine-readable exports of experiment results: CSV for
+ * spreadsheets, JSON for scripts, and gnuplot command files that
+ * re-plot the paper's figures from the emitted data.
+ */
+
+#ifndef AVF_HARNESS_EXPORT_HH
+#define AVF_HARNESS_EXPORT_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace avf::harness
+{
+
+/**
+ * Write the per-interval series as CSV with the header
+ * `interval,<struct>_online,<struct>_softarch,...,fxu_util,fpu_util`.
+ * fatal() on I/O errors.
+ */
+void writeCsv(const ExperimentResult &result, const std::string &path);
+
+/**
+ * Write the full result (benchmark, summary, per-interval series) as
+ * a single JSON object. fatal() on I/O errors.
+ */
+void writeJson(const ExperimentResult &result,
+               const std::string &path);
+
+/**
+ * Write a gnuplot script that plots the Figure 4-style AVF traces
+ * from a CSV produced by writeCsv().
+ *
+ * @param csvPath path the script will read.
+ * @param scriptPath where to write the script.
+ * @param title plot title (benchmark name).
+ */
+void writeGnuplotScript(const std::string &csvPath,
+                        const std::string &scriptPath,
+                        const std::string &title);
+
+} // namespace avf::harness
+
+#endif // AVF_HARNESS_EXPORT_HH

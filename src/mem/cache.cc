@@ -1,0 +1,92 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace avf::mem
+{
+
+Cache::Cache(CacheConfig config) : conf(std::move(config))
+{
+    if (conf.lineBytes == 0 || !std::has_single_bit(conf.lineBytes))
+        fatal("cache '%s': line size must be a power of two",
+              conf.name.c_str());
+    if (conf.ways == 0)
+        fatal("cache '%s': associativity must be positive",
+              conf.name.c_str());
+    std::uint64_t lines_total = conf.sizeBytes / conf.lineBytes;
+    if (lines_total == 0 || lines_total % conf.ways != 0)
+        fatal("cache '%s': size/line/ways geometry is inconsistent",
+              conf.name.c_str());
+    sets = static_cast<std::uint32_t>(lines_total / conf.ways);
+    if (!std::has_single_bit(sets))
+        fatal("cache '%s': set count %u must be a power of two",
+              conf.name.c_str(), sets);
+    lineShift = static_cast<std::uint32_t>(
+        std::countr_zero(conf.lineBytes));
+    tagShift = lineShift + static_cast<std::uint32_t>(
+        std::countr_zero(sets));
+    lines.assign(static_cast<std::size_t>(sets) * conf.ways, Line{});
+}
+
+std::uint32_t
+Cache::setOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr >> lineShift) & (sets - 1));
+}
+
+bool
+Cache::access(Addr addr)
+{
+    ++statsData.accesses;
+    ++tick;
+    Addr tag = tagOf(addr);
+    std::size_t base = static_cast<std::size_t>(setOf(addr)) * conf.ways;
+
+    std::size_t victim = base;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::size_t w = 0; w < conf.ways; ++w) {
+        Line &line = lines[base + w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = tick;
+            return true;
+        }
+        if (!line.valid) {
+            victim = base + w;
+            oldest = 0;
+        } else if (line.lruStamp < oldest) {
+            victim = base + w;
+            oldest = line.lruStamp;
+        }
+    }
+
+    ++statsData.misses;
+    Line &line = lines[victim];
+    line.tag = tag;
+    line.valid = true;
+    line.lruStamp = tick;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    Addr tag = tagOf(addr);
+    std::size_t base = static_cast<std::size_t>(setOf(addr)) * conf.ways;
+    for (std::size_t w = 0; w < conf.ways; ++w) {
+        const Line &line = lines[base + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines)
+        line.valid = false;
+}
+
+} // namespace avf::mem

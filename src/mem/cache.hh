@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Timing-only set-associative cache with true-LRU replacement. The
+ * simulator never stores data (it is trace-driven); caches exist to
+ * produce the latency behaviour of Table 1, which in turn shapes
+ * issue-queue occupancy and value lifetimes — the quantities AVF
+ * depends on.
+ */
+
+#ifndef AVF_MEM_CACHE_HH
+#define AVF_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace avf::mem
+{
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    /** Human-readable name for stats. */
+    std::string name = "cache";
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 32 * 1024;
+    /** Associativity (1 = direct mapped). */
+    std::uint32_t ways = 2;
+    /** Line size in bytes (power of two). */
+    std::uint32_t lineBytes = 128;
+};
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    /** Miss ratio in [0,1]; 0 when idle. */
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Set-associative, true-LRU, tag-only cache model. */
+class Cache
+{
+  public:
+    /** Build from @p config; fatal() on invalid geometry. */
+    explicit Cache(CacheConfig config);
+
+    /**
+     * Look up @p addr, allocating the line on miss.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Look up without allocating or touching LRU state. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything. */
+    void flush();
+
+    /** Accumulated statistics. */
+    const CacheStats &stats() const { return statsData; }
+
+    /** Reset statistics (contents untouched). */
+    void clearStats() { statsData = CacheStats{}; }
+
+    /** Geometry actually in use. */
+    const CacheConfig &config() const { return conf; }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return sets; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Addr tagOf(Addr addr) const { return addr >> tagShift; }
+    std::uint32_t setOf(Addr addr) const;
+
+    CacheConfig conf;
+    std::uint32_t sets;
+    std::uint32_t lineShift;
+    std::uint32_t tagShift;
+    std::vector<Line> lines; // sets * ways, row-major by set
+    std::uint64_t tick = 0;
+    CacheStats statsData;
+};
+
+} // namespace avf::mem
+
+#endif // AVF_MEM_CACHE_HH

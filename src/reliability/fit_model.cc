@@ -1,0 +1,119 @@
+#include "reliability/fit_model.hh"
+
+#include "util/logging.hh"
+
+namespace avf::reliability
+{
+
+namespace
+{
+
+/** Hours per 1e9 device-hours (the FIT normalization). */
+constexpr double fitHours = 1e9;
+
+} // namespace
+
+FitModelConfig
+defaultFitModel(const cpu::CpuConfig &machine)
+{
+    FitModelConfig conf;
+    using core::Structure;
+
+    // Issue-queue entries hold a renamed instruction: opcode, three
+    // source tags, a destination tag, immediates — model ~128 bits.
+    conf.structures.push_back(
+        {Structure::IQ,
+         static_cast<double>(machine.totalIqEntries()) * 128.0, 0.0});
+    // 64-bit integer registers.
+    conf.structures.push_back(
+        {Structure::REG,
+         static_cast<double>(machine.intPhysRegs) * 64.0, 0.0});
+    // Effective susceptible latch count per unit (pipeline registers
+    // and control), a few thousand bits per execution pipe.
+    conf.structures.push_back(
+        {Structure::FXU, static_cast<double>(machine.numFxu) * 2048.0,
+         0.0});
+    conf.structures.push_back(
+        {Structure::FPU, static_cast<double>(machine.numFpu) * 4096.0,
+         0.0});
+    // 64-bit FP registers (the FREG extension).
+    conf.structures.push_back(
+        {Structure::FREG,
+         static_cast<double>(machine.fpPhysRegs) * 64.0, 0.0});
+    return conf;
+}
+
+FitModel::FitModel(FitModelConfig config) : conf(std::move(config))
+{
+    if (conf.rawFitPerBit <= 0.0)
+        fatal("fit model: raw FIT/bit must be positive");
+    for (const auto &entry : conf.structures) {
+        if (entry.bits < 0.0)
+            fatal("fit model: negative bit count");
+        if (entry.coverage < 0.0 || entry.coverage > 1.0)
+            fatal("fit model: coverage must lie in [0,1]");
+    }
+}
+
+double
+FitModel::fit(const std::array<double, core::numStructures> &avf)
+    const
+{
+    double total = 0.0;
+    for (const auto &entry : conf.structures) {
+        double structure_avf =
+            avf[static_cast<std::size_t>(entry.structure)];
+        total += conf.rawFitPerBit * entry.bits * structure_avf *
+                 (1.0 - entry.coverage);
+    }
+    return total;
+}
+
+double
+FitModel::mttfHours(
+    const std::array<double, core::numStructures> &avf) const
+{
+    double rate = fit(avf);
+    if (rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return fitHours / rate;
+}
+
+double
+FitModel::mttfHoursOverRun(
+    const std::vector<std::array<double, core::numStructures>>
+        &avfSeries) const
+{
+    if (avfSeries.empty())
+        return std::numeric_limits<double>::infinity();
+    double rate_sum = 0.0;
+    for (const auto &avf : avfSeries)
+        rate_sum += fit(avf);
+    double mean_rate = rate_sum / static_cast<double>(
+        avfSeries.size());
+    if (mean_rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return fitHours / mean_rate;
+}
+
+double
+FitModel::worstCaseFit() const
+{
+    double total = 0.0;
+    for (const auto &entry : conf.structures)
+        total += conf.rawFitPerBit * entry.bits *
+                 (1.0 - entry.coverage);
+    return total;
+}
+
+void
+FitModel::setCoverage(core::Structure structure, double coverage)
+{
+    avf_assert(coverage >= 0.0 && coverage <= 1.0,
+               "coverage must lie in [0,1]");
+    for (auto &entry : conf.structures)
+        if (entry.structure == structure)
+            entry.coverage = coverage;
+}
+
+} // namespace avf::reliability

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Soft-error reliability arithmetic connecting AVF to MTTF, following
+ * the sum-of-failure-rates (SOFR) model the paper relies on (Section
+ * 1, citing Li et al. [5]): each structure contributes a failure rate
+ *
+ *     FIT_i = rawFitPerBit * bits_i * AVF_i * (1 - coverage_i),
+ *
+ * where coverage models protection (parity+recovery, ECC, ...), and
+ *
+ *     MTTF = 1e9 hours / sum_i FIT_i.
+ *
+ * The raw FIT/bit is a technology constant; AVF is what this
+ * repository estimates online, which is exactly what makes dynamic
+ * MTTF tracking and AVF-aware protection provisioning possible.
+ */
+
+#ifndef AVF_RELIABILITY_FIT_MODEL_HH
+#define AVF_RELIABILITY_FIT_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/structures.hh"
+#include "cpu/config.hh"
+
+namespace avf::reliability
+{
+
+/** One structure's contribution to the chip failure rate. */
+struct StructureFit
+{
+    /** Which structure. */
+    core::Structure structure = core::Structure::IQ;
+    /** Raw (unmasked, unprotected) susceptible bits. */
+    double bits = 0.0;
+    /**
+     * Fraction of raw errors the protection scheme removes
+     * (0 = unprotected, 1 = fully protected, e.g. ECC ~ 0.99+).
+     */
+    double coverage = 0.0;
+};
+
+/** Technology + protection description of the modeled chip. */
+struct FitModelConfig
+{
+    /** Raw soft-error rate per bit, in FIT (failures / 1e9 hours). */
+    double rawFitPerBit = 1e-3;
+    /** Structures included in the SOFR sum. */
+    std::vector<StructureFit> structures;
+};
+
+/**
+ * Derive a default bit inventory from the machine configuration:
+ * 64-bit registers, ~128-bit issue-queue entries, and an effective
+ * latch count per functional unit.
+ */
+FitModelConfig defaultFitModel(const cpu::CpuConfig &machine);
+
+/** SOFR reliability calculator. */
+class FitModel
+{
+  public:
+    /** Build from @p config; fatal() on nonsensical values. */
+    explicit FitModel(FitModelConfig config);
+
+    /**
+     * Chip-level failure rate in FIT for one interval's AVFs.
+     *
+     * @param avf per-structure AVF, indexed by core::Structure
+     *        (entries for structures absent from the model are
+     *        ignored).
+     */
+    double
+    fit(const std::array<double, core::numStructures> &avf) const;
+
+    /** MTTF in hours for one interval's AVFs (SOFR). */
+    double
+    mttfHours(const std::array<double, core::numStructures> &avf)
+        const;
+
+    /**
+     * MTTF over a whole run: SOFR with the time-average failure rate
+     * across intervals (the standard handling of phased behaviour).
+     */
+    double mttfHoursOverRun(
+        const std::vector<std::array<double, core::numStructures>>
+            &avfSeries) const;
+
+    /**
+     * Worst-case (AVF-oblivious) failure rate: what a designer must
+     * assume without AVF knowledge — every bit ACE all the time.
+     */
+    double worstCaseFit() const;
+
+    /**
+     * Set the protection coverage of one structure (used by adaptive
+     * protection policies).
+     */
+    void setCoverage(core::Structure structure, double coverage);
+
+    /** The model's configuration. */
+    const FitModelConfig &config() const { return conf; }
+
+  private:
+    FitModelConfig conf;
+};
+
+} // namespace avf::reliability
+
+#endif // AVF_RELIABILITY_FIT_MODEL_HH

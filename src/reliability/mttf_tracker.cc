@@ -1,0 +1,70 @@
+#include "reliability/mttf_tracker.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace avf::reliability
+{
+
+namespace
+{
+constexpr double fitHours = 1e9;
+} // namespace
+
+MttfTracker::MttfTracker(FitModel model, double mttfGoalHours)
+    : fitModel(std::move(model)), goalHours(mttfGoalHours)
+{
+    avf_assert(goalHours > 0.0, "MTTF goal must be positive");
+}
+
+void
+MttfTracker::observe(
+    const std::array<double, core::numStructures> &avf)
+{
+    double rate = fitModel.fit(avf);
+    fitSeries.push_back(rate);
+    fitSum += rate;
+}
+
+double
+MttfTracker::currentFit() const
+{
+    return fitSeries.empty() ? 0.0 : fitSeries.back();
+}
+
+double
+MttfTracker::averageFit() const
+{
+    return fitSeries.empty()
+        ? 0.0
+        : fitSum / static_cast<double>(fitSeries.size());
+}
+
+double
+MttfTracker::projectedMttfHours() const
+{
+    double rate = averageFit();
+    if (rate <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return fitHours / rate;
+}
+
+bool
+MttfTracker::meetsGoal() const
+{
+    return projectedMttfHours() >= goalHours;
+}
+
+double
+MttfTracker::requiredCoverage() const
+{
+    double rate = averageFit();
+    double goal_rate = fitHours / goalHours;
+    if (rate <= goal_rate)
+        return 0.0;
+    double coverage = 1.0 - goal_rate / rate;
+    return coverage > 1.0 ? 1.0 : coverage;
+}
+
+} // namespace avf::reliability

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dynamic MTTF tracking on top of the online AVF estimates: fold each
+ * estimation interval's AVFs into a running failure-rate average,
+ * compare against an MTTF goal, and recommend a protection coverage
+ * that would meet the goal — the control loop the paper's
+ * introduction motivates ("more protection during highly vulnerable
+ * periods and less during less vulnerable periods").
+ */
+
+#ifndef AVF_RELIABILITY_MTTF_TRACKER_HH
+#define AVF_RELIABILITY_MTTF_TRACKER_HH
+
+#include <array>
+#include <vector>
+
+#include "reliability/fit_model.hh"
+
+namespace avf::reliability
+{
+
+/** Rolling MTTF accounting over estimation intervals. */
+class MttfTracker
+{
+  public:
+    /**
+     * @param model failure-rate model (copied).
+     * @param mttfGoalHours reliability target.
+     */
+    MttfTracker(FitModel model, double mttfGoalHours);
+
+    /** Fold in one interval's per-structure AVFs. */
+    void observe(const std::array<double, core::numStructures> &avf);
+
+    /** Intervals observed. */
+    std::size_t intervals() const { return fitSeries.size(); }
+
+    /** Failure rate of the latest interval (FIT). */
+    double currentFit() const;
+
+    /** Running-average failure rate (FIT). */
+    double averageFit() const;
+
+    /** MTTF implied by the running-average failure rate (hours). */
+    double projectedMttfHours() const;
+
+    /** True while the projection meets the goal. */
+    bool meetsGoal() const;
+
+    /**
+     * Uniform protection coverage (applied to every structure) that
+     * would bring the running-average failure rate to the goal;
+     * 0 when none is needed, capped at 1.
+     */
+    double requiredCoverage() const;
+
+    /** Per-interval FIT history. */
+    const std::vector<double> &history() const { return fitSeries; }
+
+    /** The underlying model. */
+    const FitModel &model() const { return fitModel; }
+
+  private:
+    FitModel fitModel;
+    double goalHours;
+    std::vector<double> fitSeries;
+    double fitSum = 0.0;
+};
+
+} // namespace avf::reliability
+
+#endif // AVF_RELIABILITY_MTTF_TRACKER_HH

@@ -1,0 +1,68 @@
+#include "stats/error_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace avf::stats
+{
+
+ErrorSummary
+summarizeErrors(const std::vector<double> &errors, std::size_t excludeTop)
+{
+    ErrorSummary out;
+    out.count = errors.size();
+    if (errors.empty())
+        return out;
+
+    RunningStats acc;
+    for (double e : errors)
+        acc.add(e);
+    out.mean = acc.mean();
+    out.stddev = acc.stddev();
+    out.maxAll = acc.max();
+
+    std::vector<double> sorted(errors);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() > excludeTop)
+        out.maxExcl = sorted[sorted.size() - excludeTop - 1];
+    else
+        out.maxExcl = sorted.front();
+    return out;
+}
+
+std::vector<double>
+absoluteErrors(const std::vector<double> &estimate,
+               const std::vector<double> &reference)
+{
+    avf_assert(estimate.size() == reference.size(),
+               "series length mismatch: %zu vs %zu",
+               estimate.size(), reference.size());
+    std::vector<double> out;
+    out.reserve(estimate.size());
+    for (std::size_t i = 0; i < estimate.size(); ++i)
+        out.push_back(std::fabs(estimate[i] - reference[i]));
+    return out;
+}
+
+std::vector<double>
+relativeErrors(const std::vector<double> &estimate,
+               const std::vector<double> &reference, double floor)
+{
+    avf_assert(estimate.size() == reference.size(),
+               "series length mismatch: %zu vs %zu",
+               estimate.size(), reference.size());
+    std::vector<double> out;
+    out.reserve(estimate.size());
+    for (std::size_t i = 0; i < estimate.size(); ++i) {
+        if (reference[i] < floor)
+            continue;
+        out.push_back(std::fabs(estimate[i] - reference[i]) /
+                      reference[i] * 100.0);
+    }
+    return out;
+}
+
+} // namespace avf::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The exact error metrics the paper reports in Figure 3 and Figure 5:
+ * per-(application, structure) absolute and relative error of an
+ * estimator against the SoftArch reference, summarized as mean,
+ * standard deviation, and maximum with the top four outliers excluded.
+ */
+
+#ifndef AVF_STATS_ERROR_METRICS_HH
+#define AVF_STATS_ERROR_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace avf::stats
+{
+
+/** Summary of one error series, matching the stacks in Figure 3. */
+struct ErrorSummary
+{
+    /** Mean of the per-interval errors. */
+    double mean = 0.0;
+    /** Sample standard deviation of the per-interval errors. */
+    double stddev = 0.0;
+    /**
+     * Maximum error with the top @c excluded samples dropped ("Max" in
+     * the paper, which ignores the top four errors as unrepresentative
+     * outliers).
+     */
+    double maxExcl = 0.0;
+    /** True maximum (no exclusion), for reference. */
+    double maxAll = 0.0;
+    /** Number of samples summarized. */
+    std::size_t count = 0;
+};
+
+/**
+ * Summarize a series of error values.
+ *
+ * @param errors per-interval error values (absolute or relative).
+ * @param excludeTop how many of the largest values to exclude from
+ *        maxExcl (the paper uses 4).
+ */
+ErrorSummary summarizeErrors(const std::vector<double> &errors,
+                             std::size_t excludeTop = 4);
+
+/**
+ * Per-interval absolute errors |estimate - reference|.
+ * Both series must be the same length.
+ */
+std::vector<double> absoluteErrors(const std::vector<double> &estimate,
+                                   const std::vector<double> &reference);
+
+/**
+ * Per-interval relative errors |estimate - reference| / reference * 100
+ * (in percent, matching the paper's definition). Intervals where the
+ * reference AVF is below @p floor are skipped to avoid division blowup
+ * (the paper notes tiny AVFs inflate relative error).
+ */
+std::vector<double> relativeErrors(const std::vector<double> &estimate,
+                                   const std::vector<double> &reference,
+                                   double floor = 1e-6);
+
+} // namespace avf::stats
+
+#endif // AVF_STATS_ERROR_METRICS_HH

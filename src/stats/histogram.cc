@@ -1,0 +1,116 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace avf::stats
+{
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), binWidth((hi_ - lo_) / static_cast<double>(bins)),
+      counts(bins, 0)
+{
+    avf_assert(bins > 0, "histogram needs at least one bin");
+    avf_assert(hi_ > lo_, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total;
+    if (x < lo) {
+        ++under;
+        return;
+    }
+    if (x >= hi) {
+        ++over;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo) / binWidth);
+    if (idx >= counts.size())
+        idx = counts.size() - 1; // guard against FP edge rounding
+    ++counts[idx];
+}
+
+double
+Histogram::binLo(std::size_t idx) const
+{
+    return lo + binWidth * static_cast<double>(idx);
+}
+
+double
+Histogram::binHi(std::size_t idx) const
+{
+    return lo + binWidth * static_cast<double>(idx + 1);
+}
+
+double
+Histogram::cdfAt(std::size_t idx) const
+{
+    avf_assert(idx < counts.size(), "cdfAt bin out of range");
+    if (total == 0)
+        return 0.0;
+    std::uint64_t acc = under;
+    for (std::size_t i = 0; i <= idx; ++i)
+        acc += counts[i];
+    return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    auto target = static_cast<double>(total) * q;
+    double acc = static_cast<double>(under);
+    if (acc >= target)
+        return lo;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        acc += static_cast<double>(counts[i]);
+        if (acc >= target)
+            return binHi(i);
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+void
+EmpiricalCdf::ensureSorted()
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+EmpiricalCdf::at(double x)
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    return static_cast<double>(it - samples.begin()) /
+           static_cast<double>(samples.size());
+}
+
+double
+EmpiricalCdf::quantile(double q)
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    if (q <= 0.0)
+        return samples.front();
+    if (q >= 1.0)
+        return samples.back();
+    auto idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size())) - 1.0);
+    if (idx >= samples.size())
+        idx = samples.size() - 1;
+    return samples[idx];
+}
+
+} // namespace avf::stats

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fixed-bin histogram and empirical CDF support, used to reproduce the
+ * error-propagation-time distributions of Figure 2.
+ */
+
+#ifndef AVF_STATS_HISTOGRAM_HH
+#define AVF_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace avf::stats
+{
+
+/**
+ * Histogram over [lo, hi) with uniform bins; samples outside the range
+ * land in saturating under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param hi upper edge of the last bin (exclusive).
+     * @param bins number of uniform bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Fold a sample in. */
+    void add(double x);
+
+    /** Total samples (including under/overflow). */
+    std::uint64_t count() const { return total; }
+
+    /** Samples below the range. */
+    std::uint64_t underflow() const { return under; }
+
+    /** Samples at or above the upper edge. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Count in bin @p idx. */
+    std::uint64_t binCount(std::size_t idx) const { return counts[idx]; }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts.size(); }
+
+    /** Lower edge of bin @p idx. */
+    double binLo(std::size_t idx) const;
+
+    /** Upper edge of bin @p idx. */
+    double binHi(std::size_t idx) const;
+
+    /**
+     * Empirical CDF evaluated at the upper edge of bin @p idx:
+     * fraction of samples <= binHi(idx) (underflow included, overflow
+     * excluded from the numerator).
+     */
+    double cdfAt(std::size_t idx) const;
+
+    /**
+     * Smallest value v among bin upper edges with CDF(v) >= @p q; +inf
+     * when the quantile lies in the overflow region. @p q in [0, 1].
+     */
+    double quantile(double q) const;
+
+  private:
+    double lo;
+    double hi;
+    double binWidth;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * Exact empirical CDF built from retained samples; appropriate for the
+ * moderate sample counts of the propagation-time experiments.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Add one sample. */
+    void add(double x) { samples.push_back(x); sorted = false; }
+
+    /** Number of samples held. */
+    std::size_t count() const { return samples.size(); }
+
+    /** Fraction of samples <= @p x. */
+    double at(double x);
+
+    /** q-quantile (q in [0,1]); 0 when empty. */
+    double quantile(double q);
+
+  private:
+    void ensureSorted();
+
+    std::vector<double> samples;
+    bool sorted = true;
+};
+
+} // namespace avf::stats
+
+#endif // AVF_STATS_HISTOGRAM_HH

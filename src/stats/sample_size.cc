@@ -1,0 +1,38 @@
+#include "stats/sample_size.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace avf::stats
+{
+
+double
+bernoulliSigma(double avf)
+{
+    avf_assert(avf >= 0.0 && avf <= 1.0, "AVF must lie in [0,1]");
+    return std::sqrt(avf * (1.0 - avf));
+}
+
+double
+samplesNeeded(double avf, double sigma_xbar)
+{
+    avf_assert(sigma_xbar > 0.0, "target sigma must be positive");
+    double sigma = bernoulliSigma(avf);
+    return (sigma * sigma) / (sigma_xbar * sigma_xbar);
+}
+
+double
+samplesNeededConservative(double sigma_xbar)
+{
+    return samplesNeeded(0.5, sigma_xbar);
+}
+
+double
+predictedSigma(double avf, double n)
+{
+    avf_assert(n > 0.0, "sample count must be positive");
+    return bernoulliSigma(avf) / std::sqrt(n);
+}
+
+} // namespace avf::stats

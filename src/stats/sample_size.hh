@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The analytic sample-size model of Section 3.3: the online estimator
+ * draws N Bernoulli(AVF) samples; its standard error is
+ * sigma_X / sqrt(N) with sigma_X = sqrt(AVF * (1 - AVF)), so
+ *
+ *     N = AVF * (1 - AVF) / sigma_Xbar^2,
+ *
+ * with the conservative bound N = 0.25 / sigma_Xbar^2 at AVF = 0.5.
+ * These functions generate Figure 1 and the 2500 / 625 sample numbers
+ * quoted in the text.
+ */
+
+#ifndef AVF_STATS_SAMPLE_SIZE_HH
+#define AVF_STATS_SAMPLE_SIZE_HH
+
+namespace avf::stats
+{
+
+/** Standard deviation of a single Bernoulli(avf) injection outcome. */
+double bernoulliSigma(double avf);
+
+/**
+ * Samples needed so the estimator's standard deviation is at most
+ * @p sigma_xbar when the true AVF is @p avf (Equation 1).
+ */
+double samplesNeeded(double avf, double sigma_xbar);
+
+/**
+ * Conservative (workload-independent) sample count for a target
+ * estimator standard deviation: assumes the worst case AVF = 0.5.
+ */
+double samplesNeededConservative(double sigma_xbar);
+
+/**
+ * Predicted estimator standard deviation for @p n samples at a given
+ * true @p avf (the inverse relation, used by the N-sweep ablation).
+ */
+double predictedSigma(double avf, double n);
+
+} // namespace avf::stats
+
+#endif // AVF_STATS_SAMPLE_SIZE_HH

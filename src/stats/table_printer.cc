@@ -1,0 +1,105 @@
+#include "stats/table_printer.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace avf::stats
+{
+
+TablePrinter::TablePrinter(std::string title_) : title(std::move(title_))
+{}
+
+void
+TablePrinter::setHeader(std::vector<std::string> cols)
+{
+    header = std::move(cols);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    avf_assert(cells.size() == header.size(),
+               "row width %zu != header width %zu",
+               cells.size(), header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::FILE *out) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::fprintf(out, "\n== %s ==\n", title.c_str());
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::fprintf(out, "%-*s%s", static_cast<int>(widths[c]),
+                         cells[c].c_str(),
+                         c + 1 == cells.size() ? "" : "  ");
+        std::fprintf(out, "\n");
+    };
+    print_row(header);
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    for (std::size_t i = 0; i + 2 < total; ++i)
+        std::fputc('-', out);
+    std::fputc('\n', out);
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+std::string
+TablePrinter::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v);
+    return buf;
+}
+
+std::string
+TablePrinter::intNum(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+void
+printSeries(const std::string &title, const std::string &xLabel,
+            const std::vector<double> &xs,
+            const std::vector<std::string> &names,
+            const std::vector<std::vector<double>> &series, std::FILE *out)
+{
+    avf_assert(names.size() == series.size(),
+               "series/name count mismatch");
+    for (const auto &s : series)
+        avf_assert(s.size() == xs.size(), "series length mismatch");
+
+    std::fprintf(out, "\n== %s ==\n# %s", title.c_str(), xLabel.c_str());
+    for (const auto &name : names)
+        std::fprintf(out, "\t%s", name.c_str());
+    std::fprintf(out, "\n");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::fprintf(out, "%g", xs[i]);
+        for (const auto &s : series)
+            std::fprintf(out, "\t%.4f", s[i]);
+        std::fprintf(out, "\n");
+    }
+}
+
+} // namespace avf::stats

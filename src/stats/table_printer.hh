@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Plain-text table and series printers shared by all bench binaries so
+ * that reproduced tables and figures have a uniform, diffable format.
+ */
+
+#ifndef AVF_STATS_TABLE_PRINTER_HH
+#define AVF_STATS_TABLE_PRINTER_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace avf::stats
+{
+
+/**
+ * Column-aligned ASCII table. Add a header, then rows of the same
+ * width, then print. Cells are free-form strings; numeric helpers are
+ * provided for the common fixed-precision cases.
+ */
+class TablePrinter
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (defines table width). */
+    void setHeader(std::vector<std::string> cols);
+
+    /** Append a row; must match header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to @p out (defaults to stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Format a double with @p digits decimals. */
+    static std::string num(double v, int digits = 3);
+
+    /** Format a double as a percentage with @p digits decimals. */
+    static std::string pct(double v, int digits = 1);
+
+    /** Format an integer. */
+    static std::string intNum(long long v);
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Print an (x, series...) block suitable for feeding to gnuplot, used
+ * for the time-series figures (2 and 4).
+ *
+ * @param title caption.
+ * @param xLabel label of the x column.
+ * @param xs x values.
+ * @param names per-series names (same count as @p series).
+ * @param series each a vector the same length as @p xs.
+ * @param out destination stream.
+ */
+void printSeries(const std::string &title, const std::string &xLabel,
+                 const std::vector<double> &xs,
+                 const std::vector<std::string> &names,
+                 const std::vector<std::vector<double>> &series,
+                 std::FILE *out = stdout);
+
+} // namespace avf::stats
+
+#endif // AVF_STATS_TABLE_PRINTER_HH

@@ -1,0 +1,24 @@
+#include "trace/instruction.hh"
+
+namespace avf::trace
+{
+
+std::string_view
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMul: return "IntMul";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::BranchCond: return "BranchCond";
+      case OpClass::BranchUncond: return "BranchUncond";
+      case OpClass::Nop: return "Nop";
+      default: return "Unknown";
+    }
+}
+
+} // namespace avf::trace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The dynamic-instruction record consumed by the trace-driven CPU
+ * model. This mirrors what an Aria/MET-style trace carries: opcode
+ * class, architectural register operands, effective address, and
+ * branch outcome. The simulator is execution-free (like Turandot):
+ * values are never computed, only their timing and dataflow.
+ */
+
+#ifndef AVF_TRACE_INSTRUCTION_HH
+#define AVF_TRACE_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.hh"
+
+namespace avf::trace
+{
+
+/** Operation classes with distinct latency/unit bindings (Table 1). */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< 1-cycle integer op on the FXU
+    IntMul,     ///< 4-cycle pipelined multiply on the FXU
+    IntDiv,     ///< 35-cycle pipelined divide on the FXU
+    FpAlu,      ///< 5-cycle pipelined FP op on the FPU
+    FpDiv,      ///< 28-cycle pipelined FP divide on the FPU
+    Load,       ///< LSU; latency from the memory hierarchy
+    Store,      ///< LSU; commits at retirement
+    BranchCond, ///< conditional branch on the BR unit
+    BranchUncond, ///< unconditional branch on the BR unit
+    Nop,        ///< consumes a pipeline slot only
+    NumOpClasses
+};
+
+/** Number of architectural integer registers. */
+inline constexpr int numArchIntRegs = 32;
+/** Number of architectural floating-point registers. */
+inline constexpr int numArchFpRegs = 32;
+/** Total architectural registers (int block then fp block). */
+inline constexpr int numArchRegs = numArchIntRegs + numArchFpRegs;
+
+/** @return true if @p reg indexes the architectural FP block. */
+constexpr bool
+isFpReg(RegIndex reg)
+{
+    return reg >= numArchIntRegs && reg < numArchRegs;
+}
+
+/** Human-readable op-class name. */
+std::string_view opClassName(OpClass op);
+
+/** @return true for loads and stores. */
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** @return true for either branch flavor. */
+constexpr bool
+isBranch(OpClass op)
+{
+    return op == OpClass::BranchCond || op == OpClass::BranchUncond;
+}
+
+/** @return true for ops executed by the floating-point units. */
+constexpr bool
+isFpOp(OpClass op)
+{
+    return op == OpClass::FpAlu || op == OpClass::FpDiv;
+}
+
+/** One dynamic instruction as read from a trace. */
+struct TraceInstruction
+{
+    /** Instruction address (used by fetch and the branch predictor). */
+    Addr pc = 0;
+    /** Effective address for loads/stores; branch target for branches. */
+    Addr effAddr = 0;
+    /** Operation class. */
+    OpClass op = OpClass::Nop;
+    /** Source architectural registers; invalidReg when unused. */
+    std::array<RegIndex, 3> src{invalidReg, invalidReg, invalidReg};
+    /** Destination architectural register; invalidReg when none. */
+    RegIndex dest = invalidReg;
+    /** Access size in bytes for memory ops. */
+    std::uint8_t memSize = 8;
+    /** Branch outcome recorded in the trace. */
+    bool taken = false;
+
+    /** Count of valid source registers. */
+    int
+    numSrcs() const
+    {
+        int n = 0;
+        for (auto r : src)
+            if (r != invalidReg)
+                ++n;
+        return n;
+    }
+
+    /** True if this instruction writes a register. */
+    bool hasDest() const { return dest != invalidReg; }
+};
+
+} // namespace avf::trace
+
+#endif // AVF_TRACE_INSTRUCTION_HH

@@ -1,0 +1,391 @@
+#include "trace/spec_profiles.hh"
+
+#include "util/logging.hh"
+
+namespace avf::trace
+{
+
+namespace
+{
+
+/** Convenience: clone base params and apply a mutation lambda. */
+template <typename Fn>
+PhaseParams
+vary(const PhaseParams &base, Fn &&mutate)
+{
+    PhaseParams p = base;
+    mutate(p);
+    return p;
+}
+
+WorkloadProfile
+makeAmmp()
+{
+    // ammp: FP molecular dynamics; long, slowly-drifting phases;
+    // moderate cache pressure; fairly tight FP dependency chains.
+    WorkloadProfile w;
+    w.name = "ammp";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.55;
+    b.fpLoadFrac = 0.55;
+    b.loadFrac = 0.27;
+    b.storeFrac = 0.09;
+    b.branchFrac = 0.08;
+    b.deadFrac = 0.14;
+    b.depRecency = 0.45;
+    b.footprint = 2 * 1024 * 1024;
+    b.streamFrac = 0.6;
+    b.branchNoise = 0.04;
+    w.phases = {
+        {b, 28'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.35; p.deadFrac = 0.22; p.loadFrac = 0.33;
+            p.streamFrac = 0.35;
+        }), 18'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.62; p.depRecency = 0.6; p.deadFrac = 0.08;
+        }), 22'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeArt()
+{
+    // art: FP neural-net simulation; notoriously memory-bound (large
+    // footprint, poor locality); low IPC, long value lifetimes in the
+    // IQ while loads miss.
+    WorkloadProfile w;
+    w.name = "art";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.50;
+    b.fpLoadFrac = 0.60;
+    b.loadFrac = 0.32;
+    b.storeFrac = 0.06;
+    b.branchFrac = 0.09;
+    b.deadFrac = 0.10;
+    b.depRecency = 0.35;
+    b.footprint = 6 * 1024 * 1024;
+    b.streamFrac = 0.35;
+    b.branchNoise = 0.02;
+    w.phases = {
+        {b, 24'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.streamFrac = 0.75; p.footprint = 512 * 1024;
+            p.deadFrac = 0.18;
+        }), 14'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeBzip2()
+{
+    // bzip2: integer compression; branchy, table-driven, alternating
+    // compress/decompress phases with different mixes.
+    WorkloadProfile w;
+    w.name = "bzip2";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.02;
+    b.fpLoadFrac = 0.01;
+    b.loadFrac = 0.26;
+    b.storeFrac = 0.11;
+    b.branchFrac = 0.15;
+    b.deadFrac = 0.16;
+    b.depRecency = 0.40;
+    b.footprint = 1 * 1024 * 1024;
+    b.streamFrac = 0.5;
+    b.branchNoise = 0.04;
+    b.numBranchSites = 128;
+    w.phases = {
+        {b, 20'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.branchFrac = 0.10; p.streamFrac = 0.8;
+            p.deadFrac = 0.10; p.depRecency = 0.55;
+        }), 16'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.deadFrac = 0.25; p.loadFrac = 0.31;
+        }), 12'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeEquake()
+{
+    // equake: FP earthquake simulation; sparse-matrix memory bound
+    // with irregular access, low FXU utilization but the FXU work that
+    // exists is mostly address arithmetic feeding loads (ACE).
+    WorkloadProfile w;
+    w.name = "equake";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.45;
+    b.fpLoadFrac = 0.55;
+    b.loadFrac = 0.33;
+    b.storeFrac = 0.07;
+    b.branchFrac = 0.08;
+    b.deadFrac = 0.12;
+    b.depRecency = 0.40;
+    b.footprint = 8 * 1024 * 1024;
+    b.streamFrac = 0.45;
+    b.branchNoise = 0.03;
+    w.phases = {
+        {b, 26'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.2; p.deadFrac = 0.2; p.footprint = 256 * 1024;
+            p.streamFrac = 0.85;
+        }), 10'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeFacerec()
+{
+    // facerec: FP image processing with pronounced phase behaviour
+    // (FFT-like passes alternating with correlation passes).
+    WorkloadProfile w;
+    w.name = "facerec";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.50;
+    b.fpLoadFrac = 0.50;
+    b.loadFrac = 0.28;
+    b.storeFrac = 0.08;
+    b.branchFrac = 0.07;
+    b.deadFrac = 0.12;
+    b.depRecency = 0.50;
+    b.footprint = 1 * 1024 * 1024;
+    b.streamFrac = 0.8;
+    b.branchNoise = 0.02;
+    w.phases = {
+        {b, 14'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.65; p.deadFrac = 0.06; p.depRecency = 0.6;
+        }), 12'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.15; p.deadFrac = 0.3; p.loadFrac = 0.35;
+        }), 10'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeLucas()
+{
+    // lucas: FP number theory (Lucas-Lehmer); highly regular,
+    // streaming FFT-style access, high FPU utilization, few branches.
+    WorkloadProfile w;
+    w.name = "lucas";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.62;
+    b.fpLoadFrac = 0.70;
+    b.loadFrac = 0.26;
+    b.storeFrac = 0.10;
+    b.branchFrac = 0.04;
+    b.deadFrac = 0.08;
+    b.depRecency = 0.55;
+    b.footprint = 8 * 1024 * 1024;
+    b.streamFrac = 0.9;
+    b.streamStride = 16;
+    b.branchNoise = 0.01;
+    w.phases = {
+        {b, 32'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.footprint = 512 * 1024; p.fpFrac = 0.55;
+            p.deadFrac = 0.13;
+        }), 16'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeMesa()
+{
+    // mesa: software 3D rendering; mixed int/FP with strong phase
+    // swings (geometry vs rasterization) — the left column of
+    // Figure 4, where AVF oscillates substantially.
+    WorkloadProfile w;
+    w.name = "mesa";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.35;
+    b.fpLoadFrac = 0.35;
+    b.loadFrac = 0.25;
+    b.storeFrac = 0.12;
+    b.branchFrac = 0.11;
+    b.deadFrac = 0.18;
+    b.depRecency = 0.42;
+    b.footprint = 512 * 1024;
+    b.streamFrac = 0.65;
+    b.branchNoise = 0.05;
+    w.phases = {
+        {b, 11'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.55; p.deadFrac = 0.07; p.depRecency = 0.6;
+            p.branchFrac = 0.06;
+        }), 9'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.08; p.deadFrac = 0.32; p.branchFrac = 0.16;
+            p.loadFrac = 0.3;
+        }), 8'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.45; p.deadFrac = 0.12; p.footprint = 3 * 1024 * 1024;
+            p.streamFrac = 0.3;
+        }), 9'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makePerlbmk()
+{
+    // perlbmk: perl interpreter; very branchy integer code with many
+    // speculatively-computed and quickly-dead values — the benchmark
+    // where the paper's utilization-based FXU estimate errs by > 0.16
+    // because busy != ACE.
+    WorkloadProfile w;
+    w.name = "perlbmk";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.01;
+    b.fpLoadFrac = 0.01;
+    b.loadFrac = 0.27;
+    b.storeFrac = 0.13;
+    b.branchFrac = 0.18;
+    b.deadFrac = 0.38;
+    b.depRecency = 0.30;
+    b.footprint = 768 * 1024;
+    b.streamFrac = 0.3;
+    b.branchNoise = 0.05;
+    b.numBranchSites = 256;
+    w.phases = {
+        {b, 18'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.deadFrac = 0.25; p.branchFrac = 0.13;
+            p.depRecency = 0.45;
+        }), 12'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeSixtrack()
+{
+    // sixtrack: particle-accelerator tracking; dense FP compute,
+    // small working set, high IPC, almost everything ACE.
+    WorkloadProfile w;
+    w.name = "sixtrack";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.65;
+    b.fpLoadFrac = 0.70;
+    b.loadFrac = 0.22;
+    b.storeFrac = 0.08;
+    b.branchFrac = 0.05;
+    b.deadFrac = 0.05;
+    b.depRecency = 0.55;
+    b.footprint = 128 * 1024;
+    b.streamFrac = 0.85;
+    b.branchNoise = 0.01;
+    w.phases = {
+        {b, 36'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.fpFrac = 0.45; p.deadFrac = 0.12;
+        }), 12'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeSwim()
+{
+    // swim: shallow-water modeling; classic streaming FP kernel,
+    // memory bandwidth bound, long stretches of identical behaviour.
+    WorkloadProfile w;
+    w.name = "swim";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.58;
+    b.fpLoadFrac = 0.75;
+    b.loadFrac = 0.30;
+    b.storeFrac = 0.12;
+    b.branchFrac = 0.03;
+    b.deadFrac = 0.07;
+    b.depRecency = 0.50;
+    b.footprint = 16 * 1024 * 1024;
+    b.streamFrac = 0.95;
+    b.streamStride = 8;
+    b.numStreams = 6;
+    b.branchNoise = 0.01;
+    w.phases = {
+        {b, 28'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.storeFrac = 0.2; p.loadFrac = 0.22; p.fpFrac = 0.5;
+        }), 14'000'000},
+    };
+    return w;
+}
+
+WorkloadProfile
+makeWupwise()
+{
+    // wupwise: lattice-QCD; FP dominated with moderate deadness from
+    // complex-arithmetic temporaries (utilization overestimates AVF
+    // by ~0.1 in the paper).
+    WorkloadProfile w;
+    w.name = "wupwise";
+    PhaseParams &b = w.base;
+    b.fpFrac = 0.55;
+    b.fpLoadFrac = 0.60;
+    b.loadFrac = 0.26;
+    b.storeFrac = 0.09;
+    b.branchFrac = 0.06;
+    b.deadFrac = 0.24;
+    b.depRecency = 0.45;
+    b.footprint = 4 * 1024 * 1024;
+    b.streamFrac = 0.7;
+    b.branchNoise = 0.02;
+    w.phases = {
+        {b, 22'000'000},
+        {vary(b, [](PhaseParams &p) {
+            p.deadFrac = 0.12; p.fpFrac = 0.65; p.streamFrac = 0.85;
+        }), 16'000'000},
+    };
+    return w;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "ammp", "art", "bzip2", "equake", "facerec", "lucas",
+        "mesa", "perlbmk", "sixtrack", "swim", "wupwise",
+    };
+    return names;
+}
+
+WorkloadProfile
+specProfile(const std::string &name)
+{
+    if (name == "ammp") return makeAmmp();
+    if (name == "art") return makeArt();
+    if (name == "bzip2") return makeBzip2();
+    if (name == "equake") return makeEquake();
+    if (name == "facerec") return makeFacerec();
+    if (name == "lucas") return makeLucas();
+    if (name == "mesa") return makeMesa();
+    if (name == "perlbmk") return makePerlbmk();
+    if (name == "sixtrack") return makeSixtrack();
+    if (name == "swim") return makeSwim();
+    if (name == "wupwise") return makeWupwise();
+    fatal("unknown SPEC profile '%s'", name.c_str());
+}
+
+std::vector<WorkloadProfile>
+allSpecProfiles()
+{
+    std::vector<WorkloadProfile> out;
+    for (const auto &name : specBenchmarkNames())
+        out.push_back(specProfile(name));
+    return out;
+}
+
+} // namespace avf::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Synthetic stand-ins for the eleven SPEC CPU2000 benchmarks the paper
+ * evaluates (ammp, art, bzip2, equake, facerec, lucas, mesa, perlbmk,
+ * sixtrack, swim, wupwise). Each profile encodes the published
+ * character of the benchmark — instruction mix, memory-boundedness,
+ * branchiness, dead-value behaviour — plus a phase schedule that makes
+ * the AVF move across estimation intervals the way Figure 4 shows.
+ *
+ * These are substitutions for the IBM Aria trace files (see DESIGN.md
+ * section 2): the absolute SPEC numbers are not reproducible without
+ * the traces, but the drivers of AVF (occupancy, deadness, ILP,
+ * utilization) are modeled per benchmark.
+ */
+
+#ifndef AVF_TRACE_SPEC_PROFILES_HH
+#define AVF_TRACE_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/workload_profile.hh"
+
+namespace avf::trace
+{
+
+/** The eleven benchmark names, in the paper's (alphabetical) order. */
+const std::vector<std::string> &specBenchmarkNames();
+
+/**
+ * Profile for one benchmark.
+ * @param name one of specBenchmarkNames(); fatal() otherwise.
+ */
+WorkloadProfile specProfile(const std::string &name);
+
+/** All eleven profiles in order. */
+std::vector<WorkloadProfile> allSpecProfiles();
+
+} // namespace avf::trace
+
+#endif // AVF_TRACE_SPEC_PROFILES_HH

@@ -1,0 +1,105 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace avf::trace
+{
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    // Reserve header space; rewritten with the true count on close().
+    TraceFileHeader header;
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::append(const TraceInstruction &instr)
+{
+    avf_assert(file != nullptr, "append() after close()");
+    TraceFileRecord rec{};
+    rec.pc = instr.pc;
+    rec.effAddr = instr.effAddr;
+    rec.src0 = instr.src[0];
+    rec.src1 = instr.src[1];
+    rec.src2 = instr.src[2];
+    rec.dest = instr.dest;
+    rec.op = static_cast<std::uint8_t>(instr.op);
+    rec.memSize = instr.memSize;
+    rec.taken = instr.taken ? 1 : 0;
+    if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
+        fatal("short write while appending trace record");
+    ++written;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file)
+        return;
+    TraceFileHeader header;
+    header.count = written;
+    std::fseek(file, 0, SEEK_SET);
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1)
+        fatal("cannot finalize trace header");
+    std::fclose(file);
+    file = nullptr;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path, bool loop)
+    : looping(loop)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    if (std::fread(&header, sizeof(header), 1, file) != 1)
+        fatal("cannot read trace header from '%s'", path.c_str());
+    if (header.magic != TraceFileHeader().magic)
+        fatal("'%s' is not an AVF trace file", path.c_str());
+    if (header.version != TraceFileHeader().version)
+        fatal("unsupported trace version %u in '%s'",
+              header.version, path.c_str());
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceFileReader::next(TraceInstruction &out)
+{
+    if (position >= header.count) {
+        if (!looping || header.count == 0)
+            return false;
+        std::fseek(file, sizeof(TraceFileHeader), SEEK_SET);
+        position = 0;
+    }
+    TraceFileRecord rec;
+    if (std::fread(&rec, sizeof(rec), 1, file) != 1)
+        fatal("truncated trace file (record %llu of %llu)",
+              static_cast<unsigned long long>(position),
+              static_cast<unsigned long long>(header.count));
+    ++position;
+    out.pc = rec.pc;
+    out.effAddr = rec.effAddr;
+    out.src = {rec.src0, rec.src1, rec.src2};
+    out.dest = rec.dest;
+    out.op = static_cast<OpClass>(rec.op);
+    out.memSize = rec.memSize;
+    out.taken = rec.taken != 0;
+    return true;
+}
+
+} // namespace avf::trace

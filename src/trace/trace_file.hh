@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary trace-file format: a small fixed header followed by packed
+ * instruction records. Lets users capture a synthetic workload once
+ * and replay it exactly (the role SPEC trace files play in the paper).
+ */
+
+#ifndef AVF_TRACE_TRACE_FILE_HH
+#define AVF_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/trace_source.hh"
+
+namespace avf::trace
+{
+
+/** On-disk header of a .avftrace file. */
+struct TraceFileHeader
+{
+    /** Magic constant "AVFT" + version. */
+    std::uint32_t magic = 0x41564654; // 'AVFT'
+    /** Format version. */
+    std::uint32_t version = 1;
+    /** Number of instruction records that follow. */
+    std::uint64_t count = 0;
+};
+
+/** Packed on-disk instruction record (32 bytes). */
+struct TraceFileRecord
+{
+    std::uint64_t pc;
+    std::uint64_t effAddr;
+    std::int16_t src0;
+    std::int16_t src1;
+    std::int16_t src2;
+    std::int16_t dest;
+    std::uint8_t op;
+    std::uint8_t memSize;
+    std::uint8_t taken;
+    std::uint8_t pad[5];
+};
+static_assert(sizeof(TraceFileRecord) == 32, "record must stay packed");
+
+/** Streams instructions into a trace file. */
+class TraceFileWriter
+{
+  public:
+    /**
+     * Open @p path for writing; fatal() on failure.
+     */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one instruction. */
+    void append(const TraceInstruction &instr);
+
+    /** Finalize the header and close; implicit in the destructor. */
+    void close();
+
+    /** Records written so far. */
+    std::uint64_t count() const { return written; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t written = 0;
+};
+
+/** Replays a trace file as a TraceSource. */
+class TraceFileReader : public TraceSource
+{
+  public:
+    /**
+     * Open @p path; fatal() on open or format errors.
+     * @param loop rewind to the first record at end-of-trace.
+     */
+    explicit TraceFileReader(const std::string &path, bool loop = false);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    bool next(TraceInstruction &out) override;
+
+    /** Total records in the file. */
+    std::uint64_t count() const { return header.count; }
+
+  private:
+    std::FILE *file = nullptr;
+    TraceFileHeader header;
+    std::uint64_t position = 0;
+    bool looping;
+};
+
+} // namespace avf::trace
+
+#endif // AVF_TRACE_TRACE_FILE_HH

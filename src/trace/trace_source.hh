@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Abstract supplier of dynamic instructions to the CPU model, plus the
+ * trivial in-memory implementation used heavily by the tests.
+ */
+
+#ifndef AVF_TRACE_TRACE_SOURCE_HH
+#define AVF_TRACE_TRACE_SOURCE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace avf::trace
+{
+
+/**
+ * A stream of dynamic instructions. Sources may be finite (trace
+ * files, test vectors) or effectively infinite (synthetic generators).
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next instruction.
+     *
+     * @param out filled with the next instruction on success.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(TraceInstruction &out) = 0;
+};
+
+/** Replays a fixed vector of instructions, optionally in a loop. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param instrs instructions to replay.
+     * @param loop when true, wraps around forever.
+     */
+    explicit VectorTraceSource(std::vector<TraceInstruction> instrs,
+                               bool loop = false)
+        : instructions(std::move(instrs)), looping(loop)
+    {}
+
+    bool
+    next(TraceInstruction &out) override
+    {
+        if (position >= instructions.size()) {
+            if (!looping || instructions.empty())
+                return false;
+            position = 0;
+        }
+        out = instructions[position++];
+        return true;
+    }
+
+    /** Restart from the beginning. */
+    void rewind() { position = 0; }
+
+  private:
+    std::vector<TraceInstruction> instructions;
+    bool looping;
+    std::size_t position = 0;
+};
+
+} // namespace avf::trace
+
+#endif // AVF_TRACE_TRACE_SOURCE_HH

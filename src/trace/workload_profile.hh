@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parameter set describing a synthetic workload. Each of the paper's
+ * eleven SPEC CPU2000 benchmarks is modeled as a profile: an
+ * instruction mix, a dependency/deadness structure, branch behaviour,
+ * a memory footprint, and a schedule of phases that modulate those
+ * parameters over time (this is what makes AVF vary across intervals,
+ * as in Figure 4 of the paper).
+ */
+
+#ifndef AVF_TRACE_WORKLOAD_PROFILE_HH
+#define AVF_TRACE_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace avf::trace
+{
+
+/** Tunable workload parameters; one set is active at a time. */
+struct PhaseParams
+{
+    // --- instruction mix (fractions of all instructions; the
+    //     remainder after load/store/branch/nop is compute) ---
+    /** Fraction of instructions that are loads. */
+    double loadFrac = 0.25;
+    /** Fraction of instructions that are stores. */
+    double storeFrac = 0.10;
+    /** Fraction of instructions that are branches. */
+    double branchFrac = 0.12;
+    /** Fraction of instructions that are nops. */
+    double nopFrac = 0.02;
+    /** Of compute instructions, fraction executed on the FPU. */
+    double fpFrac = 0.10;
+    /** Of integer compute, fraction that are multiplies. */
+    double intMulFrac = 0.06;
+    /** Of integer compute, fraction that are divides. */
+    double intDivFrac = 0.01;
+    /** Of FP compute, fraction that are divides. */
+    double fpDivFrac = 0.03;
+    /** Of loads, fraction whose destination is an FP register. */
+    double fpLoadFrac = 0.10;
+
+    // --- dataflow structure ---
+    /**
+     * Probability that a produced value is dead (never read before
+     * being overwritten). Dead values are architecture-level masking:
+     * a fault in them cannot matter. Primary driver of the
+     * utilization-vs-AVF gap for FXU/FPU.
+     */
+    double deadFrac = 0.15;
+    /**
+     * Recency parameter of the geometric draw used to pick source
+     * values: higher means tighter dependency chains (less ILP, longer
+     * register lifetimes, higher REG AVF).
+     */
+    double depRecency = 0.35;
+
+    // --- control flow ---
+    /** Base probability a conditional branch is taken. */
+    double takenBias = 0.6;
+    /**
+     * Probability that a branch outcome deviates from its per-PC bias;
+     * drives the achievable branch-prediction accuracy.
+     */
+    double branchNoise = 0.05;
+    /** Number of distinct static branch sites. */
+    int numBranchSites = 64;
+    /** Fraction of branches that are unconditional. */
+    double uncondFrac = 0.15;
+
+    // --- memory behaviour ---
+    /** Data footprint in bytes (controls cache miss rates). */
+    std::uint64_t footprint = 256 * 1024;
+    /** Fraction of memory accesses that follow streaming strides. */
+    double streamFrac = 0.7;
+    /** Stride in bytes for the streaming accesses. */
+    std::uint32_t streamStride = 8;
+    /** Number of concurrent stream contexts. */
+    int numStreams = 4;
+    /** Number of distinct instruction-fetch regions (I-cache reach). */
+    std::uint64_t codeFootprint = 16 * 1024;
+};
+
+/** One phase: a parameter set active for a stretch of instructions. */
+struct WorkloadPhase
+{
+    /** Parameters in force during this phase. */
+    PhaseParams params;
+    /** Phase length in dynamic instructions. */
+    std::uint64_t lengthInstrs = 20'000'000;
+};
+
+/**
+ * A complete synthetic workload: named, seeded, and phased. When the
+ * phase list is empty the base parameters run forever; otherwise the
+ * schedule cycles through the phases.
+ */
+struct WorkloadProfile
+{
+    /** Benchmark name (also the default seed source). */
+    std::string name = "generic";
+    /** PRNG seed; 0 means "derive from the name". */
+    std::uint64_t seed = 0;
+    /** Parameters used when no phase is active / list is empty. */
+    PhaseParams base;
+    /** Cyclic phase schedule. */
+    std::vector<WorkloadPhase> phases;
+};
+
+} // namespace avf::trace
+
+#endif // AVF_TRACE_WORKLOAD_PROFILE_HH

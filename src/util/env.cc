@@ -1,0 +1,39 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace avf
+{
+
+std::int64_t
+envInt(const char *name, std::int64_t fallback)
+{
+    const char *val = std::getenv(name);
+    if (!val || !*val)
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(val, &end, 10);
+    if (end == val || (end && *end != '\0'))
+        return fallback;
+    return parsed;
+}
+
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *val = std::getenv(name);
+    return (val && *val) ? std::string(val) : fallback;
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *val = std::getenv(name);
+    if (!val)
+        return false;
+    return std::strcmp(val, "1") == 0 || std::strcmp(val, "true") == 0 ||
+           std::strcmp(val, "yes") == 0 || std::strcmp(val, "on") == 0;
+}
+
+} // namespace avf

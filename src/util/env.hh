@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Environment-variable helpers used by benches to scale experiment
+ * sizes (e.g. AVF_INTERVALS, AVF_FAST) without recompiling.
+ */
+
+#ifndef AVF_UTIL_ENV_HH
+#define AVF_UTIL_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace avf
+{
+
+/** @return env var value as i64, or fallback if unset/unparsable. */
+std::int64_t envInt(const char *name, std::int64_t fallback);
+
+/** @return env var value, or fallback if unset. */
+std::string envString(const char *name, const std::string &fallback);
+
+/** @return true if the env var is set to a truthy value (1/true/yes). */
+bool envFlag(const char *name);
+
+} // namespace avf
+
+#endif // AVF_UTIL_ENV_HH

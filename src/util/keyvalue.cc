@@ -1,0 +1,179 @@
+#include "util/keyvalue.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "util/logging.hh"
+
+namespace avf
+{
+
+namespace
+{
+
+constexpr char separator = '\x1f';
+
+std::string
+trim(const std::string &text)
+{
+    auto begin = text.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    auto end = text.find_last_not_of(" \t\r");
+    return text.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+KeyValueFile
+KeyValueFile::fromFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        text.append(buf, got);
+    std::fclose(file);
+
+    KeyValueFile out;
+    out.parse(text, path);
+    return out;
+}
+
+KeyValueFile
+KeyValueFile::fromString(const std::string &text)
+{
+    KeyValueFile out;
+    out.parse(text, "<string>");
+    return out;
+}
+
+void
+KeyValueFile::parse(const std::string &text, const std::string &origin)
+{
+    std::string section;
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = trim(text.substr(pos, eol - pos));
+        pos = eol + 1;
+        ++line_no;
+
+        if (line.empty() || line[0] == '#' || line[0] == ';')
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                fatal("%s:%zu: malformed section header '%s'",
+                      origin.c_str(), line_no, line.c_str());
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+        auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("%s:%zu: expected 'key = value', got '%s'",
+                  origin.c_str(), line_no, line.c_str());
+        std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            fatal("%s:%zu: empty key", origin.c_str(), line_no);
+        values[section + separator + key] = value;
+    }
+}
+
+bool
+KeyValueFile::has(const std::string &section,
+                  const std::string &key) const
+{
+    return values.count(section + separator + key) > 0;
+}
+
+std::string
+KeyValueFile::getString(const std::string &section,
+                        const std::string &key,
+                        const std::string &fallback) const
+{
+    auto it = values.find(section + separator + key);
+    return it == values.end() ? fallback : it->second;
+}
+
+std::int64_t
+KeyValueFile::getInt(const std::string &section,
+                     const std::string &key,
+                     std::int64_t fallback) const
+{
+    auto it = values.find(section + separator + key);
+    if (it == values.end())
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config [%s] %s: '%s' is not an integer",
+              section.c_str(), key.c_str(), it->second.c_str());
+    return parsed;
+}
+
+double
+KeyValueFile::getDouble(const std::string &section,
+                        const std::string &key, double fallback) const
+{
+    auto it = values.find(section + separator + key);
+    if (it == values.end())
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("config [%s] %s: '%s' is not a number",
+              section.c_str(), key.c_str(), it->second.c_str());
+    return parsed;
+}
+
+bool
+KeyValueFile::getBool(const std::string &section,
+                      const std::string &key, bool fallback) const
+{
+    auto it = values.find(section + separator + key);
+    if (it == values.end())
+        return fallback;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("config [%s] %s: '%s' is not a boolean", section.c_str(),
+          key.c_str(), it->second.c_str());
+}
+
+std::vector<std::string>
+KeyValueFile::keysIn(const std::string &section) const
+{
+    std::vector<std::string> out;
+    std::string prefix = section + separator;
+    for (const auto &[full, value] : values) {
+        (void)value;
+        if (full.rfind(prefix, 0) == 0)
+            out.push_back(full.substr(prefix.size()));
+    }
+    return out;
+}
+
+std::vector<std::string>
+KeyValueFile::sections() const
+{
+    std::set<std::string> seen;
+    for (const auto &[full, value] : values) {
+        (void)value;
+        seen.insert(full.substr(0, full.find(separator)));
+    }
+    return {seen.begin(), seen.end()};
+}
+
+} // namespace avf

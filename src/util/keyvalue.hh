@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal INI-style configuration parser: `[section]` headers,
+ * `key = value` lines, `#` or `;` comments. Used to configure
+ * machines, workloads, and estimator geometry from files.
+ */
+
+#ifndef AVF_UTIL_KEYVALUE_HH
+#define AVF_UTIL_KEYVALUE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace avf
+{
+
+/** Parsed key/value configuration with sections. */
+class KeyValueFile
+{
+  public:
+    KeyValueFile() = default;
+
+    /** Parse @p path; fatal() on open or syntax errors. */
+    static KeyValueFile fromFile(const std::string &path);
+
+    /** Parse @p text (tests); fatal() on syntax errors. */
+    static KeyValueFile fromString(const std::string &text);
+
+    /** True if `[section] key` exists. */
+    bool has(const std::string &section,
+             const std::string &key) const;
+
+    /** String value or @p fallback. */
+    std::string getString(const std::string &section,
+                          const std::string &key,
+                          const std::string &fallback = "") const;
+
+    /** Integer value or @p fallback; fatal() on parse failure. */
+    std::int64_t getInt(const std::string &section,
+                        const std::string &key,
+                        std::int64_t fallback) const;
+
+    /** Double value or @p fallback; fatal() on parse failure. */
+    double getDouble(const std::string &section,
+                     const std::string &key, double fallback) const;
+
+    /** Boolean value (true/false/1/0/yes/no) or @p fallback. */
+    bool getBool(const std::string &section, const std::string &key,
+                 bool fallback) const;
+
+    /** All keys present in @p section (for unknown-key warnings). */
+    std::vector<std::string> keysIn(const std::string &section) const;
+
+    /** All section names. */
+    std::vector<std::string> sections() const;
+
+  private:
+    void parse(const std::string &text, const std::string &origin);
+
+    /** "section\x1fkey" -> value. */
+    std::map<std::string, std::string> values;
+};
+
+} // namespace avf
+
+#endif // AVF_UTIL_KEYVALUE_HH

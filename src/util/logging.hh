@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 spirit: panic() for internal
+ * invariant violations (aborts), fatal() for user/configuration errors
+ * (clean exit), warn()/inform() for status messages.
+ */
+
+#ifndef AVF_UTIL_LOGGING_HH
+#define AVF_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace avf
+{
+
+/**
+ * Report an internal simulator bug and abort. Use only for conditions
+ * that can never happen regardless of user input.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error (bad configuration, bad
+ * arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() are currently silenced. */
+bool isQuiet();
+
+/**
+ * Backend for avf_assert: reports condition and location, then the
+ * formatted message, and aborts.
+ */
+[[noreturn]] void panicAt(const char *file, int line, const char *cond,
+                          const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Assert a simulator invariant; panics with the message on failure.
+ * Unlike assert(), stays on in release builds: the simulator's
+ * correctness arguments depend on these checks. A printf-style
+ * message is required.
+ */
+#define avf_assert(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::avf::panicAt(__FILE__, __LINE__, #cond, __VA_ARGS__);     \
+        }                                                               \
+    } while (0)
+
+} // namespace avf
+
+#endif // AVF_UTIL_LOGGING_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis
+ * and randomized-injection experiments.
+ *
+ * We use xoshiro256** (public domain, Blackman & Vigna) seeded through
+ * SplitMix64 so that a single 64-bit seed fully determines a stream.
+ * Determinism matters: every experiment in this repository is
+ * reproducible from (benchmark name, seed).
+ */
+
+#ifndef AVF_UTIL_RANDOM_HH
+#define AVF_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace avf
+{
+
+/**
+ * xoshiro256** generator with convenience draws used throughout the
+ * workload generators and samplers.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) using Lemire rejection. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /**
+     * Geometric draw: number of failures before first success with
+     * success probability p (p clamped to (0,1]); bounded by cap.
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+
+    /** Approximately normal draw (sum of uniforms), mean 0, sd 1. */
+    double gaussian();
+
+  private:
+    std::uint64_t s[4];
+};
+
+/** Stable 64-bit hash of a string (FNV-1a), for name -> seed mapping. */
+std::uint64_t hashString(std::string_view str);
+
+} // namespace avf
+
+#endif // AVF_UTIL_RANDOM_HH

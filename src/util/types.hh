@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental typedefs shared across the simulator and the AVF estimators.
+ */
+
+#ifndef AVF_UTIL_TYPES_HH
+#define AVF_UTIL_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace avf
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Dynamic-instruction sequence number (monotonic over a run). */
+using InstrSeq = std::uint64_t;
+
+/** Simulated byte address. */
+using Addr = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::int16_t;
+
+/** Sentinel for "no register". */
+inline constexpr RegIndex invalidReg = -1;
+
+/** Sentinel for "no sequence number yet". */
+inline constexpr InstrSeq invalidSeq =
+    std::numeric_limits<InstrSeq>::max();
+
+/** Sentinel cycle meaning "never happened / not yet". */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+} // namespace avf
+
+#endif // AVF_UTIL_TYPES_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the branch predictor: bimodal learning, saturation,
+ * aliasing behaviour, gshare history effects, and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_predictor.hh"
+
+namespace
+{
+
+using avf::cpu::BranchPredictor;
+
+TEST(BranchPredictor, LearnsABiasedBranch)
+{
+    BranchPredictor bp(10, 0); // bimodal
+    // Counters start weakly not-taken: the first taken outcomes
+    // mispredict, then the counter saturates and tracks.
+    int wrong = 0;
+    for (int i = 0; i < 100; ++i)
+        wrong += bp.predictAndUpdate(0x1000, true) ? 0 : 1;
+    EXPECT_LE(wrong, 2); // only the warmup mispredicts
+    EXPECT_EQ(bp.stats().lookups, 100u);
+    EXPECT_GT(bp.stats().accuracy(), 0.97);
+}
+
+TEST(BranchPredictor, TracksBiasFlip)
+{
+    BranchPredictor bp(10, 0);
+    for (int i = 0; i < 50; ++i)
+        bp.predictAndUpdate(0x1000, true);
+    // Flip direction: 2-bit counters need two wrong outcomes to
+    // cross over, then follow.
+    int wrong = 0;
+    for (int i = 0; i < 50; ++i)
+        wrong += bp.predictAndUpdate(0x1000, false) ? 0 : 1;
+    EXPECT_LE(wrong, 3);
+}
+
+TEST(BranchPredictor, SeparateSitesSeparateCounters)
+{
+    BranchPredictor bp(10, 0);
+    for (int i = 0; i < 30; ++i) {
+        bp.predictAndUpdate(0x1000, true);
+        bp.predictAndUpdate(0x1004, false);
+    }
+    // Both sites should now predict correctly in one more round.
+    EXPECT_TRUE(bp.predictAndUpdate(0x1000, true));
+    EXPECT_TRUE(bp.predictAndUpdate(0x1004, false));
+}
+
+TEST(BranchPredictor, GshareLearnsAlternation)
+{
+    // With global history, a strictly alternating branch becomes
+    // perfectly predictable after warmup — the classic gshare win
+    // that bimodal cannot achieve.
+    BranchPredictor gshare(12, 8);
+    BranchPredictor bimodal(12, 0);
+    int gshare_wrong = 0, bimodal_wrong = 0;
+    for (int i = 0; i < 400; ++i) {
+        bool taken = (i % 2) == 0;
+        gshare_wrong += gshare.predictAndUpdate(0x1000, taken) ? 0 : 1;
+        bimodal_wrong +=
+            bimodal.predictAndUpdate(0x1000, taken) ? 0 : 1;
+    }
+    EXPECT_LT(gshare_wrong, 30);      // learns the pattern
+    EXPECT_GT(bimodal_wrong, 100);    // cannot
+}
+
+TEST(BranchPredictor, StatsClearKeepsTraining)
+{
+    BranchPredictor bp(10, 0);
+    for (int i = 0; i < 20; ++i)
+        bp.predictAndUpdate(0x1000, true);
+    bp.clearStats();
+    EXPECT_EQ(bp.stats().lookups, 0u);
+    // Training survived the stats reset.
+    EXPECT_TRUE(bp.predictAndUpdate(0x1000, true));
+}
+
+TEST(BranchPredictor, RejectsBadGeometry)
+{
+    EXPECT_DEATH(BranchPredictor(0, 0), "table bits");
+    EXPECT_DEATH(BranchPredictor(8, 12), "history longer");
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the key/value parser, the experiment-config loader, and
+ * the CSV/JSON/gnuplot exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/config_loader.hh"
+#include "harness/export.hh"
+#include "util/keyvalue.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::harness;
+
+// ---------------------------------------------------------------------
+// KeyValueFile
+// ---------------------------------------------------------------------
+
+TEST(KeyValue, ParsesSectionsAndTypes)
+{
+    auto kv = KeyValueFile::fromString(
+        "# comment\n"
+        "[alpha]\n"
+        "number = 42\n"
+        "ratio = 0.5\n"
+        "flag = yes\n"
+        "name = hello world\n"
+        "; another comment\n"
+        "[beta]\n"
+        "number = -7\n");
+    EXPECT_TRUE(kv.has("alpha", "number"));
+    EXPECT_FALSE(kv.has("alpha", "missing"));
+    EXPECT_EQ(kv.getInt("alpha", "number", 0), 42);
+    EXPECT_EQ(kv.getInt("beta", "number", 0), -7);
+    EXPECT_DOUBLE_EQ(kv.getDouble("alpha", "ratio", 0.0), 0.5);
+    EXPECT_TRUE(kv.getBool("alpha", "flag", false));
+    EXPECT_EQ(kv.getString("alpha", "name", ""), "hello world");
+    EXPECT_EQ(kv.getInt("alpha", "missing", 99), 99);
+}
+
+TEST(KeyValue, SectionlessKeysLiveInEmptySection)
+{
+    auto kv = KeyValueFile::fromString("top = 1\n[sec]\ninner = 2\n");
+    EXPECT_EQ(kv.getInt("", "top", 0), 1);
+    EXPECT_EQ(kv.getInt("sec", "inner", 0), 2);
+}
+
+TEST(KeyValue, KeysInAndSections)
+{
+    auto kv = KeyValueFile::fromString(
+        "[a]\nx = 1\ny = 2\n[b]\nz = 3\n");
+    auto keys = kv.keysIn("a");
+    EXPECT_EQ(keys.size(), 2u);
+    auto sections = kv.sections();
+    EXPECT_EQ(sections.size(), 2u);
+}
+
+TEST(KeyValue, MalformedInputIsFatal)
+{
+    EXPECT_DEATH(KeyValueFile::fromString("[unclosed\n"),
+                 "malformed section");
+    EXPECT_DEATH(KeyValueFile::fromString("novalue\n"),
+                 "expected 'key = value'");
+    EXPECT_DEATH(KeyValueFile::fromString("= 3\n"), "empty key");
+    auto kv = KeyValueFile::fromString("[a]\nx = notanumber\n");
+    EXPECT_DEATH(kv.getInt("a", "x", 0), "not an integer");
+    EXPECT_DEATH(kv.getBool("a", "x", false), "not a boolean");
+}
+
+TEST(KeyValue, MissingFileIsFatal)
+{
+    EXPECT_DEATH(KeyValueFile::fromFile("/nonexistent/file.ini"),
+                 "cannot open");
+}
+
+// ---------------------------------------------------------------------
+// Config loader
+// ---------------------------------------------------------------------
+
+TEST(ConfigLoader, DefaultsAreTable1)
+{
+    auto conf = loadExperimentConfig(KeyValueFile::fromString(""));
+    EXPECT_EQ(conf.profile.name, "mesa");
+    EXPECT_EQ(conf.cpu.intPhysRegs, 80);
+    EXPECT_EQ(conf.cpu.fpPhysRegs, 72);
+    EXPECT_EQ(conf.online.m, 1000u);
+    EXPECT_EQ(conf.online.n, 1000u);
+    EXPECT_EQ(conf.numIntervals, 100);
+}
+
+TEST(ConfigLoader, OverridesApply)
+{
+    auto conf = loadExperimentConfig(KeyValueFile::fromString(
+        "[experiment]\n"
+        "benchmark = swim\n"
+        "intervals = 7\n"
+        "[online]\n"
+        "m = 500\n"
+        "n = 200\n"
+        "randomize = true\n"
+        "[cpu]\n"
+        "fxu = 3\n"
+        "rob_entries = 64\n"
+        "[mem]\n"
+        "l2_kb = 512\n"
+        "mem_lat = 300\n"
+        "[workload]\n"
+        "dead_frac = 0.42\n"));
+    EXPECT_EQ(conf.profile.name, "swim");
+    EXPECT_EQ(conf.numIntervals, 7);
+    EXPECT_EQ(conf.online.m, 500u);
+    EXPECT_EQ(conf.online.n, 200u);
+    EXPECT_TRUE(conf.online.randomizeInjectionTiming);
+    EXPECT_EQ(conf.cpu.numFxu, 3);
+    EXPECT_EQ(conf.cpu.robEntries, 64);
+    EXPECT_EQ(conf.cpu.mem.l2.sizeBytes, 512u * 1024u);
+    EXPECT_EQ(conf.cpu.mem.memLatency, 300u);
+    EXPECT_DOUBLE_EQ(conf.profile.base.deadFrac, 0.42);
+    // Phase parameters receive the same override.
+    for (const auto &phase : conf.profile.phases)
+        EXPECT_DOUBLE_EQ(phase.params.deadFrac, 0.42);
+}
+
+TEST(ConfigLoader, RejectsBadValues)
+{
+    EXPECT_DEATH(loadExperimentConfig(KeyValueFile::fromString(
+                     "[experiment]\nbenchmark = doom\n")),
+                 "unknown benchmark");
+    EXPECT_DEATH(loadExperimentConfig(KeyValueFile::fromString(
+                     "[experiment]\nintervals = 0\n")),
+                 "intervals");
+    EXPECT_DEATH(loadExperimentConfig(KeyValueFile::fromString(
+                     "[cpu]\nint_regs = 8\n")),
+                 "physical registers");
+}
+
+TEST(ConfigLoader, GenericProfileSupported)
+{
+    auto conf = loadExperimentConfig(KeyValueFile::fromString(
+        "[experiment]\nbenchmark = generic\n"
+        "[workload]\nfp_frac = 0.9\n"));
+    EXPECT_EQ(conf.profile.name, "generic");
+    EXPECT_DOUBLE_EQ(conf.profile.base.fpFrac, 0.9);
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+ExperimentResult
+fakeResult()
+{
+    ExperimentResult result;
+    result.benchmark = "fake";
+    result.summary.ipc = 1.25;
+    result.summary.cycles = 1000;
+    result.summary.retired = 1250;
+    result.intervals.resize(2);
+    for (std::size_t k = 0; k < 2; ++k) {
+        for (int s = 0; s < core::numStructures; ++s) {
+            result.intervals[k].online[s] = 0.1 * (k + 1);
+            result.intervals[k].softarch[s] = 0.1 * (k + 1) + 0.01;
+        }
+        result.intervals[k].utilization = {0.5, 0.25};
+    }
+    return result;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Export, CsvRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "export.csv";
+    writeCsv(fakeResult(), path);
+    std::string text = slurp(path);
+    EXPECT_NE(text.find("interval,iq_online,iq_softarch"),
+              std::string::npos);
+    EXPECT_NE(text.find("fxu_util,fpu_util"), std::string::npos);
+    EXPECT_NE(text.find("0,0.100000,0.110000"), std::string::npos);
+    EXPECT_NE(text.find("1,0.200000,0.210000"), std::string::npos);
+    // Header + 2 data rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+    std::remove(path.c_str());
+}
+
+TEST(Export, JsonContainsSummaryAndSeries)
+{
+    std::string path = ::testing::TempDir() + "export.json";
+    writeJson(fakeResult(), path);
+    std::string text = slurp(path);
+    EXPECT_NE(text.find("\"benchmark\": \"fake\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"ipc\": 1.2500"), std::string::npos);
+    EXPECT_NE(text.find("\"intervals\": ["), std::string::npos);
+    EXPECT_NE(text.find("\"freg\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Export, GnuplotScriptReferencesCsv)
+{
+    std::string path = ::testing::TempDir() + "plot.gnuplot";
+    writeGnuplotScript("data.csv", path, "mesa");
+    std::string text = slurp(path);
+    EXPECT_NE(text.find("data.csv"), std::string::npos);
+    EXPECT_NE(text.find("multiplot"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Export, UnwritablePathIsFatal)
+{
+    EXPECT_DEATH(writeCsv(fakeResult(), "/nonexistent/dir/x.csv"),
+                 "cannot open");
+}
+
+} // namespace

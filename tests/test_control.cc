@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the dynamic-adaptation path: the dispatch throttle knob
+ * and the AVF-driven throttle controller (hysteresis, actuation, and
+ * the emergent AVF reduction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/online_estimator.hh"
+#include "core/throttle_controller.hh"
+#include "cpu/pipeline.hh"
+#include "softarch/ace_analyzer.hh"
+#include "test_helpers.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::core;
+using namespace avf::cpu;
+using namespace avf::testutil;
+
+TEST(DispatchThrottle, CapsDispatchWidth)
+{
+    CpuConfig conf;
+    trace::SyntheticTraceGenerator gen(
+        trace::specProfile("sixtrack"));
+    Pipeline pipe(conf, gen);
+    EXPECT_EQ(pipe.effectiveDispatchWidth(), conf.dispatchWidth);
+    pipe.setDispatchThrottle(2);
+    EXPECT_EQ(pipe.effectiveDispatchWidth(), 2);
+    pipe.setDispatchThrottle(0);
+    EXPECT_EQ(pipe.effectiveDispatchWidth(), conf.dispatchWidth);
+    // A cap above the configured width is a no-op.
+    pipe.setDispatchThrottle(50);
+    EXPECT_EQ(pipe.effectiveDispatchWidth(), conf.dispatchWidth);
+}
+
+TEST(DispatchThrottle, ReducesThroughput)
+{
+    auto run_ipc = [](int throttle) {
+        trace::SyntheticTraceGenerator gen(
+            trace::specProfile("sixtrack"));
+        Pipeline pipe(CpuConfig{}, gen);
+        if (throttle)
+            pipe.setDispatchThrottle(throttle);
+        pipe.run(50'000);
+        return pipe.stats().ipc();
+    };
+    double full = run_ipc(0);
+    double throttled = run_ipc(1);
+    EXPECT_LT(throttled, full);
+    EXPECT_GT(throttled, 0.0);
+}
+
+TEST(DispatchThrottle, ReducesIqAvf)
+{
+    // The vulnerability-reduction mechanism itself: throttled
+    // dispatch keeps fewer ACE instruction-cycles in the queue.
+    auto run_avf = [](int throttle) {
+        trace::SyntheticTraceGenerator gen(
+            trace::specProfile("mesa"));
+        Pipeline pipe(CpuConfig{}, gen);
+        if (throttle)
+            pipe.setDispatchThrottle(throttle);
+        softarch::SoftArchConfig sa{100'000, 20'000};
+        softarch::AceAnalyzer analyzer(pipe, sa);
+        pipe.addObserver(&analyzer);
+        pipe.run(100'000 * 3 + 25'000);
+        analyzer.finalizeAll(2);
+        double sum = 0;
+        for (const auto &row : analyzer.results())
+            sum += row[Structure::IQ];
+        return sum / static_cast<double>(analyzer.results().size());
+    };
+    double full = run_avf(0);
+    double throttled = run_avf(1);
+    EXPECT_LT(throttled, full - 0.01);
+}
+
+TEST(ThrottleController, EngagesAboveThresholdWithHysteresis)
+{
+    // Drive the controller with a scripted estimator by feeding the
+    // pipeline a real workload but checking only the decision logic
+    // through the config thresholds.
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    Pipeline pipe(CpuConfig{}, gen);
+    OnlineConfig online;
+    online.m = 200;
+    online.n = 100; // fast intervals
+    OnlineAvfEstimator est(pipe, Structure::IQ, online);
+    pipe.addObserver(&est);
+
+    ThrottleConfig policy;
+    policy.engageThreshold = 0.0; // engage on anything
+    policy.releaseThreshold = 0.0;
+    policy.throttledWidth = 2;
+    ThrottleController controller(pipe, est, policy);
+    pipe.addObserver(&controller);
+
+    pipe.run(200 * 100 * 3 + 250);
+    EXPECT_GE(controller.intervals(), 2u);
+    EXPECT_TRUE(controller.throttled());
+    EXPECT_EQ(controller.throttledIntervals(),
+              controller.intervals());
+    EXPECT_EQ(pipe.effectiveDispatchWidth(), 2);
+}
+
+TEST(ThrottleController, NeverEngagesWithImpossibleThreshold)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    Pipeline pipe(CpuConfig{}, gen);
+    OnlineConfig online;
+    online.m = 200;
+    online.n = 100;
+    OnlineAvfEstimator est(pipe, Structure::IQ, online);
+    pipe.addObserver(&est);
+
+    ThrottleConfig policy;
+    policy.engageThreshold = 1.1; // unreachable
+    policy.releaseThreshold = 1.0;
+    ThrottleController controller(pipe, est, policy);
+    pipe.addObserver(&controller);
+
+    pipe.run(200 * 100 * 3 + 250);
+    EXPECT_GE(controller.intervals(), 2u);
+    EXPECT_FALSE(controller.throttled());
+    EXPECT_EQ(controller.throttledIntervals(), 0u);
+    EXPECT_EQ(pipe.effectiveDispatchWidth(),
+              CpuConfig{}.dispatchWidth);
+}
+
+TEST(ThrottleController, RejectsInvertedThresholds)
+{
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    Pipeline pipe(CpuConfig{}, gen);
+    OnlineAvfEstimator est(pipe, Structure::IQ);
+    ThrottleConfig bad;
+    bad.engageThreshold = 0.1;
+    bad.releaseThreshold = 0.5;
+    EXPECT_DEATH(ThrottleController(pipe, est, bad), "hysteresis");
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the memory hierarchy: cache geometry, LRU behaviour,
+ * TLB eviction, and the Table 1 latency structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "mem/tlb.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::mem;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({"t", 1024, 2, 64});
+    EXPECT_FALSE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x100));
+    EXPECT_TRUE(cache.access(0x13F)); // same 64B line
+    EXPECT_FALSE(cache.access(0x140)); // next line
+    EXPECT_EQ(cache.stats().accesses, 4u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 64B lines, 2 sets (256B total).
+    Cache cache({"t", 256, 2, 64});
+    // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+    cache.access(0x000);
+    cache.access(0x080);
+    cache.access(0x000);  // touch 0x000: now 0x080 is LRU
+    cache.access(0x100);  // evicts 0x080
+    EXPECT_TRUE(cache.probe(0x000));
+    EXPECT_FALSE(cache.probe(0x080));
+    EXPECT_TRUE(cache.probe(0x100));
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache cache({"t", 128, 1, 64}); // 2 sets, 1 way
+    EXPECT_FALSE(cache.access(0x000));
+    EXPECT_FALSE(cache.access(0x080)); // conflicts with 0x000
+    EXPECT_FALSE(cache.access(0x000)); // conflict miss again
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache cache({"t", 1024, 2, 64});
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_EQ(cache.stats().accesses, 0u);
+}
+
+TEST(Cache, FlushInvalidates)
+{
+    Cache cache({"t", 1024, 2, 64});
+    cache.access(0x100);
+    EXPECT_TRUE(cache.probe(0x100));
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x100));
+}
+
+TEST(Cache, Table1Geometry)
+{
+    CacheConfig l1d{"L1D", 32 * 1024, 2, 128};
+    Cache cache(l1d);
+    EXPECT_EQ(cache.numSets(), 32u * 1024 / 128 / 2);
+}
+
+TEST(Tlb, HitAfterFill)
+{
+    Tlb tlb({"t", 4, 4096, 50});
+    EXPECT_EQ(tlb.access(0x1000), 50u); // miss
+    EXPECT_EQ(tlb.access(0x1FFF), 0u);  // same page
+    EXPECT_EQ(tlb.access(0x2000), 50u); // next page
+    EXPECT_EQ(tlb.stats().accesses, 3u);
+    EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity)
+{
+    Tlb tlb({"t", 2, 4096, 50});
+    tlb.access(0x0000);            // page 0
+    tlb.access(0x1000);            // page 1
+    EXPECT_EQ(tlb.access(0x0000), 0u);  // page 0 is MRU now
+    tlb.access(0x2000);            // page 2 evicts page 1
+    EXPECT_EQ(tlb.access(0x0000), 0u);
+    EXPECT_EQ(tlb.access(0x1000), 50u); // was evicted
+}
+
+TEST(Tlb, Flush)
+{
+    Tlb tlb({"t", 8, 4096, 50});
+    tlb.access(0x5000);
+    tlb.flush();
+    EXPECT_EQ(tlb.access(0x5000), 50u);
+}
+
+TEST(Hierarchy, Table1Latencies)
+{
+    MemoryHierarchy hier; // defaults = Table 1
+    // First access: dTLB miss (50) + full miss to memory (165).
+    EXPECT_EQ(hier.dataAccess(0x10000), 50u + 165u);
+    // Second access to the same line: TLB hit + L1 hit.
+    EXPECT_EQ(hier.dataAccess(0x10000), 1u);
+    // A line that aliases in L1 but lives in L2 costs 20.
+    // Evict from 2-way L1 set: two other lines in the same set.
+    Addr way_stride = 32 * 1024 / 2; // L1D set wrap
+    hier.dataAccess(0x10000 + way_stride);
+    hier.dataAccess(0x10000 + 2 * way_stride);
+    std::uint32_t lat = hier.dataAccess(0x10000);
+    EXPECT_EQ(lat, 20u); // L1 miss, L2 hit, TLB hit
+}
+
+TEST(Hierarchy, InstrSideSeparateFromDataSide)
+{
+    MemoryHierarchy hier;
+    hier.instrAccess(0x4000);
+    EXPECT_EQ(hier.l1i().stats().accesses, 1u);
+    EXPECT_EQ(hier.l1d().stats().accesses, 0u);
+    EXPECT_EQ(hier.stats().instrAccesses, 1u);
+    EXPECT_EQ(hier.stats().dataAccesses, 0u);
+}
+
+TEST(Hierarchy, L2IsUnified)
+{
+    MemoryHierarchy hier;
+    hier.instrAccess(0x8000);          // fills L2 via the I side
+    hier.dataAccess(0x8000);           // misses L1D but hits L2
+    EXPECT_EQ(hier.l2().stats().misses, 1u);
+    EXPECT_EQ(hier.l2().stats().accesses, 2u);
+}
+
+TEST(Hierarchy, StreamingHasLowMissRate)
+{
+    MemoryHierarchy hier;
+    for (Addr a = 0; a < 1024 * 1024; a += 8)
+        hier.dataAccess(0x100000 + a);
+    // One miss per 128-byte line = 1/16 of accesses.
+    EXPECT_NEAR(hier.l1d().stats().missRate(), 1.0 / 16.0, 0.01);
+}
+
+} // namespace

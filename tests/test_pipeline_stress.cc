@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Stress and wrap-around tests for the pipeline's circular
+ * structures: ROB and store-queue wrap, structural stalls with
+ * forward progress (register exhaustion, SQ full, IQ full), fetch
+ * buffer limits, and SoftArch attribution across interval
+ * boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/pipeline.hh"
+#include "softarch/ace_analyzer.hh"
+#include "test_helpers.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::cpu;
+using namespace avf::testutil;
+
+class RetireCollector : public PipelineObserver
+{
+  public:
+    void
+    onRetire(const DynInstr &instr, const RetireInfo &) override
+    {
+        retired.push_back(instr);
+    }
+    std::vector<DynInstr> retired;
+};
+
+TEST(PipelineStress, RobWrapsManyTimes)
+{
+    // 5000 instructions through a 16-entry ROB: hundreds of wraps.
+    CpuConfig conf;
+    conf.robEntries = 16;
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    std::vector<trace::TraceInstruction> instrs;
+    trace::TraceInstruction in;
+    for (int i = 0; i < 5000; ++i) {
+        gen.next(in);
+        instrs.push_back(in);
+    }
+    trace::VectorTraceSource src(instrs);
+    Pipeline pipe(conf, src);
+    drain(pipe, 10'000'000);
+    EXPECT_TRUE(pipe.done());
+    EXPECT_EQ(pipe.stats().retired, 5000u);
+}
+
+TEST(PipelineStress, StoreQueueWrapsAndStalls)
+{
+    // A long burst of stores against a 2-entry store queue: dispatch
+    // must stall without deadlock, and every store must retire.
+    CpuConfig conf;
+    conf.storeQueueEntries = 2;
+    std::vector<trace::TraceInstruction> instrs;
+    for (int i = 0; i < 300; ++i)
+        instrs.push_back(store(1, 2, 0x1000 + 8 * i));
+    trace::VectorTraceSource src(withPcs(std::move(instrs)));
+    Pipeline pipe(conf, src);
+    drain(pipe);
+    EXPECT_TRUE(pipe.done());
+    EXPECT_EQ(pipe.stats().retired, 300u);
+}
+
+TEST(PipelineStress, RegisterExhaustionStallsButProgresses)
+{
+    // Minimum rename headroom (33 int regs for 32 architectural):
+    // only one rename register is ever free, so dispatch serializes,
+    // but everything still drains.
+    CpuConfig conf;
+    conf.intPhysRegs = 33;
+    std::vector<trace::TraceInstruction> instrs;
+    for (int i = 0; i < 200; ++i)
+        instrs.push_back(alu(static_cast<RegIndex>(4 + i % 28), 1, 2));
+    trace::VectorTraceSource src(withPcs(std::move(instrs)));
+    Pipeline pipe(conf, src);
+    drain(pipe);
+    EXPECT_TRUE(pipe.done());
+    EXPECT_EQ(pipe.stats().retired, 200u);
+    EXPECT_EQ(pipe.renameUnit().intFreeCount(), 1u);
+}
+
+TEST(PipelineStress, TinyIssueQueueStillDrains)
+{
+    CpuConfig conf;
+    conf.intLsIqEntries = 2;
+    conf.fpIqEntries = 1;
+    conf.brIqEntries = 1;
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    std::vector<trace::TraceInstruction> instrs;
+    trace::TraceInstruction in;
+    for (int i = 0; i < 2000; ++i) {
+        gen.next(in);
+        instrs.push_back(in);
+    }
+    trace::VectorTraceSource src(instrs);
+    Pipeline pipe(conf, src);
+    drain(pipe, 10'000'000);
+    EXPECT_TRUE(pipe.done());
+    EXPECT_EQ(pipe.stats().retired, 2000u);
+}
+
+TEST(PipelineStress, FetchBufferNeverExceedsCapacity)
+{
+    // Block dispatch behind a divide chain so fetch races ahead; the
+    // buffer must cap at its configured size (observable through the
+    // fetched-minus-dispatched gap).
+    CpuConfig conf;
+    conf.fetchBufferEntries = 8;
+    conf.robEntries = 8;
+    std::vector<trace::TraceInstruction> instrs;
+    for (int i = 0; i < 100; ++i)
+        instrs.push_back(alu(5, 5, 1, trace::OpClass::IntDiv));
+    trace::VectorTraceSource src(withPcs(std::move(instrs)));
+    Pipeline pipe(conf, src);
+    for (int i = 0; i < 200 && pipe.step(); ++i) {
+        EXPECT_LE(pipe.stats().fetched - pipe.stats().dispatched, 8u);
+    }
+    drain(pipe);
+    EXPECT_EQ(pipe.stats().retired, 100u);
+}
+
+TEST(PipelineStress, LongRunKeepsInvariants)
+{
+    // A long mixed run with periodic invariant checks: occupancy
+    // bounds, monotone counters, no retire overtaking dispatch.
+    trace::SyntheticTraceGenerator gen(
+        trace::specProfile("facerec"));
+    Pipeline pipe(CpuConfig{}, gen);
+    std::uint64_t last_retired = 0;
+    for (int chunk = 0; chunk < 20; ++chunk) {
+        pipe.run(10'000);
+        const auto &stats = pipe.stats();
+        EXPECT_GE(stats.retired, last_retired);
+        last_retired = stats.retired;
+        EXPECT_LE(stats.retired, stats.dispatched);
+        EXPECT_LE(stats.dispatched, stats.fetched);
+    }
+    EXPECT_GT(last_retired, 20'000u);
+}
+
+TEST(PipelineStress, BranchOnlyTrace)
+{
+    // Degenerate control-heavy input: alternating branches.
+    std::vector<trace::TraceInstruction> instrs;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+        auto br = branch(1, ((i * 2654435761u) >> 13) & 1, 0x2000);
+        br.pc = 0x1000 + (i % 3) * 4;
+        instrs.push_back(br);
+    }
+    trace::VectorTraceSource src(instrs);
+    Pipeline pipe(CpuConfig{}, src);
+    drain(pipe);
+    EXPECT_TRUE(pipe.done());
+    EXPECT_EQ(pipe.stats().retired, 500u);
+}
+
+TEST(PipelineStress, StoreOnlyAndLoadOnlyTraces)
+{
+    for (bool stores : {true, false}) {
+        std::vector<trace::TraceInstruction> instrs;
+        for (int i = 0; i < 400; ++i) {
+            if (stores)
+                instrs.push_back(store(1, 2, 0x9000 + 16 * i));
+            else
+                instrs.push_back(load(
+                    static_cast<RegIndex>(4 + i % 20), 1,
+                    0x9000 + 16 * i));
+        }
+        trace::VectorTraceSource src(withPcs(std::move(instrs)));
+        Pipeline pipe(CpuConfig{}, src);
+        drain(pipe);
+        EXPECT_TRUE(pipe.done());
+        EXPECT_EQ(pipe.stats().retired, 400u);
+    }
+}
+
+TEST(SoftArchBoundary, RegSpanSplitAcrossIntervalsOnce)
+{
+    // A value produced in interval 0 and last ACE-read in interval 1
+    // must contribute its full span, split across the two buckets,
+    // with nothing double-counted. Interval length 64 cycles keeps
+    // the arithmetic small; every other op is padding nops to move
+    // time forward.
+    std::vector<trace::TraceInstruction> instrs;
+    instrs.push_back(alu(5, 1, 2));          // seq 0: the value
+    // ~80 cycles of nops via dispatch-width pacing (5/cycle), so the
+    // span is guaranteed to cross the 64-cycle interval boundary:
+    for (int i = 0; i < 400; ++i)
+        instrs.push_back(nop());
+    instrs.push_back(store(5, 1, 0x1000));   // late ACE read
+    trace::VectorTraceSource src(withPcs(std::move(instrs)));
+
+    Pipeline pipe(CpuConfig{}, src);
+    RetireCollector collector;
+    // Lookahead must cover the produce-to-read distance (cold
+    // I-cache misses stretch it to ~2k cycles here); an undersized
+    // lookahead is the analyzer's documented approximation and is
+    // exercised separately.
+    softarch::SoftArchConfig sa{64, 8192};
+    softarch::AceAnalyzer analyzer(pipe, sa);
+    pipe.addObserver(&collector);
+    pipe.addObserver(&analyzer);
+    drain(pipe);
+    // Cold I-cache misses stretch the run across ~35 intervals of 64
+    // cycles; finalize far enough that the whole span is emitted.
+    analyzer.finalizeAll(60);
+
+    const auto &retired = collector.retired;
+    ASSERT_GE(retired.size(), 2u);
+    const auto &producer = retired.front();
+    const auto &consumer = retired.back();
+    double expected_span = static_cast<double>(
+        consumer.issueCycle - producer.completeCycle);
+
+    // Sum REG ACE cycles across ALL buckets: must equal the span
+    // exactly (attributed once, wherever the boundary fell).
+    double measured = 0;
+    for (const auto &row : analyzer.results())
+        measured += row[core::Structure::REG] * 64.0 * 80.0;
+    EXPECT_NEAR(measured, expected_span, 1e-6);
+    EXPECT_GT(expected_span, 64.0); // really does cross intervals
+}
+
+} // namespace

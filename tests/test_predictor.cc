@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the AVF predictors (Figure 5's last-value predictor and
+ * the EMA extension) and the prediction-error evaluation helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.hh"
+
+namespace
+{
+
+using namespace avf::core;
+
+TEST(LastValuePredictor, EchoesLastObservation)
+{
+    LastValuePredictor p;
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+    p.observe(0.3);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.3);
+    p.observe(0.1);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.1);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(EmaPredictor, SmoothsTowardObservations)
+{
+    EmaPredictor p(0.5);
+    p.observe(0.4);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.4);
+    p.observe(0.0);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.2);
+    p.observe(0.2);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.2);
+}
+
+TEST(EmaPredictor, AlphaOneIsLastValue)
+{
+    EmaPredictor p(1.0);
+    p.observe(0.3);
+    p.observe(0.7);
+    EXPECT_DOUBLE_EQ(p.predict(), 0.7);
+}
+
+TEST(EmaPredictor, RejectsBadAlpha)
+{
+    EXPECT_DEATH(EmaPredictor(0.0), "alpha");
+    EXPECT_DEATH(EmaPredictor(1.5), "alpha");
+}
+
+TEST(PredictionErrors, PerfectlyStableSeriesHasZeroError)
+{
+    LastValuePredictor p;
+    std::vector<double> series = {0.2, 0.2, 0.2, 0.2};
+    auto errs = predictionErrors(p, series, series);
+    ASSERT_EQ(errs.size(), 3u);
+    for (double e : errs)
+        EXPECT_DOUBLE_EQ(e, 0.0);
+}
+
+TEST(PredictionErrors, StepChangeCostsOneInterval)
+{
+    LastValuePredictor p;
+    std::vector<double> series = {0.1, 0.1, 0.5, 0.5};
+    auto errs = predictionErrors(p, series, series);
+    ASSERT_EQ(errs.size(), 3u);
+    EXPECT_DOUBLE_EQ(errs[0], 0.0);
+    EXPECT_NEAR(errs[1], 0.4, 1e-12); // the step is mispredicted once
+    EXPECT_DOUBLE_EQ(errs[2], 0.0);
+}
+
+TEST(PredictionErrors, UsesReferenceForTruth)
+{
+    // Predictor sees noisy estimates but is scored against the
+    // reference series.
+    LastValuePredictor p;
+    std::vector<double> estimates = {0.3, 0.3};
+    std::vector<double> reference = {0.25, 0.35};
+    auto errs = predictionErrors(p, estimates, reference);
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NEAR(errs[0], 0.05, 1e-12); // predicted 0.3 vs real 0.35
+}
+
+TEST(PredictionErrors, EmptySeries)
+{
+    LastValuePredictor p;
+    EXPECT_TRUE(predictionErrors(p, {}, {}).empty());
+    EXPECT_TRUE(predictionErrors(p, {0.1}, {0.1}).empty());
+}
+
+} // namespace

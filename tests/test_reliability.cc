@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the SOFR reliability layer: FIT arithmetic, MTTF
+ * inversion, worst-case bounds, coverage math, and the rolling
+ * tracker's goal logic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "reliability/fit_model.hh"
+#include "reliability/mttf_tracker.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::reliability;
+using core::Structure;
+
+FitModelConfig
+tinyModel()
+{
+    FitModelConfig conf;
+    conf.rawFitPerBit = 0.01;
+    conf.structures = {
+        {Structure::IQ, 100.0, 0.0},
+        {Structure::REG, 200.0, 0.0},
+    };
+    return conf;
+}
+
+std::array<double, core::numStructures>
+avfOf(double iq, double reg)
+{
+    std::array<double, core::numStructures> avf{};
+    avf[static_cast<int>(Structure::IQ)] = iq;
+    avf[static_cast<int>(Structure::REG)] = reg;
+    return avf;
+}
+
+TEST(FitModel, SofrSum)
+{
+    FitModel model(tinyModel());
+    // FIT = 0.01 * (100 * 0.5 + 200 * 0.25) = 0.01 * 100 = 1.
+    EXPECT_NEAR(model.fit(avfOf(0.5, 0.25)), 1.0, 1e-12);
+    EXPECT_NEAR(model.mttfHours(avfOf(0.5, 0.25)), 1e9, 1e-3);
+}
+
+TEST(FitModel, ZeroAvfMeansInfiniteMttf)
+{
+    FitModel model(tinyModel());
+    EXPECT_DOUBLE_EQ(model.fit(avfOf(0.0, 0.0)), 0.0);
+    EXPECT_TRUE(std::isinf(model.mttfHours(avfOf(0.0, 0.0))));
+}
+
+TEST(FitModel, CoverageScalesContribution)
+{
+    FitModel model(tinyModel());
+    double before = model.fit(avfOf(0.5, 0.5));
+    model.setCoverage(Structure::REG, 1.0); // fully protect REG
+    double after = model.fit(avfOf(0.5, 0.5));
+    // Only the IQ term remains: 0.01 * 100 * 0.5 = 0.5.
+    EXPECT_NEAR(after, 0.5, 1e-12);
+    EXPECT_LT(after, before);
+}
+
+TEST(FitModel, WorstCaseBoundsEverything)
+{
+    FitModel model(tinyModel());
+    double worst = model.worstCaseFit();
+    EXPECT_NEAR(worst, 0.01 * 300.0, 1e-12);
+    EXPECT_GE(worst, model.fit(avfOf(1.0, 0.99)));
+    EXPECT_GE(worst, model.fit(avfOf(0.3, 0.2)));
+}
+
+TEST(FitModel, RunAverageUsesMeanRate)
+{
+    FitModel model(tinyModel());
+    std::vector<std::array<double, core::numStructures>> series = {
+        avfOf(1.0, 1.0), // 3 FIT
+        avfOf(0.0, 0.0), // 0 FIT
+    };
+    // Mean rate 1.5 FIT -> MTTF = 1e9 / 1.5.
+    EXPECT_NEAR(model.mttfHoursOverRun(series), 1e9 / 1.5, 1e-3);
+}
+
+TEST(FitModel, RejectsBadConfig)
+{
+    FitModelConfig bad = tinyModel();
+    bad.rawFitPerBit = 0.0;
+    EXPECT_DEATH(FitModel{bad}, "FIT/bit");
+
+    FitModelConfig bad2 = tinyModel();
+    bad2.structures[0].coverage = 1.5;
+    EXPECT_DEATH(FitModel{bad2}, "coverage");
+}
+
+TEST(FitModel, DefaultInventoryCoversAllStructures)
+{
+    auto conf = defaultFitModel(cpu::CpuConfig{});
+    EXPECT_EQ(conf.structures.size(), 5u);
+    double total_bits = 0;
+    for (const auto &entry : conf.structures) {
+        EXPECT_GT(entry.bits, 0.0);
+        total_bits += entry.bits;
+    }
+    // 80*64 + 72*64 + 68*128 + units: sanity magnitude check.
+    EXPECT_GT(total_bits, 15'000.0);
+    EXPECT_LT(total_bits, 60'000.0);
+}
+
+TEST(MttfTracker, GoalLogic)
+{
+    FitModel model(tinyModel());
+    // Goal: rate <= 2 FIT.
+    MttfTracker tracker(model, 1e9 / 2.0);
+    EXPECT_TRUE(tracker.meetsGoal()); // vacuous with no data
+
+    tracker.observe(avfOf(1.0, 1.0)); // 3 FIT
+    EXPECT_FALSE(tracker.meetsGoal());
+    EXPECT_NEAR(tracker.currentFit(), 3.0, 1e-12);
+    // Coverage to reach 2 FIT from 3 FIT: 1 - 2/3.
+    EXPECT_NEAR(tracker.requiredCoverage(), 1.0 / 3.0, 1e-12);
+
+    tracker.observe(avfOf(0.0, 0.0)); // average now 1.5 FIT
+    EXPECT_TRUE(tracker.meetsGoal());
+    EXPECT_DOUBLE_EQ(tracker.requiredCoverage(), 0.0);
+    EXPECT_EQ(tracker.intervals(), 2u);
+    EXPECT_NEAR(tracker.averageFit(), 1.5, 1e-12);
+    EXPECT_NEAR(tracker.projectedMttfHours(), 1e9 / 1.5, 1e-3);
+}
+
+TEST(MttfTracker, HistoryAccumulates)
+{
+    FitModel model(tinyModel());
+    MttfTracker tracker(model, 1e9);
+    for (int i = 0; i < 5; ++i)
+        tracker.observe(avfOf(0.1, 0.1));
+    EXPECT_EQ(tracker.history().size(), 5u);
+    for (double fit : tracker.history())
+        EXPECT_NEAR(fit, 0.01 * 300.0 * 0.1, 1e-12);
+}
+
+} // namespace

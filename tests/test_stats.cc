@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the stats library: running statistics, histograms,
+ * empirical CDFs, the Figure 3 error metrics, and the Section 3.3
+ * sample-size model (including the 2500/625 numbers from the text).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/error_metrics.hh"
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+#include "stats/sample_size.hh"
+#include "stats/table_printer.hh"
+
+namespace
+{
+
+using namespace avf::stats;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSeries)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.populationVariance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        double x = std::sin(i * 0.7) * 3 + 1;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Histogram, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0); // underflow
+    h.add(0.0);  // bin 0
+    h.add(9.99); // bin 9
+    h.add(10.0); // overflow
+    h.add(5.5);  // bin 5
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, CdfMonotoneAndComplete)
+{
+    Histogram h(0.0, 100.0, 20);
+    for (int i = 0; i < 1000; ++i)
+        h.add(i % 100);
+    double prev = 0.0;
+    for (std::size_t b = 0; b < h.numBins(); ++b) {
+        double c = h.cdfAt(b);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.01);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.01);
+}
+
+TEST(EmpiricalCdf, AtAndQuantile)
+{
+    EmpiricalCdf cdf;
+    for (int i = 1; i <= 100; ++i)
+        cdf.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(50.0), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 25.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(ErrorMetrics, AbsoluteErrors)
+{
+    auto errs = absoluteErrors({0.1, 0.2, 0.3}, {0.15, 0.2, 0.25});
+    ASSERT_EQ(errs.size(), 3u);
+    EXPECT_NEAR(errs[0], 0.05, 1e-12);
+    EXPECT_NEAR(errs[1], 0.0, 1e-12);
+    EXPECT_NEAR(errs[2], 0.05, 1e-12);
+}
+
+TEST(ErrorMetrics, RelativeErrorsSkipTinyReference)
+{
+    auto errs = relativeErrors({0.1, 0.2}, {0.0, 0.1});
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NEAR(errs[0], 100.0, 1e-9);
+}
+
+TEST(ErrorMetrics, SummaryExcludesTopFour)
+{
+    // Nine small errors and four outliers: maxExcl must ignore the
+    // outliers, exactly as the paper's "Max" stack does.
+    std::vector<double> errs = {0.01, 0.02, 0.01, 0.03, 0.02, 0.01,
+                                0.02, 0.03, 0.04, 0.5, 0.6, 0.7, 0.8};
+    auto s = summarizeErrors(errs, 4);
+    EXPECT_EQ(s.count, errs.size());
+    EXPECT_DOUBLE_EQ(s.maxExcl, 0.04);
+    EXPECT_DOUBLE_EQ(s.maxAll, 0.8);
+    EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(ErrorMetrics, SummaryFewerSamplesThanExclusion)
+{
+    std::vector<double> errs = {0.3, 0.1};
+    auto s = summarizeErrors(errs, 4);
+    EXPECT_DOUBLE_EQ(s.maxExcl, 0.1); // smallest survives
+    EXPECT_DOUBLE_EQ(s.maxAll, 0.3);
+}
+
+TEST(ErrorMetrics, EmptySummary)
+{
+    auto s = summarizeErrors({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SampleSize, PaperNumbers)
+{
+    // Section 3.3: sigma 0.01 -> 2500 samples; 0.02 -> 625.
+    EXPECT_NEAR(samplesNeededConservative(0.01), 2500.0, 1e-9);
+    EXPECT_NEAR(samplesNeededConservative(0.02), 625.0, 1e-9);
+}
+
+TEST(SampleSize, PeaksAtHalf)
+{
+    EXPECT_GT(samplesNeeded(0.5, 0.01), samplesNeeded(0.3, 0.01));
+    EXPECT_GT(samplesNeeded(0.5, 0.01), samplesNeeded(0.7, 0.01));
+    EXPECT_DOUBLE_EQ(samplesNeeded(0.0, 0.01), 0.0);
+    EXPECT_DOUBLE_EQ(samplesNeeded(1.0, 0.01), 0.0);
+}
+
+TEST(SampleSize, SigmaBoundAtNEquals1000)
+{
+    // With N = 1000 the worst-case standard error is ~0.0158.
+    EXPECT_NEAR(predictedSigma(0.5, 1000.0), 0.0158, 0.0002);
+    // And it shrinks as 1/sqrt(N).
+    EXPECT_NEAR(predictedSigma(0.5, 4000.0),
+                predictedSigma(0.5, 1000.0) / 2.0, 1e-12);
+}
+
+TEST(SampleSize, BernoulliSigma)
+{
+    EXPECT_DOUBLE_EQ(bernoulliSigma(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(bernoulliSigma(0.0), 0.0);
+    EXPECT_NEAR(bernoulliSigma(0.1), std::sqrt(0.09), 1e-12);
+}
+
+TEST(TablePrinter, FormatHelpers)
+{
+    EXPECT_EQ(TablePrinter::num(0.12345, 3), "0.123");
+    EXPECT_EQ(TablePrinter::pct(12.3456, 1), "12.3%");
+    EXPECT_EQ(TablePrinter::intNum(42), "42");
+}
+
+TEST(TablePrinter, PrintsAlignedTable)
+{
+    TablePrinter t("demo");
+    t.setHeader({"app", "value"});
+    t.addRow({"mesa", "0.123"});
+    t.addRow({"ammp", "0.4"});
+
+    char buf[4096] = {};
+    std::FILE *mem = fmemopen(buf, sizeof(buf) - 1, "w");
+    ASSERT_NE(mem, nullptr);
+    t.print(mem);
+    std::fclose(mem);
+    std::string out(buf);
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("mesa"), std::string::npos);
+    EXPECT_NE(out.find("0.123"), std::string::npos);
+}
+
+TEST(SeriesPrinter, EmitsAllSeries)
+{
+    char buf[4096] = {};
+    std::FILE *mem = fmemopen(buf, sizeof(buf) - 1, "w");
+    ASSERT_NE(mem, nullptr);
+    printSeries("fig", "x", {1.0, 2.0}, {"a", "b"},
+                {{0.1, 0.2}, {0.3, 0.4}}, mem);
+    std::fclose(mem);
+    std::string out(buf);
+    EXPECT_NE(out.find("fig"), std::string::npos);
+    EXPECT_NE(out.find("0.1000"), std::string::npos);
+    EXPECT_NE(out.find("0.4000"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the util library: PRNG determinism and statistical
+ * sanity, bit vector behaviour, env helpers, and string hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/bitvector.hh"
+#include "util/env.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using avf::BitVector;
+using avf::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedStillWorks)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng.next());
+    EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsBoundedAndRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr std::uint64_t bound = 10;
+    std::uint64_t counts[bound] = {};
+    for (int i = 0; i < 100000; ++i) {
+        std::uint64_t v = rng.below(bound);
+        ASSERT_LT(v, bound);
+        ++counts[v];
+    }
+    for (auto c : counts)
+        EXPECT_NEAR(static_cast<double>(c), 10000.0, 600.0);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory)
+{
+    Rng rng(23);
+    double p = 0.25;
+    double sum = 0.0;
+    int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.geometric(0.001, 5), 5u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(31);
+    double sum = 0.0, sq = 0.0;
+    int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(HashString, StableAndDistinct)
+{
+    EXPECT_EQ(avf::hashString("mesa"), avf::hashString("mesa"));
+    EXPECT_NE(avf::hashString("mesa"), avf::hashString("ammp"));
+    EXPECT_NE(avf::hashString(""), avf::hashString("a"));
+}
+
+TEST(BitVector, SetTestReset)
+{
+    BitVector bits(130);
+    EXPECT_EQ(bits.size(), 130u);
+    EXPECT_TRUE(bits.none());
+    bits.set(0);
+    bits.set(64);
+    bits.set(129);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(64));
+    EXPECT_TRUE(bits.test(129));
+    EXPECT_FALSE(bits.test(1));
+    EXPECT_EQ(bits.count(), 3u);
+    bits.reset(64);
+    EXPECT_FALSE(bits.test(64));
+    EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(BitVector, ClearAll)
+{
+    BitVector bits(100);
+    for (std::size_t i = 0; i < 100; i += 3)
+        bits.set(i);
+    EXPECT_FALSE(bits.none());
+    bits.clearAll();
+    EXPECT_TRUE(bits.none());
+    EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(Env, IntFallbackAndParse)
+{
+    ::unsetenv("AVF_TEST_INT");
+    EXPECT_EQ(avf::envInt("AVF_TEST_INT", 7), 7);
+    ::setenv("AVF_TEST_INT", "42", 1);
+    EXPECT_EQ(avf::envInt("AVF_TEST_INT", 7), 42);
+    ::setenv("AVF_TEST_INT", "junk", 1);
+    EXPECT_EQ(avf::envInt("AVF_TEST_INT", 7), 7);
+    ::unsetenv("AVF_TEST_INT");
+}
+
+TEST(Env, FlagRecognizesTruthyValues)
+{
+    ::unsetenv("AVF_TEST_FLAG");
+    EXPECT_FALSE(avf::envFlag("AVF_TEST_FLAG"));
+    ::setenv("AVF_TEST_FLAG", "1", 1);
+    EXPECT_TRUE(avf::envFlag("AVF_TEST_FLAG"));
+    ::setenv("AVF_TEST_FLAG", "true", 1);
+    EXPECT_TRUE(avf::envFlag("AVF_TEST_FLAG"));
+    ::setenv("AVF_TEST_FLAG", "0", 1);
+    EXPECT_FALSE(avf::envFlag("AVF_TEST_FLAG"));
+    ::unsetenv("AVF_TEST_FLAG");
+}
+
+TEST(Env, StringFallback)
+{
+    ::unsetenv("AVF_TEST_STR");
+    EXPECT_EQ(avf::envString("AVF_TEST_STR", "dflt"), "dflt");
+    ::setenv("AVF_TEST_STR", "value", 1);
+    EXPECT_EQ(avf::envString("AVF_TEST_STR", "dflt"), "value");
+    ::unsetenv("AVF_TEST_STR");
+}
+
+} // namespace
