@@ -11,92 +11,77 @@
  *
  * Both counters are blind to dead values and un-ACE instructions, so
  * they systematically overestimate; the error-bit method does not.
+ * All three families now report through the common core::AvfEstimator
+ * interface inside runExperiment, so this bench is a plain engine
+ * campaign over the eleven benchmarks.
  */
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "core/occupancy_estimator.hh"
-#include "core/online_estimator.hh"
-#include "core/utilization_estimator.hh"
-#include "cpu/pipeline.hh"
-#include "softarch/ace_analyzer.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
-#include "trace/synthetic.hh"
-#include "util/env.hh"
+#include "util/logging.hh"
 
 int
 main()
 {
     using namespace avf;
+    using namespace avf::harness;
     using core::Structure;
     using stats::TablePrinter;
 
-    const int intervals = envFlag("AVF_FAST") ? 4 : 20;
-    const Cycle interval_len = 1'000'000;
+    auto options = loadRunOptions();
+    const int intervals = options.fastMode ? 4 : 20;
 
     TablePrinter table("Baselines: mean AVF per method (SoftArch = "
                        "ground truth; counters overestimate)");
     table.setHeader({"app", "structure", "softarch", "online",
                      "counter", "counter type"});
 
+    ExperimentEngine engine(options);
+    engine.onTaskDone([](const std::string &name, double wall_ms,
+                         const RunSummary &) {
+        std::fprintf(stderr, "finished %s in %.0f ms\n", name.c_str(),
+                     wall_ms);
+    });
     for (const auto &name : trace::specBenchmarkNames()) {
-        std::fprintf(stderr, "running %s...\n", name.c_str());
-        trace::SyntheticTraceGenerator gen(trace::specProfile(name));
-        cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+        ExperimentConfig conf;
+        conf.profile = trace::specProfile(name);
+        conf.numIntervals = intervals;
+        engine.submit(name, conf);
+    }
 
-        core::OnlineConfig online_conf; // M = N = 1000
-        std::vector<std::unique_ptr<core::OnlineAvfEstimator>> ests;
-        for (Structure s : {Structure::IQ, Structure::FXU}) {
-            ests.push_back(std::make_unique<core::OnlineAvfEstimator>(
-                pipe, s, online_conf));
-            pipe.addObserver(ests.back().get());
-        }
-        softarch::SoftArchConfig sa_conf;
-        sa_conf.intervalCycles = interval_len;
-        softarch::AceAnalyzer reference(pipe, sa_conf);
-        pipe.addObserver(&reference);
-        core::UtilizationEstimator util(pipe, cpu::FuClass::Fxu,
-                                        interval_len);
-        core::OccupancyEstimator occupancy(pipe, interval_len);
-        pipe.addObserver(&util);
-        pipe.addObserver(&occupancy);
+    auto mean = [](const std::vector<double> &v) {
+        stats::RunningStats s;
+        for (double x : v)
+            s.add(x);
+        return s.mean();
+    };
 
-        pipe.run(interval_len * static_cast<Cycle>(intervals) +
-                 sa_conf.lookahead + 1000);
-        reference.finalizeAll(static_cast<std::size_t>(intervals - 1));
-
-        auto mean = [](const std::vector<double> &v, std::size_t k) {
-            stats::RunningStats s;
-            for (std::size_t i = 0; i < k && i < v.size(); ++i)
-                s.add(v[i]);
-            return s.mean();
-        };
-        auto sa_mean = [&](Structure s) {
-            stats::RunningStats acc;
-            for (std::size_t k = 0;
-                 k < static_cast<std::size_t>(intervals) &&
-                 k < reference.results().size();
-                 ++k)
-                acc.add(reference.results()[k].avf[
-                    static_cast<std::size_t>(s)]);
-            return acc.mean();
-        };
-
-        auto k = static_cast<std::size_t>(intervals);
-        table.addRow({name, "iq",
-                      TablePrinter::num(sa_mean(Structure::IQ)),
-                      TablePrinter::num(mean(ests[0]->estimates(), k)),
-                      TablePrinter::num(mean(occupancy.estimates(),
-                                             k)),
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        const auto &result = task.result;
+        table.addRow({task.name, "iq",
+                      TablePrinter::num(
+                          mean(result.softarchSeries(Structure::IQ))),
+                      TablePrinter::num(
+                          mean(result.onlineSeries(Structure::IQ))),
+                      TablePrinter::num(mean(result.occupancySeries())),
                       "occupancy"});
-        table.addRow({name, "fxu",
-                      TablePrinter::num(sa_mean(Structure::FXU)),
-                      TablePrinter::num(mean(ests[1]->estimates(), k)),
-                      TablePrinter::num(mean(util.estimates(), k)),
+        table.addRow({task.name, "fxu",
+                      TablePrinter::num(
+                          mean(result.softarchSeries(Structure::FXU))),
+                      TablePrinter::num(
+                          mean(result.onlineSeries(Structure::FXU))),
+                      TablePrinter::num(mean(
+                          result.utilizationSeries(Structure::FXU))),
                       "utilization"});
     }
     table.print();

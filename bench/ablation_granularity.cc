@@ -10,91 +10,80 @@
  * conservatism of treating sparse entries as fully vulnerable, so
  * the field-granular AVF is systematically lower; both modes are
  * validated against their matching SoftArch reference.
+ *
+ * Each benchmark contributes two engine tasks, one per granularity
+ * mode; runExperiment forwards config.online.fieldGranularIq to the
+ * SoftArch reference so both sides of a task agree on the model.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "core/online_estimator.hh"
-#include "cpu/pipeline.hh"
-#include "softarch/ace_analyzer.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
-#include "trace/synthetic.hh"
-#include "util/env.hh"
-
-namespace
-{
-
-using namespace avf;
-using core::Structure;
-
-struct ModeResult
-{
-    double online = 0.0;
-    double reference = 0.0;
-};
-
-ModeResult
-runMode(const std::string &bench, bool field_granular, int intervals)
-{
-    trace::SyntheticTraceGenerator gen(trace::specProfile(bench));
-    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
-
-    core::OnlineConfig online;
-    online.fieldGranularIq = field_granular;
-    core::OnlineAvfEstimator est(pipe, Structure::IQ, online);
-    pipe.addObserver(&est);
-
-    softarch::SoftArchConfig sa;
-    sa.fieldGranularIq = field_granular;
-    softarch::AceAnalyzer reference(pipe, sa);
-    pipe.addObserver(&reference);
-
-    const Cycle interval_len = online.m * online.n;
-    pipe.run(interval_len * static_cast<Cycle>(intervals) +
-             sa.lookahead + online.m);
-    reference.finalizeAll(static_cast<std::size_t>(intervals - 1));
-
-    stats::RunningStats online_stats, ref_stats;
-    for (std::size_t k = 0;
-         k < static_cast<std::size_t>(intervals) &&
-         k < est.estimates().size();
-         ++k)
-        online_stats.add(est.estimates()[k]);
-    for (std::size_t k = 0;
-         k < static_cast<std::size_t>(intervals) &&
-         k < reference.results().size();
-         ++k)
-        ref_stats.add(reference.results()[k][Structure::IQ]);
-    return {online_stats.mean(), ref_stats.mean()};
-}
-
-} // namespace
+#include "util/logging.hh"
 
 int
 main()
 {
+    using namespace avf;
+    using namespace avf::harness;
+    using core::Structure;
     using stats::TablePrinter;
-    const int intervals = envFlag("AVF_FAST") ? 3 : 10;
+
+    auto options = loadRunOptions();
+    const int intervals = options.fastMode ? 3 : 10;
+    const std::vector<std::string> benches = {"bzip2", "mesa", "swim",
+                                              "perlbmk"};
 
     TablePrinter table("IQ AVF: whole-entry vs field-granular error "
                        "bits (online estimate / SoftArch reference)");
     table.setHeader({"app", "entry online", "entry ref",
                      "field online", "field ref", "ratio"});
 
-    for (const char *bench : {"bzip2", "mesa", "swim", "perlbmk"}) {
-        std::fprintf(stderr, "running %s...\n", bench);
-        auto whole = runMode(bench, false, intervals);
-        auto field = runMode(bench, true, intervals);
-        table.addRow({bench, TablePrinter::num(whole.online),
-                      TablePrinter::num(whole.reference),
-                      TablePrinter::num(field.online),
-                      TablePrinter::num(field.reference),
+    // Tasks 2k are whole-entry granularity, tasks 2k+1 field-granular.
+    ExperimentEngine engine(options);
+    for (const auto &bench : benches) {
+        ExperimentConfig conf;
+        conf.profile = trace::specProfile(bench);
+        conf.numIntervals = intervals;
+        engine.submit(bench + ":entry", conf);
+        conf.online.fieldGranularIq = true;
+        engine.submit(bench + ":field", conf);
+    }
+
+    auto tasks = engine.collect();
+    for (const auto &task : tasks)
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+
+    auto mean = [](const std::vector<double> &v) {
+        stats::RunningStats s;
+        for (double x : v)
+            s.add(x);
+        return s.mean();
+    };
+
+    for (std::size_t pair = 0; pair < benches.size(); ++pair) {
+        const auto &whole = tasks[2 * pair].result;
+        const auto &field = tasks[2 * pair + 1].result;
+        double whole_ref = mean(whole.softarchSeries(Structure::IQ));
+        double field_ref = mean(field.softarchSeries(Structure::IQ));
+        table.addRow({benches[pair],
                       TablePrinter::num(
-                          whole.reference > 0
-                              ? field.reference / whole.reference
-                              : 0.0,
+                          mean(whole.onlineSeries(Structure::IQ))),
+                      TablePrinter::num(whole_ref),
+                      TablePrinter::num(
+                          mean(field.onlineSeries(Structure::IQ))),
+                      TablePrinter::num(field_ref),
+                      TablePrinter::num(
+                          whole_ref > 0 ? field_ref / whole_ref : 0.0,
                           2)});
     }
     table.print();

@@ -9,13 +9,16 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
-#include "util/env.hh"
+#include "util/logging.hh"
 
 int
 main()
@@ -27,19 +30,32 @@ main()
 
     const std::vector<Cycle> ms = {50, 100, 250, 500, 1000, 2000,
                                    4000};
-    const int intervals = envFlag("AVF_FAST") ? 3 : 8;
+    auto options = loadRunOptions();
+    const int intervals = options.fastMode ? 3 : 8;
 
     TablePrinter table("Ablation: truncation bias vs wait window M "
                        "(bzip2, N = 1000)");
     table.setHeader({"M", "IQ online", "IQ real", "IQ bias",
                      "REG online", "REG real", "REG bias"});
 
+    // One engine task per M value; the sweep points are independent.
+    ExperimentEngine engine(options);
+    std::vector<Cycle> task_m;
     for (auto m : ms) {
         ExperimentConfig conf;
         conf.profile = trace::specProfile("bzip2");
         conf.online.m = m;
         conf.numIntervals = intervals;
-        auto result = runExperiment(conf);
+        engine.submit("M=" + std::to_string(m), conf);
+        task_m.push_back(m);
+    }
+
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        Cycle m = task_m[task.index];
+        const auto &result = task.result;
 
         auto mean = [](const std::vector<double> &v) {
             stats::RunningStats s;

@@ -10,14 +10,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "stats/running_stats.hh"
 #include "stats/sample_size.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
-#include "util/env.hh"
+#include "util/logging.hh"
 
 int
 main()
@@ -27,10 +30,11 @@ main()
     using core::Structure;
     using stats::TablePrinter;
 
+    auto options = loadRunOptions();
     // Keep total simulated cycles roughly constant per configuration
     // so every N gets a fair sample budget.
-    const std::uint64_t budget = envFlag("AVF_FAST") ? 12'000'000ull
-                                                     : 48'000'000ull;
+    const std::uint64_t budget = options.fastMode ? 12'000'000ull
+                                                  : 48'000'000ull;
     const std::vector<std::uint32_t> ns = {100, 250, 500, 1000, 2000,
                                            4000};
 
@@ -40,6 +44,7 @@ main()
                      "measured sd(err)", "bound 0.5/sqrt(N)",
                      "predicted sd at this AVF"});
 
+    ExperimentEngine engine(options);
     for (auto n : ns) {
         ExperimentConfig conf;
         conf.profile = trace::specProfile("bzip2");
@@ -48,7 +53,15 @@ main()
             budget / (conf.online.m * static_cast<std::uint64_t>(n)));
         if (conf.numIntervals < 3)
             conf.numIntervals = 3;
-        auto result = runExperiment(conf);
+        engine.submit("N=" + std::to_string(n), conf);
+    }
+
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        std::uint32_t n = ns[task.index];
+        const auto &result = task.result;
 
         stats::RunningStats err, avf;
         auto online = result.onlineSeries(Structure::IQ);

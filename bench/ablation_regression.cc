@@ -10,28 +10,31 @@
  * give accurate estimation for another set"; this bench measures
  * exactly that, with the paper's error-bit method as the yardstick
  * (it needs no calibration at all).
+ *
+ * All eleven data-collection runs fan out over the engine; the
+ * per-interval feature vectors come back on ExperimentResult, so no
+ * custom pipeline wiring is needed here.
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "core/online_estimator.hh"
 #include "core/regression_estimator.hh"
-#include "cpu/pipeline.hh"
-#include "softarch/ace_analyzer.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
 #include "stats/error_metrics.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
-#include "trace/synthetic.hh"
-#include "util/env.hh"
+#include "util/logging.hh"
 
 namespace
 {
 
 using namespace avf;
+using namespace avf::harness;
 using core::FeatureVector;
 using core::Structure;
 
@@ -42,68 +45,56 @@ struct AppData
     std::vector<double> online;    // error-bit estimate
 };
 
-AppData
-collect(const std::string &bench, int intervals)
-{
-    trace::SyntheticTraceGenerator gen(trace::specProfile(bench));
-    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
-
-    core::OnlineConfig online_conf; // M = N = 1000
-    core::OnlineAvfEstimator online(pipe, Structure::IQ, online_conf);
-    softarch::SoftArchConfig sa;
-    softarch::AceAnalyzer reference(pipe, sa);
-    const Cycle interval_len = online_conf.m * online_conf.n;
-    core::FeatureCollector features(pipe, interval_len);
-    pipe.addObserver(&online);
-    pipe.addObserver(&reference);
-    pipe.addObserver(&features);
-
-    pipe.run(interval_len * static_cast<Cycle>(intervals) +
-             sa.lookahead + online_conf.m);
-    reference.finalizeAll(static_cast<std::size_t>(intervals - 1));
-
-    AppData data;
-    auto n = std::min<std::size_t>(
-        {static_cast<std::size_t>(intervals),
-         features.features().size(), reference.results().size(),
-         online.estimates().size()});
-    for (std::size_t k = 0; k < n; ++k) {
-        data.features.push_back(features.features()[k]);
-        data.reference.push_back(
-            reference.results()[k][Structure::IQ]);
-        data.online.push_back(online.estimates()[k]);
-    }
-    return data;
-}
-
 } // namespace
 
 int
 main()
 {
     using stats::TablePrinter;
-    const int intervals = envFlag("AVF_FAST") ? 4 : 12;
+
+    auto options = loadRunOptions();
+    const int intervals = options.fastMode ? 4 : 12;
 
     const std::vector<std::string> train_set = {
         "ammp", "bzip2", "equake", "lucas", "perlbmk", "swim"};
     const std::vector<std::string> test_set = {
         "art", "facerec", "mesa", "sixtrack", "wupwise"};
 
+    ExperimentEngine engine(options);
+    engine.onTaskDone([](const std::string &name, double wall_ms,
+                         const RunSummary &) {
+        std::fprintf(stderr, "finished %s in %.0f ms\n", name.c_str(),
+                     wall_ms);
+    });
+    for (const auto &set : {train_set, test_set}) {
+        for (const auto &bench : set) {
+            ExperimentConfig conf;
+            conf.profile = trace::specProfile(bench);
+            conf.numIntervals = intervals;
+            engine.submit(bench, conf);
+        }
+    }
+
     std::map<std::string, AppData> data;
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        AppData d;
+        d.features = task.result.features;
+        d.reference = task.result.softarchSeries(Structure::IQ);
+        d.online = task.result.onlineSeries(Structure::IQ);
+        data[task.name] = std::move(d);
+    }
+
     std::vector<FeatureVector> train_x;
     std::vector<double> train_y;
     for (const auto &bench : train_set) {
-        std::fprintf(stderr, "training data: %s...\n", bench.c_str());
-        data[bench] = collect(bench, intervals);
         const auto &d = data[bench];
         train_x.insert(train_x.end(), d.features.begin(),
                        d.features.end());
         train_y.insert(train_y.end(), d.reference.begin(),
                        d.reference.end());
-    }
-    for (const auto &bench : test_set) {
-        std::fprintf(stderr, "held-out data: %s...\n", bench.c_str());
-        data[bench] = collect(bench, intervals);
     }
 
     core::LinearAvfModel model;

@@ -9,13 +9,16 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "stats/error_metrics.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
-#include "util/env.hh"
+#include "util/logging.hh"
 
 int
 main()
@@ -25,7 +28,8 @@ main()
     using core::Structure;
     using stats::TablePrinter;
 
-    const int intervals = envFlag("AVF_FAST") ? 4 : 15;
+    auto options = loadRunOptions();
+    const int intervals = options.fastMode ? 4 : 15;
     const std::vector<std::string> benches = {"bzip2", "swim", "mesa"};
 
     TablePrinter table("Ablation: fixed-interval vs randomized "
@@ -33,21 +37,28 @@ main()
     table.setHeader({"app", "structure", "fixed", "randomized",
                      "difference"});
 
+    // Both sampling modes of every benchmark run concurrently: tasks
+    // 2k are fixed-timing, tasks 2k+1 randomized.
+    ExperimentEngine engine(options);
     for (const auto &name : benches) {
-        ExperimentResult fixed, randomized;
-        {
-            ExperimentConfig conf;
-            conf.profile = trace::specProfile(name);
-            conf.numIntervals = intervals;
-            fixed = runExperiment(conf);
-        }
-        {
-            ExperimentConfig conf;
-            conf.profile = trace::specProfile(name);
-            conf.numIntervals = intervals;
-            conf.online.randomizeInjectionTiming = true;
-            randomized = runExperiment(conf);
-        }
+        ExperimentConfig conf;
+        conf.profile = trace::specProfile(name);
+        conf.numIntervals = intervals;
+        engine.submit(name + ":fixed", conf);
+        conf.online.randomizeInjectionTiming = true;
+        engine.submit(name + ":randomized", conf);
+    }
+
+    auto tasks = engine.collect();
+    for (const auto &task : tasks)
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+
+    for (std::size_t pair = 0; pair < benches.size(); ++pair) {
+        const auto &name = benches[pair];
+        const auto &fixed = tasks[2 * pair].result;
+        const auto &randomized = tasks[2 * pair + 1].result;
 
         for (int s = 0; s < core::numStructures; ++s) {
             auto structure = static_cast<Structure>(s);

@@ -11,11 +11,14 @@
 
 #include <cstdio>
 
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "stats/error_metrics.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
+#include "util/logging.hh"
 
 int
 main()
@@ -25,21 +28,34 @@ main()
     using core::Structure;
     using stats::TablePrinter;
 
-    int intervals = defaultIntervals(40);
+    auto options = loadRunOptions(40);
     std::printf("Extension: FP register file AVF (M = N = 1000, %d "
-                "intervals per application)\n", intervals);
+                "intervals per application)\n", options.intervals);
 
     TablePrinter table("FREG extension: online vs SoftArch, with "
                        "integer REG for comparison");
     table.setHeader({"app", "freg real", "freg online", "abs err mean",
                      "abs err max", "reg real"});
 
+    ExperimentEngine engine(options);
+    engine.onTaskDone([](const std::string &name, double wall_ms,
+                         const RunSummary &) {
+        std::fprintf(stderr, "finished %s in %.0f ms\n", name.c_str(),
+                     wall_ms);
+    });
     for (const auto &name : trace::specBenchmarkNames()) {
         ExperimentConfig conf;
         conf.profile = trace::specProfile(name);
-        conf.numIntervals = intervals;
-        std::fprintf(stderr, "running %s...\n", name.c_str());
-        auto result = runExperiment(conf);
+        conf.numIntervals = options.intervals;
+        engine.submit(name, conf);
+    }
+
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        const auto &name = task.name;
+        const auto &result = task.result;
 
         auto mean = [](const std::vector<double> &v) {
             stats::RunningStats s;

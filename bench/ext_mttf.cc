@@ -14,11 +14,14 @@
 
 #include <cstdio>
 
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "reliability/fit_model.hh"
 #include "reliability/mttf_tracker.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
+#include "util/logging.hh"
 
 int
 main()
@@ -28,7 +31,7 @@ main()
     using namespace avf::reliability;
     using stats::TablePrinter;
 
-    int intervals = defaultIntervals(20);
+    auto options = loadRunOptions(20);
     // Reliability goal expressed as this core's allocation of the
     // chip-level FIT budget (the usual way architects budget SER).
     const double fit_budget = 5.0;
@@ -48,12 +51,25 @@ main()
                      "cov needed (real)", "cov needed (online)",
                      "cov needed (worst)"});
 
+    ExperimentEngine engine(options);
+    engine.onTaskDone([](const std::string &name, double wall_ms,
+                         const RunSummary &) {
+        std::fprintf(stderr, "finished %s in %.0f ms\n", name.c_str(),
+                     wall_ms);
+    });
     for (const auto &name : trace::specBenchmarkNames()) {
         ExperimentConfig conf;
         conf.profile = trace::specProfile(name);
-        conf.numIntervals = intervals;
-        std::fprintf(stderr, "running %s...\n", name.c_str());
-        auto result = runExperiment(conf);
+        conf.numIntervals = options.intervals;
+        engine.submit(name, conf);
+    }
+
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        const auto &name = task.name;
+        const auto &result = task.result;
 
         MttfTracker real_tracker(base_model, goal_hours);
         MttfTracker online_tracker(base_model, goal_hours);

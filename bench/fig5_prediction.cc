@@ -13,10 +13,13 @@
 #include <vector>
 
 #include "core/predictor.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
+#include "util/logging.hh"
 
 int
 main()
@@ -26,9 +29,9 @@ main()
     using core::Structure;
     using stats::TablePrinter;
 
-    int intervals = defaultIntervals(60);
+    auto options = loadRunOptions(60);
     std::printf("Figure 5 reproduction: last-value predictor over %d "
-                "intervals per application\n", intervals);
+                "intervals per application\n", options.intervals);
 
     TablePrinter table("Figure 5: absolute prediction error of the "
                        "simple (last-value) predictor vs average "
@@ -36,14 +39,27 @@ main()
     table.setHeader({"app", "structure", "avg_prediction_error",
                      "avg_real_AVF", "rel_error"});
 
-    double worst = 0.0;
-    int above_005 = 0, cells = 0;
+    ExperimentEngine engine(options);
+    engine.onTaskDone([](const std::string &name, double wall_ms,
+                         const RunSummary &) {
+        std::fprintf(stderr, "finished %s in %.0f ms\n", name.c_str(),
+                     wall_ms);
+    });
     for (const auto &name : trace::specBenchmarkNames()) {
         ExperimentConfig conf;
         conf.profile = trace::specProfile(name);
-        conf.numIntervals = intervals;
-        std::fprintf(stderr, "running %s...\n", name.c_str());
-        auto result = runExperiment(conf);
+        conf.numIntervals = options.intervals;
+        engine.submit(name, conf);
+    }
+
+    double worst = 0.0;
+    int above_005 = 0, cells = 0;
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        const auto &name = task.name;
+        const auto &result = task.result;
 
         for (int s = 0; s < core::numPaperStructures; ++s) {
             auto structure = static_cast<Structure>(s);

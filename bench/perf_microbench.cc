@@ -4,7 +4,8 @@
  * without the estimation machinery attached (the paper argues the
  * hardware overhead is negligible; here we show the *simulation*
  * overhead of the error-bit plane and the observers), plus component
- * throughputs (trace generation, cache access, ACE analysis).
+ * throughputs (trace generation, cache access, ACE analysis) and the
+ * campaign engine's fan-out throughput at several worker counts.
  */
 
 #include <benchmark/benchmark.h>
@@ -13,6 +14,7 @@
 
 #include "core/online_estimator.hh"
 #include "cpu/pipeline.hh"
+#include "harness/engine.hh"
 #include "mem/hierarchy.hh"
 #include "softarch/ace_analyzer.hh"
 #include "trace/spec_profiles.hh"
@@ -110,6 +112,43 @@ BM_ErrorChannelClear(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ErrorChannelClear);
+
+void
+BM_EngineCampaign(benchmark::State &state)
+{
+    // Four small experiments per batch; the per-task wall time
+    // reported through onTaskDone is aggregated into a counter so
+    // scheduling overhead (total - sum of task times) is visible.
+    using namespace avf::harness;
+    RunOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    double task_ms_total = 0.0;
+    for (auto _ : state) {
+        ExperimentEngine engine(options);
+        engine.onTaskDone([&](const std::string &, double wall_ms,
+                              const RunSummary &) {
+            task_ms_total += wall_ms;
+        });
+        for (const char *name : {"mesa", "bzip2", "swim", "ammp"}) {
+            ExperimentConfig conf;
+            conf.profile = trace::specProfile(name);
+            conf.numIntervals = 1;
+            conf.online.m = 100;
+            conf.online.n = 100;
+            conf.lookahead = 4096;
+            engine.submit(name, conf);
+        }
+        benchmark::DoNotOptimize(engine.collect());
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+    state.counters["task_ms"] = task_ms_total /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_EngineCampaign)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -6,26 +6,33 @@
  * the mean AVF of each structure — context for interpreting the
  * figure reproductions, and a quick check that the synthetic
  * stand-ins behave like the workload classes they model.
+ *
+ * The simulations fan out over the engine; the cheap instruction-mix
+ * census (a generator clone, no pipeline) stays on the main thread.
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
 
-#include "cpu/pipeline.hh"
-#include "softarch/ace_analyzer.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic.hh"
-#include "util/env.hh"
+#include "util/logging.hh"
 
 int
 main()
 {
     using namespace avf;
+    using namespace avf::harness;
     using core::Structure;
     using stats::TablePrinter;
 
-    const Cycle cycles = envFlag("AVF_FAST") ? 2'000'000
-                                             : 10'000'000;
+    auto options = loadRunOptions();
+    const int intervals = options.fastMode ? 2 : 10;
 
     TablePrinter perf("Workload characterization: performance");
     perf.setHeader({"app", "IPC", "branch acc", "L1D miss",
@@ -35,11 +42,18 @@ main()
                      "(SoftArch reference)");
     avf.setHeader({"app", "iq", "reg", "fxu", "fpu", "freg"});
 
+    ExperimentEngine engine(options);
     for (const auto &name : trace::specBenchmarkNames()) {
-        std::fprintf(stderr, "running %s...\n", name.c_str());
-        trace::SyntheticTraceGenerator gen(trace::specProfile(name));
+        ExperimentConfig conf;
+        conf.profile = trace::specProfile(name);
+        conf.numIntervals = intervals;
+        engine.submit(name, conf);
+    }
 
-        // Instruction-mix census on a generator clone.
+    // Instruction-mix census on a generator clone, while the workers
+    // churn through the simulations.
+    std::map<std::string, std::string> mixes;
+    for (const auto &name : trace::specBenchmarkNames()) {
         trace::SyntheticTraceGenerator census(
             trace::specProfile(name));
         std::uint64_t counts[16] = {};
@@ -65,41 +79,32 @@ main()
                       pct({OpClass::Load}), pct({OpClass::Store}),
                       pct({OpClass::BranchCond,
                            OpClass::BranchUncond}));
+        mixes[name] = mix;
+    }
 
-        cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
-        softarch::SoftArchConfig sa;
-        sa.intervalCycles = cycles / 4;
-        softarch::AceAnalyzer analyzer(pipe, sa);
-        pipe.addObserver(&analyzer);
-        pipe.run(cycles + sa.lookahead + 100);
-        analyzer.finalizeAll(2);
+    for (auto &task : engine.collect()) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+        const auto &name = task.name;
+        const auto &summary = task.result.summary;
 
-        const auto &dtlb = pipe.memory().dtlb().stats();
         perf.addRow(
-            {name, TablePrinter::num(pipe.stats().ipc(), 2),
-             TablePrinter::pct(
-                 pipe.branchPredictor().stats().accuracy() * 100, 1),
-             TablePrinter::pct(
-                 pipe.memory().l1d().stats().missRate() * 100, 1),
-             TablePrinter::pct(
-                 pipe.memory().l2().stats().missRate() * 100, 1),
-             TablePrinter::pct(
-                 dtlb.accesses
-                     ? 100.0 * static_cast<double>(dtlb.misses) /
-                           static_cast<double>(dtlb.accesses)
-                     : 0.0,
-                 2),
-             mix});
+            {name, TablePrinter::num(summary.ipc, 2),
+             TablePrinter::pct(summary.branchAccuracy * 100, 1),
+             TablePrinter::pct(summary.l1dMissRate * 100, 1),
+             TablePrinter::pct(summary.l2MissRate * 100, 1),
+             TablePrinter::pct(summary.dtlbMissRate * 100, 2),
+             mixes[name]});
 
-        double sums[core::numStructures] = {};
-        std::size_t rows = analyzer.results().size();
-        for (const auto &row : analyzer.results())
-            for (int s = 0; s < core::numStructures; ++s)
-                sums[s] += row.avf[static_cast<std::size_t>(s)];
         auto mean = [&](Structure s) {
-            return rows ? sums[static_cast<int>(s)] /
-                              static_cast<double>(rows)
-                        : 0.0;
+            const auto series = task.result.softarchSeries(s);
+            double sum = 0.0;
+            for (double v : series)
+                sum += v;
+            return series.empty()
+                ? 0.0
+                : sum / static_cast<double>(series.size());
         };
         avf.addRow({name, TablePrinter::num(mean(Structure::IQ)),
                     TablePrinter::num(mean(Structure::REG)),

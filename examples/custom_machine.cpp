@@ -13,8 +13,10 @@
 #include <string>
 
 #include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "stats/running_stats.hh"
+#include "util/logging.hh"
 
 namespace
 {
@@ -22,8 +24,8 @@ namespace
 using namespace avf;
 using core::Structure;
 
-harness::ExperimentResult
-runFrom(const std::string &path, int intervals)
+harness::ExperimentConfig
+configFrom(const std::string &path, int intervals)
 {
     auto conf = harness::loadExperimentConfig(path);
     if (intervals > 0)
@@ -33,7 +35,7 @@ runFrom(const std::string &path, int intervals)
                 conf.profile.name.c_str(), path.c_str(),
                 conf.numIntervals, conf.cpu.dispatchWidth,
                 conf.cpu.totalIqEntries(), conf.cpu.robEntries);
-    return harness::runExperiment(conf);
+    return conf;
 }
 
 double
@@ -58,8 +60,18 @@ main(int argc, char **argv)
     }
     int intervals = argc > 3 ? std::atoi(argv[3]) : 8;
 
-    auto a = runFrom(argv[1], intervals);
-    auto b = runFrom(argv[2], intervals);
+    // Both machine configurations simulate concurrently on one
+    // engine; results come back in submission order.
+    harness::ExperimentEngine engine;
+    engine.submit("machine A", configFrom(argv[1], intervals));
+    engine.submit("machine B", configFrom(argv[2], intervals));
+    auto tasks = engine.collect();
+    for (const auto &task : tasks)
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.error.c_str());
+    const auto &a = tasks[0].result;
+    const auto &b = tasks[1].result;
 
     std::printf("\n%-6s %14s %14s\n", "struct", "machine A",
                 "machine B");

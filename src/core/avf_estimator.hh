@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Common interface for every AVF estimator in core/: the paper's
+ * online error-bit estimator, the utilization and occupancy counter
+ * baselines, the Walcott-style regression estimator, and the TLB
+ * extension all expose the same three observables, so the harness and
+ * benches can iterate estimator sets generically instead of
+ * hard-coding each class.
+ */
+
+#ifndef AVF_CORE_AVF_ESTIMATOR_HH
+#define AVF_CORE_AVF_ESTIMATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/observer.hh"
+
+namespace avf::core
+{
+
+/**
+ * An AVF estimator attached to the pipeline as an observer. Estimates
+ * accumulate one value per completed estimation interval; partialAvf()
+ * reads the still-open interval.
+ */
+class AvfEstimator : public cpu::PipelineObserver
+{
+  public:
+    ~AvfEstimator() override = default;
+
+    /** Stable display name, "method:target" (e.g. "online:iq"). */
+    virtual std::string name() const = 0;
+
+    /** Completed per-interval AVF estimates, oldest first. */
+    virtual const std::vector<double> &estimates() const = 0;
+
+    /** Best estimate over the current (incomplete) interval. */
+    virtual double partialAvf() const = 0;
+};
+
+} // namespace avf::core
+
+#endif // AVF_CORE_AVF_ESTIMATOR_HH

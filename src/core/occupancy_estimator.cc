@@ -26,4 +26,25 @@ OccupancyEstimator::onCycle(Cycle now)
                       (static_cast<double>(intervalLen) * capacity));
 }
 
+std::string
+OccupancyEstimator::name() const
+{
+    return "occupancy:iq";
+}
+
+double
+OccupancyEstimator::partialAvf() const
+{
+    Cycle boundary = static_cast<Cycle>(results.size()) * intervalLen;
+    Cycle elapsed = pipeline.now() + 1 - boundary;
+    if (elapsed == 0 || pipeline.now() + 1 < boundary)
+        return 0.0;
+    std::uint64_t delta = pipeline.stats().iqOccupancySum -
+                          lastOccupancySum;
+    auto capacity = static_cast<double>(
+        pipeline.config().totalIqEntries());
+    return static_cast<double>(delta) /
+           (static_cast<double>(elapsed) * capacity);
+}
+
 } // namespace avf::core

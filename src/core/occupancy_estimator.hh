@@ -13,8 +13,10 @@
 #define AVF_CORE_OCCUPANCY_ESTIMATOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
 #include "util/types.hh"
@@ -23,7 +25,7 @@ namespace avf::core
 {
 
 /** Per-interval issue-queue occupancy / capacity. */
-class OccupancyEstimator : public cpu::PipelineObserver
+class OccupancyEstimator : public AvfEstimator
 {
   public:
     /**
@@ -35,8 +37,17 @@ class OccupancyEstimator : public cpu::PipelineObserver
 
     void onCycle(Cycle now) override;
 
+    /** "occupancy:iq". */
+    std::string name() const override;
+
     /** Per-interval occupancy fraction in [0, 1]. */
-    const std::vector<double> &estimates() const { return results; }
+    const std::vector<double> &estimates() const override
+    {
+        return results;
+    }
+
+    /** Mean occupancy fraction over the open interval so far. */
+    double partialAvf() const override;
 
   private:
     const cpu::Pipeline &pipeline;

@@ -26,6 +26,12 @@ OnlineAvfEstimator::onRetire(const cpu::DynInstr &,
         failureSeen = true;
 }
 
+std::string
+OnlineAvfEstimator::name() const
+{
+    return "online:" + std::string(structureName(target));
+}
+
 double
 OnlineAvfEstimator::partialAvf() const
 {

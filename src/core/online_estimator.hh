@@ -20,8 +20,10 @@
 #define AVF_CORE_ONLINE_ESTIMATOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/avf_estimator.hh"
 #include "core/structures.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
@@ -63,7 +65,7 @@ struct OnlineConfig
  * each owns a distinct error-bit channel and individually obeys the
  * one-error-at-a-time rule within its channel.
  */
-class OnlineAvfEstimator : public cpu::PipelineObserver
+class OnlineAvfEstimator : public AvfEstimator
 {
   public:
     /**
@@ -79,8 +81,14 @@ class OnlineAvfEstimator : public cpu::PipelineObserver
                   const cpu::RetireInfo &info) override;
     void onCycle(Cycle now) override;
 
+    /** "online:<structure>", e.g. "online:iq". */
+    std::string name() const override;
+
     /** Completed per-interval AVF estimates (one per N windows). */
-    const std::vector<double> &estimates() const { return results; }
+    const std::vector<double> &estimates() const override
+    {
+        return results;
+    }
 
     /** Structure being estimated. */
     Structure structure() const { return target; }
@@ -102,7 +110,7 @@ class OnlineAvfEstimator : public cpu::PipelineObserver
     std::uint64_t totalLiveInjections() const { return liveInjections; }
 
     /** AVF over the windows completed so far in the open interval. */
-    double partialAvf() const;
+    double partialAvf() const override;
 
   private:
     /** Clear the channel and fire the next injection. */

@@ -146,4 +146,56 @@ LinearAvfModel::predictSeries(
     return out;
 }
 
+RegressionEstimator::RegressionEstimator(const cpu::Pipeline &pipe,
+                                         Cycle intervalCycles,
+                                         LinearAvfModel model)
+    : collector(pipe, intervalCycles), model(std::move(model))
+{
+}
+
+void
+RegressionEstimator::onRetire(const cpu::DynInstr &instr,
+                              const cpu::RetireInfo &info)
+{
+    collector.onRetire(instr, info);
+}
+
+void
+RegressionEstimator::onCycle(Cycle now)
+{
+    collector.onCycle(now);
+}
+
+std::string
+RegressionEstimator::name() const
+{
+    return "regression:iq";
+}
+
+const std::vector<double> &
+RegressionEstimator::estimates() const
+{
+    if (!model.trained()) {
+        cached.clear();
+        return cached;
+    }
+    if (cached.size() != collector.features().size())
+        cached = model.predictSeries(collector.features());
+    return cached;
+}
+
+double
+RegressionEstimator::partialAvf() const
+{
+    const auto &series = estimates();
+    return series.empty() ? 0.0 : series.back();
+}
+
+void
+RegressionEstimator::setModel(LinearAvfModel newModel)
+{
+    model = std::move(newModel);
+    cached.clear();
+}
+
 } // namespace avf::core

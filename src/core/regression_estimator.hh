@@ -17,8 +17,10 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
 #include "util/types.hh"
@@ -104,6 +106,58 @@ class LinearAvfModel
   private:
     FeatureVector coeff{};
     bool isTrained = false;
+};
+
+/**
+ * The Walcott-style estimator as a single AvfEstimator: a
+ * FeatureCollector attached to the pipeline plus a LinearAvfModel
+ * (typically fitted offline on training workloads). estimates()
+ * yields one prediction per completed interval; until a trained
+ * model is supplied it stays empty — the regression approach cannot
+ * produce numbers without calibration, which is exactly the paper's
+ * criticism of it.
+ */
+class RegressionEstimator : public AvfEstimator
+{
+  public:
+    /**
+     * @param pipe pipeline to watch (caller attaches).
+     * @param intervalCycles estimation-interval length.
+     * @param model prediction model; may be untrained and replaced
+     *        later via setModel().
+     */
+    RegressionEstimator(const cpu::Pipeline &pipe,
+                        Cycle intervalCycles,
+                        LinearAvfModel model = LinearAvfModel{});
+
+    void onRetire(const cpu::DynInstr &instr,
+                  const cpu::RetireInfo &info) override;
+    void onCycle(Cycle now) override;
+
+    /** "regression:iq" (the model is calibrated against IQ AVF). */
+    std::string name() const override;
+
+    /** Per-interval predictions; empty until the model is trained. */
+    const std::vector<double> &estimates() const override;
+
+    /** Latest completed-interval prediction (regression has no
+     *  intra-interval visibility); 0 when none. */
+    double partialAvf() const override;
+
+    /** Install a (trained) model; predictions recompute lazily. */
+    void setModel(LinearAvfModel model);
+
+    /** Raw per-interval feature rows (for offline fitting). */
+    const std::vector<FeatureVector> &features() const
+    {
+        return collector.features();
+    }
+
+  private:
+    FeatureCollector collector;
+    LinearAvfModel model;
+    /** Cache of model.predictSeries(features()), refreshed lazily. */
+    mutable std::vector<double> cached;
 };
 
 } // namespace avf::core

@@ -55,6 +55,12 @@ TlbAvfEstimator::onCycle(Cycle now)
     inject();
 }
 
+std::string
+TlbAvfEstimator::name() const
+{
+    return "online:dtlb";
+}
+
 double
 TlbAvfEstimator::meanEstimate() const
 {

@@ -14,8 +14,10 @@
 #define AVF_CORE_TLB_ESTIMATOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
 #include "util/types.hh"
@@ -36,7 +38,7 @@ struct TlbEstimatorConfig
 };
 
 /** Algorithm 1 pointed at the dTLB. */
-class TlbAvfEstimator : public cpu::PipelineObserver
+class TlbAvfEstimator : public AvfEstimator
 {
   public:
     TlbAvfEstimator(cpu::Pipeline &pipe,
@@ -46,14 +48,20 @@ class TlbAvfEstimator : public cpu::PipelineObserver
                   const cpu::RetireInfo &info) override;
     void onCycle(Cycle now) override;
 
+    /** "online:dtlb". */
+    std::string name() const override;
+
     /** Completed AVF estimates (one per N windows). */
-    const std::vector<double> &estimates() const { return results; }
+    const std::vector<double> &estimates() const override
+    {
+        return results;
+    }
 
     /** Mean of all completed estimates (0 when none). */
     double meanEstimate() const;
 
     /** Failures/injections of the still-open estimate. */
-    double partialAvf() const;
+    double partialAvf() const override;
 
     /** Total injections fired. */
     std::uint64_t totalInjections() const { return lifetimeInjections; }

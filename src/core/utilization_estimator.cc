@@ -1,5 +1,7 @@
 #include "core/utilization_estimator.hh"
 
+#include <cctype>
+
 #include "util/logging.hh"
 
 namespace avf::core
@@ -28,6 +30,31 @@ UtilizationEstimator::onCycle(Cycle now)
         pipeline.config().unitsIn(fuClass));
     results.push_back(static_cast<double>(delta) /
                       (static_cast<double>(intervalLen) * units));
+}
+
+std::string
+UtilizationEstimator::name() const
+{
+    std::string cls = cpu::fuClassName(fuClass);
+    for (char &c : cls)
+        c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    return "utilization:" + cls;
+}
+
+double
+UtilizationEstimator::partialAvf() const
+{
+    Cycle boundary = static_cast<Cycle>(results.size()) * intervalLen;
+    Cycle elapsed = pipeline.now() + 1 - boundary;
+    if (elapsed == 0 || pipeline.now() + 1 < boundary)
+        return 0.0;
+    std::uint64_t delta = pipeline.stats().busyUnitCycles[
+        static_cast<int>(fuClass)] - lastBusy;
+    auto units = static_cast<double>(
+        pipeline.config().unitsIn(fuClass));
+    return static_cast<double>(delta) /
+           (static_cast<double>(elapsed) * units);
 }
 
 } // namespace avf::core

@@ -12,8 +12,10 @@
 #define AVF_CORE_UTILIZATION_ESTIMATOR_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
 #include "util/types.hh"
@@ -22,7 +24,7 @@ namespace avf::core
 {
 
 /** Per-interval utilization of one functional-unit class. */
-class UtilizationEstimator : public cpu::PipelineObserver
+class UtilizationEstimator : public AvfEstimator
 {
   public:
     /**
@@ -35,8 +37,17 @@ class UtilizationEstimator : public cpu::PipelineObserver
 
     void onCycle(Cycle now) override;
 
+    /** "utilization:<unit class>", e.g. "utilization:fxu". */
+    std::string name() const override;
+
     /** Per-interval utilization in [0, 1]. */
-    const std::vector<double> &estimates() const { return results; }
+    const std::vector<double> &estimates() const override
+    {
+        return results;
+    }
+
+    /** Mean utilization over the open interval so far. */
+    double partialAvf() const override;
 
   private:
     const cpu::Pipeline &pipeline;

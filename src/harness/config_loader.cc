@@ -1,6 +1,8 @@
 #include "harness/config_loader.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,7 +27,54 @@ warnUnknownKeys(const KeyValueFile &file, const std::string &section,
     }
 }
 
+/** Strict boolean env var: unset/empty = false, junk = fatal(). */
+bool
+envFlagStrict(const char *name)
+{
+    const char *val = std::getenv(name);
+    if (!val || !*val)
+        return false;
+    for (const char *t : {"1", "true", "yes", "on"})
+        if (std::strcmp(val, t) == 0)
+            return true;
+    for (const char *f : {"0", "false", "no", "off"})
+        if (std::strcmp(val, f) == 0)
+            return false;
+    fatal("%s='%s' is not a boolean (use 1/true/yes/on or "
+          "0/false/no/off)", name, val);
+}
+
+/** Strict positive-integer env var; @return fallback when unset. */
+int
+envPositiveIntStrict(const char *name, int fallback)
+{
+    const char *val = std::getenv(name);
+    if (!val || !*val)
+        return fallback;
+    char *end = nullptr;
+    long long parsed = std::strtoll(val, &end, 10);
+    if (end == val || *end != '\0')
+        fatal("%s='%s' is not an integer", name, val);
+    if (parsed <= 0)
+        fatal("%s=%lld must be positive", name, parsed);
+    if (parsed > 1'000'000)
+        fatal("%s=%lld is implausibly large", name, parsed);
+    return static_cast<int>(parsed);
+}
+
 } // namespace
+
+RunOptions
+loadRunOptions(int paperDefaultIntervals)
+{
+    RunOptions options;
+    options.fastMode = envFlagStrict("AVF_FAST");
+    options.intervals = envPositiveIntStrict("AVF_INTERVALS",
+                                             paperDefaultIntervals);
+    if (options.fastMode)
+        options.intervals = 12;
+    return options;
+}
 
 ExperimentConfig
 loadExperimentConfig(const std::string &path)

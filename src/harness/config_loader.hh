@@ -27,6 +27,7 @@
 
 #include <string>
 
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "util/keyvalue.hh"
 
@@ -38,6 +39,26 @@ ExperimentConfig loadExperimentConfig(const std::string &path);
 
 /** Same, from already-parsed key/values (tests). */
 ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
+
+/**
+ * Resolve campaign RunOptions once, here, instead of scattering
+ * env-var reads through every bench. The explicit struct is the
+ * contract; the environment variables are documented fallbacks:
+ *
+ *   AVF_INTERVALS=<n>  interval count (must be a positive integer)
+ *   AVF_FAST=1         smoke mode: shrink intervals to 12 (wins over
+ *                      AVF_INTERVALS; accepts 1/true/yes/on and
+ *                      0/false/no/off)
+ *
+ * Malformed values — non-numeric, negative, or zero AVF_INTERVALS,
+ * unrecognized AVF_FAST — are rejected with fatal() instead of being
+ * silently ignored. Worker-thread count has NO env var by design:
+ * override RunOptions::threads in code.
+ *
+ * @param paperDefaultIntervals interval count when no override is
+ *        present (the paper uses 100-200 depending on the figure).
+ */
+RunOptions loadRunOptions(int paperDefaultIntervals = 100);
 
 } // namespace avf::harness
 

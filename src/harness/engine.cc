@@ -1,0 +1,116 @@
+#include "harness/engine.hh"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "util/random.hh"
+
+namespace avf::harness
+{
+
+ExperimentEngine::ExperimentEngine(RunOptions options)
+    : opts(options), pool(options.threads)
+{
+}
+
+ExperimentEngine::~ExperimentEngine()
+{
+    // Let in-flight tasks finish; abandoning them would leave workers
+    // writing into freed slots.
+    pool.wait();
+}
+
+unsigned
+ExperimentEngine::threadCount() const
+{
+    return static_cast<unsigned>(pool.size());
+}
+
+void
+ExperimentEngine::onTaskDone(ProgressFn callback)
+{
+    progress = std::move(callback);
+}
+
+std::size_t
+ExperimentEngine::submit(std::string name, ExperimentConfig config)
+{
+    if (opts.seedSalt != 0) {
+        // Seeds derive from the submission index, never from
+        // scheduling order, so re-seeded campaigns stay deterministic
+        // at any thread count.
+        Rng derive(opts.seedSalt ^
+                   (0x9e3779b97f4a7c15ull * (batch.size() + 1)));
+        config.profile.seed = derive.next();
+        config.online.seed = derive.next();
+    }
+    return submit(std::move(name),
+                  [config = std::move(config)] {
+                      return detail::runExperimentDirect(config);
+                  });
+}
+
+std::size_t
+ExperimentEngine::submit(std::string name, TaskFn task)
+{
+    std::size_t index = batch.size();
+    batch.emplace_back();
+    TaskResult &slot = batch.back();
+    slot.index = index;
+    slot.name = std::move(name);
+    pool.submit([this, &slot, task = std::move(task)] {
+        runTask(slot, task);
+    });
+    return index;
+}
+
+void
+ExperimentEngine::runTask(TaskResult &slot, const TaskFn &task)
+{
+    auto start = std::chrono::steady_clock::now();
+    try {
+        slot.result = task();
+    } catch (const std::exception &e) {
+        slot.error = e.what();
+        slot.exception = std::current_exception();
+    } catch (...) {
+        slot.error = "unknown exception";
+        slot.exception = std::current_exception();
+    }
+    slot.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (progress) {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        progress(slot.name, slot.wallMs,
+                 slot.ok() ? slot.result.summary : RunSummary{});
+    }
+}
+
+std::vector<TaskResult>
+ExperimentEngine::collect()
+{
+    pool.wait();
+    std::vector<TaskResult> out;
+    out.reserve(batch.size());
+    for (auto &slot : batch)
+        out.push_back(std::move(slot));
+    batch.clear();
+    return out;
+}
+
+std::vector<TaskResult>
+runCampaign(
+    const std::vector<std::pair<std::string, ExperimentConfig>> &tasks,
+    RunOptions options, ExperimentEngine::ProgressFn progress)
+{
+    ExperimentEngine engine(options);
+    if (progress)
+        engine.onTaskDone(std::move(progress));
+    for (const auto &[name, config] : tasks)
+        engine.submit(name, config);
+    return engine.collect();
+}
+
+} // namespace avf::harness

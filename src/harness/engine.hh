@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The campaign engine. Every figure and ablation in the paper is a
+ * campaign — the same experiment repeated across workloads, M/N
+ * sweeps, or sampling modes — and the per-(workload, config) runs are
+ * embarrassingly parallel. Callers enqueue named ExperimentConfig
+ * tasks with submit(), the engine fans them out over a fixed-size
+ * worker pool, and collect() returns the results in submission order,
+ * so campaign output is byte-identical regardless of thread count.
+ *
+ * Determinism contract: a task's result depends only on its config
+ * (every RNG stream is seeded from the config, and optional re-seeding
+ * derives from the task's submission index) — never on which worker
+ * ran it or in what order the pool scheduled it.
+ */
+
+#ifndef AVF_HARNESS_ENGINE_HH
+#define AVF_HARNESS_ENGINE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "util/thread_pool.hh"
+
+namespace avf::harness
+{
+
+/**
+ * Campaign-level run options, resolved once (see
+ * config_loader.hh:loadRunOptions) instead of sprinkling env-var
+ * reads through every bench.
+ */
+struct RunOptions
+{
+    /** Estimation intervals per task (benches scale figures by it). */
+    int intervals = 100;
+    /** Worker threads; 0 = std::thread::hardware_concurrency(). */
+    unsigned threads = 0;
+    /** Smoke-run mode: loadRunOptions() shrinks intervals to 12. */
+    bool fastMode = false;
+    /**
+     * When nonzero, submit() re-derives each task's workload and
+     * estimator seeds from (seedSalt, submission index) — never from
+     * scheduling order. Zero (the default) leaves the seeds in the
+     * submitted config untouched, which keeps engine campaigns
+     * byte-identical to the historical serial runExperiment() loops.
+     */
+    std::uint64_t seedSalt = 0;
+};
+
+/** Outcome of one engine task. */
+struct TaskResult
+{
+    /** Submission index (collect() returns tasks in this order). */
+    std::size_t index = 0;
+    /** Name given at submit(). */
+    std::string name;
+    /** The experiment output; meaningful only when ok(). */
+    ExperimentResult result;
+    /** Empty on success; the failure message otherwise. */
+    std::string error;
+    /** The captured exception, for callers who want to rethrow. */
+    std::exception_ptr exception;
+    /** Wall-clock time the task spent executing, in milliseconds. */
+    double wallMs = 0.0;
+
+    /** True when the task ran to completion. */
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parallel, deterministic experiment runner.
+ *
+ * Usage:
+ *     ExperimentEngine engine;               // or engine(options)
+ *     for (...) engine.submit(name, config); // fans out immediately
+ *     for (auto &task : engine.collect())    // submission order
+ *         use(task.result);
+ *
+ * A task that throws is reported in its TaskResult without affecting
+ * sibling tasks. The engine is reusable: submit/collect cycles may
+ * repeat. Not itself thread-safe — drive it from one thread.
+ */
+class ExperimentEngine
+{
+  public:
+    /** A task body; must be self-contained (no shared mutable state). */
+    using TaskFn = std::function<ExperimentResult()>;
+    /** Progress callback; see onTaskDone(). */
+    using ProgressFn = std::function<void(
+        const std::string &name, double wallMs, const RunSummary &)>;
+
+    explicit ExperimentEngine(RunOptions options = RunOptions{});
+    ~ExperimentEngine();
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /**
+     * Enqueue a standard experiment; starts as soon as a worker is
+     * free. With options.seedSalt nonzero the config's seeds are
+     * re-derived from the submission index first.
+     *
+     * @return the task's submission index.
+     */
+    std::size_t submit(std::string name, ExperimentConfig config);
+
+    /**
+     * Enqueue an arbitrary task body (custom pipelines, fault
+     * campaigns, tests). The body runs on a worker thread and must
+     * not touch shared mutable state.
+     */
+    std::size_t submit(std::string name, TaskFn task);
+
+    /**
+     * Install a campaign-observability callback, invoked once per
+     * finished task (in completion order, serialized) with the task's
+     * name, wall-clock milliseconds, and run summary. Failed tasks
+     * report a zeroed summary. The callback runs on worker threads —
+     * keep it light. Set before the first submit().
+     */
+    void onTaskDone(ProgressFn callback);
+
+    /**
+     * Block until every submitted task finished and return their
+     * results in submission order. Resets the engine for the next
+     * submit/collect batch.
+     */
+    std::vector<TaskResult> collect();
+
+    /** Resolved worker count (>= 1). */
+    unsigned threadCount() const;
+
+    /** Tasks submitted in the current batch so far. */
+    std::size_t submitted() const { return batch.size(); }
+
+    /** Options the engine was built with. */
+    const RunOptions &options() const { return opts; }
+
+  private:
+    void runTask(TaskResult &slot, const TaskFn &task);
+
+    RunOptions opts;
+    ThreadPool pool;
+    ProgressFn progress;
+    std::mutex progressMutex;
+    /** Slots for the current batch; deque keeps references stable
+     *  while workers fill earlier slots and submit() appends. */
+    std::deque<TaskResult> batch;
+};
+
+/**
+ * Convenience: run one named campaign start-to-finish. Equivalent to
+ * constructing an engine, submitting every (name, config) pair in
+ * order, and collecting.
+ */
+std::vector<TaskResult>
+runCampaign(const std::vector<std::pair<std::string,
+                                        ExperimentConfig>> &tasks,
+            RunOptions options = RunOptions{},
+            ExperimentEngine::ProgressFn progress = nullptr);
+
+} // namespace avf::harness
+
+#endif // AVF_HARNESS_ENGINE_HH

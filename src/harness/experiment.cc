@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 
+#include "core/avf_estimator.hh"
+#include "core/occupancy_estimator.hh"
 #include "core/utilization_estimator.hh"
 #include "cpu/pipeline.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
 #include "softarch/ace_analyzer.hh"
 #include "trace/synthetic.hh"
-#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace avf::harness
@@ -38,20 +43,41 @@ ExperimentResult::softarchSeries(Structure s) const
 std::vector<double>
 ExperimentResult::utilizationSeries(Structure s) const
 {
+    // Utilization is only defined for the logic structures; for a
+    // storage structure there is no underlying data, so return an
+    // empty series instead of misreading a zeroed array slot.
+    if (s != Structure::FXU && s != Structure::FPU)
+        return {};
     std::vector<double> out;
     out.reserve(intervals.size());
     std::size_t idx = s == Structure::FXU ? 0 : 1;
-    avf_assert(s == Structure::FXU || s == Structure::FPU,
-               "utilization defined for logic structures only");
     for (const auto &row : intervals)
         out.push_back(row.utilization[idx]);
     return out;
 }
 
-ExperimentResult
-runExperiment(const ExperimentConfig &config)
+std::vector<double>
+ExperimentResult::occupancySeries() const
 {
-    avf_assert(config.numIntervals > 0, "need at least one interval");
+    std::vector<double> out;
+    out.reserve(intervals.size());
+    for (const auto &row : intervals)
+        out.push_back(row.occupancy);
+    return out;
+}
+
+namespace detail
+{
+
+ExperimentResult
+runExperimentDirect(const ExperimentConfig &config)
+{
+    if (config.numIntervals <= 0)
+        throw std::invalid_argument(
+            "experiment: need at least one interval");
+    if (config.online.m == 0 || config.online.n == 0)
+        throw std::invalid_argument(
+            "experiment: online M and N must be positive");
 
     const Cycle interval_len = config.online.m *
         static_cast<Cycle>(config.online.n);
@@ -59,28 +85,41 @@ runExperiment(const ExperimentConfig &config)
     trace::SyntheticTraceGenerator generator(config.profile);
     cpu::Pipeline pipeline(config.cpu, generator);
 
-    // Online estimators, one per structure / channel.
-    std::vector<std::unique_ptr<core::OnlineAvfEstimator>> online;
-    for (int s = 0; s < core::numStructures; ++s) {
-        online.push_back(std::make_unique<core::OnlineAvfEstimator>(
-            pipeline, static_cast<Structure>(s), config.online));
-        pipeline.addObserver(online.back().get());
-    }
+    // The estimator roster, iterated generically below: online
+    // estimators first (one per structure, slot = structure index),
+    // then the utilization baselines and the occupancy baseline.
+    std::vector<std::unique_ptr<core::AvfEstimator>> estimators;
+    for (int s = 0; s < core::numStructures; ++s)
+        estimators.push_back(
+            std::make_unique<core::OnlineAvfEstimator>(
+                pipeline, static_cast<Structure>(s), config.online));
+    const std::size_t util_fxu_slot = estimators.size();
+    estimators.push_back(std::make_unique<core::UtilizationEstimator>(
+        pipeline, cpu::FuClass::Fxu, interval_len));
+    estimators.push_back(std::make_unique<core::UtilizationEstimator>(
+        pipeline, cpu::FuClass::Fpu, interval_len));
+    const std::size_t occupancy_slot = estimators.size();
+    estimators.push_back(std::make_unique<core::OccupancyEstimator>(
+        pipeline, interval_len));
 
-    // SoftArch reference.
+    // SoftArch reference (attached between the online estimators and
+    // the counter baselines, matching the historical observer order).
     softarch::SoftArchConfig sa_conf;
     sa_conf.intervalCycles = interval_len;
     sa_conf.lookahead = config.lookahead;
+    sa_conf.fieldGranularIq = config.online.fieldGranularIq;
     softarch::AceAnalyzer reference(pipeline, sa_conf);
-    pipeline.addObserver(&reference);
 
-    // Utilization baseline for the logic structures.
-    core::UtilizationEstimator util_fxu(pipeline, cpu::FuClass::Fxu,
-                                        interval_len);
-    core::UtilizationEstimator util_fpu(pipeline, cpu::FuClass::Fpu,
-                                        interval_len);
-    pipeline.addObserver(&util_fxu);
-    pipeline.addObserver(&util_fpu);
+    for (std::size_t i = 0; i < util_fxu_slot; ++i)
+        pipeline.addObserver(estimators[i].get());
+    pipeline.addObserver(&reference);
+    for (std::size_t i = util_fxu_slot; i < estimators.size(); ++i)
+        pipeline.addObserver(estimators[i].get());
+
+    // Regression features ride along so engine campaigns can fit and
+    // evaluate the Walcott-style estimator without a second pass.
+    core::FeatureCollector features(pipeline, interval_len);
+    pipeline.addObserver(&features);
 
     // Simulate: numIntervals intervals plus the SoftArch lookahead
     // (plus one spare window so every boundary event fires).
@@ -96,15 +135,13 @@ runExperiment(const ExperimentConfig &config)
 
     auto intervals_available = static_cast<std::size_t>(
         config.numIntervals);
-    for (const auto &est : online)
+    for (const auto &est : estimators)
         intervals_available = std::min(intervals_available,
                                        est->estimates().size());
     intervals_available = std::min(intervals_available,
                                    reference.results().size());
     intervals_available = std::min(intervals_available,
-                                   util_fxu.estimates().size());
-    intervals_available = std::min(intervals_available,
-                                   util_fpu.estimates().size());
+                                   features.features().size());
     if (intervals_available <
         static_cast<std::size_t>(config.numIntervals)) {
         warn("experiment '%s': only %zu of %d intervals completed",
@@ -117,13 +154,21 @@ runExperiment(const ExperimentConfig &config)
         auto &row = result.intervals[k];
         for (int s = 0; s < core::numStructures; ++s)
             row.online[static_cast<std::size_t>(s)] =
-                online[static_cast<std::size_t>(s)]->estimates()[k];
+                estimators[static_cast<std::size_t>(s)]
+                    ->estimates()[k];
         for (int s = 0; s < core::numStructures; ++s)
             row.softarch[static_cast<std::size_t>(s)] =
                 reference.results()[k].avf[static_cast<std::size_t>(s)];
-        row.utilization[0] = util_fxu.estimates()[k];
-        row.utilization[1] = util_fpu.estimates()[k];
+        row.utilization[0] =
+            estimators[util_fxu_slot]->estimates()[k];
+        row.utilization[1] =
+            estimators[util_fxu_slot + 1]->estimates()[k];
+        row.occupancy = estimators[occupancy_slot]->estimates()[k];
     }
+    result.features.assign(
+        features.features().begin(),
+        features.features().begin() +
+            static_cast<std::ptrdiff_t>(intervals_available));
 
     const auto &stats = pipeline.stats();
     result.summary.ipc = stats.ipc();
@@ -133,17 +178,40 @@ runExperiment(const ExperimentConfig &config)
         .missRate();
     result.summary.l2MissRate = pipeline.memory().l2().stats()
         .missRate();
+    const auto &dtlb = pipeline.memory().dtlb().stats();
+    result.summary.dtlbMissRate = dtlb.accesses
+        ? static_cast<double>(dtlb.misses) /
+              static_cast<double>(dtlb.accesses)
+        : 0.0;
     result.summary.cycles = stats.cycles;
     result.summary.retired = stats.retired;
     return result;
 }
 
+} // namespace detail
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    RunOptions options;
+    options.threads = 1;
+    ExperimentEngine engine(options);
+    engine.submit(config.profile.name, config);
+    auto tasks = engine.collect();
+    auto &task = tasks.front();
+    if (!task.ok()) {
+        if (task.exception)
+            std::rethrow_exception(task.exception);
+        fatal("experiment '%s' failed: %s",
+              config.profile.name.c_str(), task.error.c_str());
+    }
+    return std::move(task.result);
+}
+
 int
 defaultIntervals(int paperDefault)
 {
-    if (envFlag("AVF_FAST"))
-        return 12;
-    return static_cast<int>(envInt("AVF_INTERVALS", paperDefault));
+    return loadRunOptions(paperDefault).intervals;
 }
 
 } // namespace avf::harness

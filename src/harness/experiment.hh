@@ -1,9 +1,15 @@
 /**
  * @file
  * Shared experiment driver: runs one workload on the Table 1 machine
- * with the online estimator (all four structures), the SoftArch
- * reference, and the utilization baseline attached, and returns the
- * per-interval AVF series — the raw material for Figures 2 through 5.
+ * with the full estimator roster attached — the online estimator for
+ * every structure, the SoftArch reference, the utilization and
+ * occupancy counter baselines, and the regression feature collector —
+ * and returns the per-interval AVF series, the raw material for
+ * Figures 2 through 5 and every ablation.
+ *
+ * runExperiment() runs one experiment; campaigns (many workloads or
+ * configs) should go through harness::ExperimentEngine (engine.hh),
+ * which fans tasks out over a worker pool with deterministic results.
  */
 
 #ifndef AVF_HARNESS_EXPERIMENT_HH
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "core/online_estimator.hh"
+#include "core/regression_estimator.hh"
 #include "core/structures.hh"
 #include "cpu/config.hh"
 #include "trace/workload_profile.hh"
@@ -46,6 +53,8 @@ struct IntervalResult
     std::array<double, core::numStructures> softarch{};
     /** Utilization baseline: [0] = FXU, [1] = FPU. */
     std::array<double, 2> utilization{};
+    /** Occupancy baseline for the issue queue. */
+    double occupancy = 0.0;
 };
 
 /** Aggregate run-level metrics. */
@@ -55,6 +64,7 @@ struct RunSummary
     double branchAccuracy = 0.0;
     double l1dMissRate = 0.0;
     double l2MissRate = 0.0;
+    double dtlbMissRate = 0.0;
     std::uint64_t cycles = 0;
     std::uint64_t retired = 0;
 };
@@ -64,28 +74,54 @@ struct ExperimentResult
 {
     std::string benchmark;
     std::vector<IntervalResult> intervals;
+    /** Per-interval regression features (Walcott-style estimator). */
+    std::vector<core::FeatureVector> features;
     RunSummary summary;
 
     /** Extract one per-interval series. */
     std::vector<double> onlineSeries(core::Structure s) const;
     std::vector<double> softarchSeries(core::Structure s) const;
-    /** Utilization series; only FXU/FPU are meaningful. */
+    /**
+     * Utilization series. Utilization is defined for the logic
+     * structures only: for any structure other than FXU/FPU this
+     * returns an EMPTY vector (there is no meaningful data to read —
+     * callers must not treat a zeroed array slot as a series).
+     */
     std::vector<double> utilizationSeries(core::Structure s) const;
+    /** Issue-queue occupancy baseline series. */
+    std::vector<double> occupancySeries() const;
 };
 
 /**
- * Run the full experiment: simulate numIntervals estimation
- * intervals (plus lookahead), collecting online, SoftArch, and
- * utilization AVFs per interval.
+ * Run one full experiment: simulate numIntervals estimation
+ * intervals (plus lookahead), collecting online, SoftArch,
+ * utilization, occupancy, and regression-feature data per interval.
+ *
+ * This is a thin single-task wrapper over the ExperimentEngine
+ * (engine.hh); multi-experiment campaigns should use the engine
+ * directly and get the worker pool for free.
  */
 ExperimentResult runExperiment(const ExperimentConfig &config);
 
 /**
  * Resolve the default interval count for benches: the paper uses
  * 100-200 intervals; the environment variable AVF_INTERVALS overrides
- * (and AVF_FAST=1 shrinks to 12 for smoke runs).
+ * (and AVF_FAST=1 shrinks to 12 for smoke runs). Thin wrapper over
+ * config_loader.hh:loadRunOptions(), kept for compatibility.
  */
 int defaultIntervals(int paperDefault = 100);
+
+namespace detail
+{
+
+/**
+ * The experiment body: runs on the calling thread, no engine
+ * involved. Throws std::invalid_argument on a bad config so the
+ * engine can report per-task errors without aborting the campaign.
+ */
+ExperimentResult runExperimentDirect(const ExperimentConfig &config);
+
+} // namespace detail
 
 } // namespace avf::harness
 

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for the experiment engine. Workers
+ * pull std::function jobs from a shared queue until shutdown; wait()
+ * blocks until every job submitted so far has finished, so a caller
+ * can reuse one pool across successive batches.
+ *
+ * Deliberately tiny: no futures, no work stealing, no priorities.
+ * Determinism is the caller's job — jobs must not communicate through
+ * scheduling order (the engine derives all per-task randomness from
+ * submission indices, never from which worker ran first).
+ */
+
+#ifndef AVF_UTIL_THREAD_POOL_HH
+#define AVF_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avf
+{
+
+/** Fixed-size pool of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 resolves to
+     *        std::thread::hardware_concurrency() (minimum 1).
+     */
+    explicit ThreadPool(unsigned threads = 0)
+    {
+        if (threads == 0)
+            threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+        workers.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            stopping = true;
+        }
+        wakeWorkers.notify_all();
+        for (auto &worker : workers)
+            worker.join();
+    }
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /** Enqueue a job; runs on some worker, FIFO dispatch order. */
+    void submit(std::function<void()> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            queue.push_back(std::move(job));
+        }
+        wakeWorkers.notify_one();
+    }
+
+    /** Block until the queue is empty and no job is in flight. */
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        idle.wait(lock,
+                  [this] { return queue.empty() && running == 0; });
+    }
+
+  private:
+    void workerLoop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            wakeWorkers.wait(
+                lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping, queue drained
+            auto job = std::move(queue.front());
+            queue.pop_front();
+            ++running;
+            lock.unlock();
+            job();
+            lock.lock();
+            --running;
+            if (queue.empty() && running == 0)
+                idle.notify_all();
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable wakeWorkers;
+    std::condition_variable idle;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    unsigned running = 0;
+    bool stopping = false;
+};
+
+} // namespace avf
+
+#endif // AVF_UTIL_THREAD_POOL_HH
