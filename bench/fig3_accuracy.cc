@@ -8,9 +8,13 @@
  * error (left charts) and relative error (right charts).
  *
  * Interval count defaults to the paper's 100 per application;
- * override with AVF_INTERVALS or AVF_FAST=1. The eleven applications
- * are independent tasks fanned out over the ExperimentEngine's worker
- * pool; output is byte-identical at any thread count.
+ * override with AVF_INTERVALS or AVF_FAST=1. AVF_LIFECYCLE=1 traces
+ * every injection's lifecycle: per-task outcome digests go to stderr
+ * and the retained records land in fig3_<app>_lifecycle.jsonl; the
+ * stdout tables are byte-identical either way (tracing is passive).
+ * The eleven applications are independent tasks fanned out over the
+ * ExperimentEngine's worker pool; output is byte-identical at any
+ * thread count.
  */
 
 #include <cstdio>
@@ -20,6 +24,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/error_metrics.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
@@ -105,15 +110,31 @@ main()
                 options.intervals);
 
     ExperimentEngine engine(options);
-    engine.onTaskDone([](const std::string &name, double wall_ms,
-                         const RunSummary &summary) {
+    engine.onTaskDone([&options](const std::string &name,
+                                 double wall_ms,
+                                 const RunSummary &summary) {
         std::fprintf(stderr, "finished %s in %.0f ms (%.2f IPC)\n",
                      name.c_str(), wall_ms, summary.ipc);
+        if (options.lifecycle) {
+            std::fprintf(
+                stderr,
+                "  lifecycle: %llu injections, %llu failures, "
+                "%llu killed, %llu expired\n",
+                static_cast<unsigned long long>(
+                    summary.lifecycleRecords),
+                static_cast<unsigned long long>(
+                    summary.lifecycleFailures),
+                static_cast<unsigned long long>(
+                    summary.lifecycleKilled),
+                static_cast<unsigned long long>(
+                    summary.lifecycleExpired));
+        }
     });
     for (const auto &name : trace::specBenchmarkNames()) {
         ExperimentConfig conf;
         conf.profile = trace::specProfile(name);
         conf.numIntervals = options.intervals;
+        conf.lifecycle.enabled = options.lifecycle;
         engine.submit(name, conf);
     }
 
@@ -122,6 +143,11 @@ main()
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.error.c_str());
+        if (options.lifecycle) {
+            std::string out = "fig3_" + task.name + "_lifecycle.jsonl";
+            writeLifecycleJsonl(task.result, out);
+            std::fprintf(stderr, "wrote %s\n", out.c_str());
+        }
         apps.push_back({task.name, std::move(task.result)});
     }
 

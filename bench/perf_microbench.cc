@@ -16,6 +16,7 @@
 #include "cpu/pipeline.hh"
 #include "harness/engine.hh"
 #include "mem/hierarchy.hh"
+#include "obs/lifecycle.hh"
 #include "softarch/ace_analyzer.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic.hh"
@@ -79,6 +80,36 @@ BM_PipelineWithEstimators(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PipelineWithEstimators)->Unit(benchmark::kMicrosecond);
+
+void
+BM_PipelineWithLifecycle(benchmark::State &state)
+{
+    // Estimator configuration identical to BM_PipelineWithEstimators,
+    // plus the lifecycle tracker and hop events: the delta between
+    // the two is the full cost of injection-lifecycle tracing. With
+    // -DAVF_LIFECYCLE_HOOKS=OFF the hop sites compile out and this
+    // converges to BM_PipelineWithEstimators.
+    trace::SyntheticTraceGenerator gen(trace::specProfile("mesa"));
+    cpu::Pipeline pipe(cpu::CpuConfig{}, gen);
+    obs::LifecycleConfig lc_conf;
+    lc_conf.enabled = true;
+    obs::LifecycleTracker tracker(lc_conf);
+    pipe.addObserver(&tracker);
+    pipe.setHopSink(&tracker);
+    std::vector<std::unique_ptr<core::OnlineAvfEstimator>> ests;
+    for (int s = 0; s < core::numStructures; ++s) {
+        ests.push_back(std::make_unique<core::OnlineAvfEstimator>(
+            pipe, static_cast<core::Structure>(s)));
+        ests.back()->setLifecycleSink(&tracker);
+        pipe.addObserver(ests.back().get());
+    }
+    for (auto _ : state)
+        pipe.step();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["records"] = static_cast<double>(
+        tracker.summary().totalClosed());
+}
+BENCHMARK(BM_PipelineWithLifecycle)->Unit(benchmark::kMicrosecond);
 
 void
 BM_PipelineFullHarness(benchmark::State &state)

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Narrow interface through which the online estimator reports the
+ * start and end of every injection's lifecycle. The estimator stays
+ * free of any dependency on the observability machinery: src/obs
+ * implements this interface (LifecycleTracker) and core only talks to
+ * the abstraction. A null sink (the default) costs one pointer test
+ * per injection.
+ */
+
+#ifndef AVF_CORE_LIFECYCLE_SINK_HH
+#define AVF_CORE_LIFECYCLE_SINK_HH
+
+#include "core/structures.hh"
+#include "util/types.hh"
+
+namespace avf::core
+{
+
+/** Receiver of injection-lifecycle open/close notifications. */
+class LifecycleSink
+{
+  public:
+    virtual ~LifecycleSink() = default;
+
+    /**
+     * An injection just fired.
+     *
+     * @param s structure injected into.
+     * @param entry entry index (register, IQ entry, unit) targeted.
+     * @param field field within the entry (field-granular IQ mode),
+     *        -1 for whole-entry injections.
+     * @param live true when the target was occupied/busy, i.e. the
+     *        injection could matter (registers are always reported
+     *        live: their liveness is not observable at inject time).
+     * @param now injection cycle.
+     */
+    virtual void openRecord(Structure s, int entry, int field,
+                            bool live, Cycle now) = 0;
+
+    /**
+     * The window that the open injection belonged to just closed; the
+     * sink stamps the final outcome from what it observed (failure
+     * retirement, overwrite kill, or expiry at @p now).
+     */
+    virtual void closeRecord(Structure s, Cycle now) = 0;
+};
+
+} // namespace avf::core
+
+#endif // AVF_CORE_LIFECYCLE_SINK_HH

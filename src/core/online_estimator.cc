@@ -41,16 +41,23 @@ OnlineAvfEstimator::partialAvf() const
 }
 
 void
-OnlineAvfEstimator::inject()
+OnlineAvfEstimator::inject(Cycle now)
 {
     injectedThisWindow = true;
     ++lifetimeInjections;
+
+    // Lifecycle bookkeeping: where the injection landed and whether
+    // the target was live (occupied/busy) at injection time.
+    int entry = cursor;
+    int field = -1;
+    bool live = false;
 
     switch (target) {
       case Structure::REG: {
         int regs = pipeline.numIntPhysRegs();
         pipeline.injectRegError(cursor, channelBit);
-        ++liveInjections; // liveness of a register is not observable
+        live = true; // liveness of a register is not observable
+        ++liveInjections;
         cursor = (cursor + 1) % regs;
         break;
       }
@@ -58,6 +65,7 @@ OnlineAvfEstimator::inject()
         int base = pipeline.numIntPhysRegs();
         int regs = pipeline.config().fpPhysRegs;
         pipeline.injectRegError(base + cursor, channelBit);
+        live = true;
         ++liveInjections;
         cursor = (cursor + 1) % regs;
         break;
@@ -66,15 +74,22 @@ OnlineAvfEstimator::inject()
         if (conf.fieldGranularIq) {
             int fields = cpu::Pipeline::iqFieldsPerEntry;
             int slots = pipeline.totalIqEntries() * fields;
+            entry = cursor / fields;
+            field = cursor % fields;
             auto outcome = pipeline.injectIqFieldError(
-                cursor / fields, cursor % fields, channelBit);
-            if (outcome == cpu::Pipeline::IqFieldInjection::Corrupted)
+                entry, field, channelBit);
+            if (outcome ==
+                cpu::Pipeline::IqFieldInjection::Corrupted) {
+                live = true;
                 ++liveInjections;
+            }
             cursor = (cursor + 1) % slots;
         } else {
             int entries = pipeline.totalIqEntries();
-            if (pipeline.injectIqEntryError(cursor, channelBit))
+            if (pipeline.injectIqEntryError(cursor, channelBit)) {
+                live = true;
                 ++liveInjections;
+            }
             cursor = (cursor + 1) % entries;
         }
         break;
@@ -82,22 +97,29 @@ OnlineAvfEstimator::inject()
       case Structure::FXU: {
         int num_units = pipeline.config().numFxu;
         if (pipeline.injectFuError(cpu::FuClass::Fxu, cursor,
-                                   channelBit) > 0)
+                                   channelBit) > 0) {
+            live = true;
             ++liveInjections;
+        }
         cursor = (cursor + 1) % num_units;
         break;
       }
       case Structure::FPU: {
         int num_units = pipeline.config().numFpu;
         if (pipeline.injectFuError(cpu::FuClass::Fpu, cursor,
-                                   channelBit) > 0)
+                                   channelBit) > 0) {
+            live = true;
             ++liveInjections;
+        }
         cursor = (cursor + 1) % num_units;
         break;
       }
       default:
         panic("estimator bound to invalid structure");
     }
+
+    if (sink)
+        sink->openRecord(target, entry, field, live, now);
 }
 
 void
@@ -106,9 +128,13 @@ OnlineAvfEstimator::windowBoundary(Cycle now)
     if (injectedThisWindow) {
         // Close the window that just ended.
         ++injections;
-        if (failureSeen)
+        if (failureSeen) {
             ++failures;
+            ++lifetimeFailures;
+        }
         failureSeen = false;
+        if (sink)
+            sink->closeRecord(target, now);
         if (injections == conf.n) {
             results.push_back(static_cast<double>(failures) /
                               static_cast<double>(conf.n));
@@ -135,7 +161,7 @@ OnlineAvfEstimator::onCycle(Cycle now)
     if (now % conf.m == 0)
         windowBoundary(now);
     if (!injectedThisWindow && now == pendingInjectCycle)
-        inject();
+        inject(now);
 }
 
 } // namespace avf::core

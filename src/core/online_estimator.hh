@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/avf_estimator.hh"
+#include "core/lifecycle_sink.hh"
 #include "core/structures.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
@@ -102,6 +103,16 @@ class OnlineAvfEstimator : public AvfEstimator
     /** Total injections across all intervals. */
     std::uint64_t totalInjections() const { return lifetimeInjections; }
 
+    /** Total failures across all closed windows (never reset). */
+    std::uint64_t totalFailures() const { return lifetimeFailures; }
+
+    /**
+     * Attach a lifecycle sink (not owned; nullptr detaches): every
+     * injection opens a record there and every window close stamps
+     * it. Purely observational — estimates are unaffected.
+     */
+    void setLifecycleSink(LifecycleSink *s) { sink = s; }
+
     /**
      * Injections that landed on an occupied entry / busy unit (for
      * storage and logic structures respectively); the complement was
@@ -114,7 +125,7 @@ class OnlineAvfEstimator : public AvfEstimator
 
   private:
     /** Clear the channel and fire the next injection. */
-    void inject();
+    void inject(Cycle now);
 
     /** Close the current window, then open the next one. */
     void windowBoundary(Cycle now);
@@ -133,7 +144,11 @@ class OnlineAvfEstimator : public AvfEstimator
     std::uint32_t injections = 0;
     std::uint32_t failures = 0;
     std::uint64_t lifetimeInjections = 0;
+    std::uint64_t lifetimeFailures = 0;
     std::uint64_t liveInjections = 0;
+
+    /** Lifecycle observer, nullptr when tracing is off. */
+    LifecycleSink *sink = nullptr;
 
     /** Round-robin cursor over entries/units of the structure. */
     int cursor = 0;

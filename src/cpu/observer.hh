@@ -13,6 +13,37 @@
 namespace avf::cpu
 {
 
+/**
+ * How an error bit moved during one pipeline event. Mirrors the
+ * paper's Section 3 propagation rules: reads carry bits into
+ * consumers, multi-input OR gates merge them, corrupted values transit
+ * functional units, and overwrites kill whatever the destination held.
+ */
+enum class ErrorHop : int
+{
+    ReadCarry = 0,  ///< a source read pulled error bits into a consumer
+    OrMerge = 1,    ///< bits from two or more origins merged in one value
+    FuTransit = 2,  ///< an erroneous value entered a functional unit
+    OverwriteKill = 3, ///< a clean(er) writeback killed resident bits
+    NumHops
+};
+
+/** Number of distinct hop kinds. */
+inline constexpr int numErrorHops = static_cast<int>(ErrorHop::NumHops);
+
+/** Stable display name ("read_carry", "or_merge", ...). */
+constexpr const char *
+errorHopName(ErrorHop hop)
+{
+    switch (hop) {
+      case ErrorHop::ReadCarry: return "read_carry";
+      case ErrorHop::OrMerge: return "or_merge";
+      case ErrorHop::FuTransit: return "fu_transit";
+      case ErrorHop::OverwriteKill: return "overwrite_kill";
+      default: return "invalid";
+    }
+}
+
 /** Passive pipeline observer; all hooks default to no-ops. */
 class PipelineObserver
 {
@@ -33,6 +64,16 @@ class PipelineObserver
 
     /** End of cycle @p now. */
     virtual void onCycle(Cycle) {}
+
+    /**
+     * Error bits @p bits moved via @p hop at instruction @p instr.
+     * Only delivered when the pipeline's hop events are enabled
+     * (Pipeline::setHopSink) and the build retains the hooks
+     * (cmake -DAVF_LIFECYCLE_HOOKS=ON, the default); bits is always
+     * nonzero. @p instr is the consumer for ReadCarry/OrMerge/
+     * FuTransit and the overwriting producer for OverwriteKill.
+     */
+    virtual void onErrorHop(const DynInstr &, ErrorMask, ErrorHop) {}
 };
 
 } // namespace avf::cpu

@@ -4,6 +4,12 @@
 
 #include "util/logging.hh"
 
+// Lifecycle observability hooks (onErrorHop emission) compile out
+// entirely with -DAVF_LIFECYCLE_HOOKS=OFF; see the root CMakeLists.
+#ifndef AVF_LIFECYCLE_HOOKS
+#define AVF_LIFECYCLE_HOOKS 1
+#endif
+
 namespace avf::cpu
 {
 
@@ -170,6 +176,15 @@ Pipeline::completeStage()
         if (instr.destPhys >= 0) {
             auto dest = static_cast<std::size_t>(instr.destPhys);
             regReady[dest] = 1;
+#if AVF_LIFECYCLE_HOOKS
+            if (hopSink) {
+                ErrorMask killed = regError[dest] &
+                    static_cast<ErrorMask>(~instr.errorMask);
+                if (killed)
+                    notifyErrorHop(instr, killed,
+                                   ErrorHop::OverwriteKill);
+            }
+#endif
             // Overwrite, not OR: writing a value replaces whatever
             // error state the register carried (dead-error kill).
             regError[dest] = instr.errorMask;
@@ -275,9 +290,28 @@ Pipeline::issueOne(int robIdx, FuClass cls)
 
     // Read the source registers: error bits travel with the values
     // ("or" gates merge multi-input errors).
+#if AVF_LIFECYCLE_HOOKS
+    // Hop accounting. hop_carried: bits acquired by reads this issue.
+    // hop_once/hop_twice: per-channel origin tracking — a channel bit
+    // contributed by two or more origins (prior mask, each erroneous
+    // source, forwarded store, dTLB entry) is an OR-merge.
+    ErrorMask hop_carried = 0;
+    ErrorMask hop_once = hopSink ? instr.errorMask : 0;
+    ErrorMask hop_twice = 0;
+#endif
     for (auto phys : instr.srcPhys) {
-        if (phys >= 0)
-            instr.errorMask |= regError[static_cast<std::size_t>(phys)];
+        if (phys >= 0) {
+            ErrorMask src_bits =
+                regError[static_cast<std::size_t>(phys)];
+            instr.errorMask |= src_bits;
+#if AVF_LIFECYCLE_HOOKS
+            if (hopSink && src_bits) {
+                hop_carried |= src_bits;
+                hop_twice |= hop_once & src_bits;
+                hop_once |= src_bits;
+            }
+#endif
+        }
     }
 
     bool forwarded = false;
@@ -286,8 +320,16 @@ Pipeline::issueOne(int robIdx, FuClass cls)
         if (fwd >= 0) {
             forwarded = true;
             // The loaded value inherits the forwarded store's error.
-            instr.errorMask |=
+            ErrorMask fwd_bits =
                 storeQueue[static_cast<std::size_t>(fwd)].error;
+            instr.errorMask |= fwd_bits;
+#if AVF_LIFECYCLE_HOOKS
+            if (hopSink && fwd_bits) {
+                hop_carried |= fwd_bits;
+                hop_twice |= hop_once & fwd_bits;
+                hop_once |= fwd_bits;
+            }
+#endif
         }
     }
 
@@ -319,9 +361,26 @@ Pipeline::issueOne(int robIdx, FuClass cls)
             hierarchy.dataAccess(instr.in.effAddr, currentCycle,
                                  &tlb_error));
         instr.errorMask |= tlb_error;
+#if AVF_LIFECYCLE_HOOKS
+        if (hopSink && tlb_error) {
+            hop_carried |= tlb_error;
+            hop_twice |= hop_once & tlb_error;
+            hop_once |= tlb_error;
+        }
+#endif
     } else {
         latency = latencyFor(instr, forwarded);
     }
+#if AVF_LIFECYCLE_HOOKS
+    if (hopSink) {
+        if (hop_carried)
+            notifyErrorHop(instr, hop_carried, ErrorHop::ReadCarry);
+        if (hop_twice)
+            notifyErrorHop(instr, hop_twice, ErrorHop::OrMerge);
+        if (instr.errorMask)
+            notifyErrorHop(instr, instr.errorMask, ErrorHop::FuTransit);
+    }
+#endif
     instr.issued = true;
     instr.issueCycle = currentCycle;
     instr.completeCycle = currentCycle + static_cast<Cycle>(latency);
@@ -345,6 +404,13 @@ Pipeline::issueOne(int robIdx, FuClass cls)
     ++statsData.issued;
     for (auto *obs : observers)
         obs->onIssue(instr);
+}
+
+void
+Pipeline::notifyErrorHop(const DynInstr &instr, ErrorMask bits,
+                         ErrorHop hop)
+{
+    hopSink->onErrorHop(instr, bits, hop);
 }
 
 void

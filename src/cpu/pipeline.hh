@@ -146,6 +146,20 @@ class Pipeline
     void clearErrorChannels(ErrorMask mask);
 
     /**
+     * Route PipelineObserver::onErrorHop events to @p sink; nullptr
+     * (the default) disables them. Hop events go to one dedicated
+     * sink rather than the whole observer list because the emission
+     * checks sit on the issue/writeback hot paths — fanning every
+     * hop out through N virtual no-ops would tax runs that do not
+     * trace. No-op (events never fire) when the build was configured
+     * with -DAVF_LIFECYCLE_HOOKS=OFF.
+     */
+    void setHopSink(PipelineObserver *sink) { hopSink = sink; }
+
+    /** True when onErrorHop events are being delivered. */
+    bool hopEventsEnabled() const { return hopSink != nullptr; }
+
+    /**
      * Inject an error into dTLB entry slot @p slot (the TLB-AVF
      * extension experiment; see bench/ext_tlb_avf).
      * @return true if the slot held a valid translation.
@@ -238,6 +252,8 @@ class Pipeline
     static FuClass fuFor(trace::OpClass op);
     int latencyFor(const DynInstr &instr, bool forwarded) const;
     void issueOne(int robIdx, FuClass cls);
+    void notifyErrorHop(const DynInstr &instr, ErrorMask bits,
+                        ErrorHop hop);
     bool tryDispatchOne(const FetchedInstr &fetched);
     void scheduleCompletion(int robIdx, Cycle when);
     /** Search the store queue for a forwardable older store. */
@@ -256,6 +272,8 @@ class Pipeline
     InstrSeq nextSeq = 0;
     /** 0 = no throttle; otherwise a dispatch-width cap. */
     int dispatchThrottle = 0;
+    /** Receiver of onErrorHop events; nullptr = disabled. */
+    PipelineObserver *hopSink = nullptr;
 
     // ROB (circular)
     std::vector<DynInstr> rob;

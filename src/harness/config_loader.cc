@@ -71,6 +71,7 @@ loadRunOptions(int paperDefaultIntervals)
     options.fastMode = envFlagStrict("AVF_FAST");
     options.intervals = envPositiveIntStrict("AVF_INTERVALS",
                                              paperDefaultIntervals);
+    options.lifecycle = envFlagStrict("AVF_LIFECYCLE");
     if (options.fastMode)
         options.intervals = 12;
     return options;
@@ -200,6 +201,25 @@ loadExperimentConfig(const KeyValueFile &file)
         mem_u64("tlb_penalty", mem.dtlb.missPenalty));
     mem.dtlb.missPenalty = tlb_penalty;
     mem.itlb.missPenalty = tlb_penalty;
+
+    // ---- [lifecycle] ----
+    warnUnknownKeys(file, "lifecycle",
+                    {"enabled", "max_records", "latency_bins",
+                     "hop_bins"});
+    auto &lc = conf.lifecycle;
+    lc.enabled = file.getBool("lifecycle", "enabled", lc.enabled);
+    lc.maxRecordsPerStructure = static_cast<std::size_t>(
+        file.getInt("lifecycle", "max_records",
+                    static_cast<std::int64_t>(
+                        lc.maxRecordsPerStructure)));
+    lc.latencyBins = static_cast<std::size_t>(
+        file.getInt("lifecycle", "latency_bins",
+                    static_cast<std::int64_t>(lc.latencyBins)));
+    lc.hopCountBins = static_cast<std::size_t>(
+        file.getInt("lifecycle", "hop_bins",
+                    static_cast<std::int64_t>(lc.hopCountBins)));
+    if (lc.latencyBins == 0 || lc.hopCountBins == 0)
+        fatal("config: lifecycle histogram bins must be positive");
 
     // ---- [workload] overrides ----
     warnUnknownKeys(file, "workload",

@@ -13,6 +13,9 @@
  *   [mem]        l1d_kb, l1d_ways, l1i_kb, l1i_ways, l2_kb, l2_ways,
  *                line_bytes, l1_lat, l2_lat, mem_lat, tlb_entries,
  *                tlb_penalty
+ *   [lifecycle]  enabled=false max_records=2048 latency_bins=50
+ *                hop_bins=32 (injection-lifecycle tracing; see
+ *                obs/lifecycle.hh)
  *   [workload]   (overrides applied on top of the named benchmark's
  *                profile) load_frac, store_frac, branch_frac,
  *                fp_frac, dead_frac, dep_recency, footprint_kb,
@@ -49,11 +52,16 @@ ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
  *   AVF_FAST=1         smoke mode: shrink intervals to 12 (wins over
  *                      AVF_INTERVALS; accepts 1/true/yes/on and
  *                      0/false/no/off)
+ *   AVF_LIFECYCLE=1    injection-lifecycle tracing (obs/lifecycle.hh):
+ *                      benches enable ExperimentConfig::lifecycle on
+ *                      every task, report outcome digests, and export
+ *                      the JSONL record stream (same boolean syntax
+ *                      as AVF_FAST)
  *
  * Malformed values — non-numeric, negative, or zero AVF_INTERVALS,
- * unrecognized AVF_FAST — are rejected with fatal() instead of being
- * silently ignored. Worker-thread count has NO env var by design:
- * override RunOptions::threads in code.
+ * unrecognized AVF_FAST / AVF_LIFECYCLE — are rejected with fatal()
+ * instead of being silently ignored. Worker-thread count has NO env
+ * var by design: override RunOptions::threads in code.
  *
  * @param paperDefaultIntervals interval count when no override is
  *        present (the paper uses 100-200 depending on the figure).

@@ -47,6 +47,11 @@ struct RunOptions
     /** Smoke-run mode: loadRunOptions() shrinks intervals to 12. */
     bool fastMode = false;
     /**
+     * Enable injection-lifecycle tracing (ExperimentConfig::lifecycle)
+     * on every task the bench builds from these options.
+     */
+    bool lifecycle = false;
+    /**
      * When nonzero, submit() re-derives each task's workload and
      * estimator seeds from (seedSalt, submission index) — never from
      * scheduling order. Zero (the default) leaves the seeds in the

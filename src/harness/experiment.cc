@@ -121,6 +121,24 @@ runExperimentDirect(const ExperimentConfig &config)
     core::FeatureCollector features(pipeline, interval_len);
     pipeline.addObserver(&features);
 
+    // Lifecycle tracing: the tracker sees every injection open/close
+    // from the estimators (LifecycleSink) and every error-bit hop from
+    // the pipeline (onErrorHop). The window length must match the
+    // estimators' M so expiry latency lands on the histogram edge.
+    std::unique_ptr<obs::LifecycleTracker> tracker;
+    if (config.lifecycle.enabled) {
+        obs::LifecycleConfig lc_conf = config.lifecycle;
+        lc_conf.windowCycles = config.online.m;
+        tracker = std::make_unique<obs::LifecycleTracker>(lc_conf);
+        pipeline.addObserver(tracker.get()); // onRetire failure watch
+        pipeline.setHopSink(tracker.get());  // onErrorHop fast path
+        for (int s = 0; s < core::numStructures; ++s) {
+            static_cast<core::OnlineAvfEstimator *>(
+                estimators[static_cast<std::size_t>(s)].get())
+                ->setLifecycleSink(tracker.get());
+        }
+    }
+
     // Simulate: numIntervals intervals plus the SoftArch lookahead
     // (plus one spare window so every boundary event fires).
     const Cycle total = interval_len *
@@ -185,6 +203,30 @@ runExperimentDirect(const ExperimentConfig &config)
         : 0.0;
     result.summary.cycles = stats.cycles;
     result.summary.retired = stats.retired;
+
+    if (tracker) {
+        // Self-check: the tracker's ledger must agree with each online
+        // estimator's own counters. They watch the same retirement
+        // stream independently, so any divergence is a real bug — fail
+        // the task rather than export inconsistent data.
+        for (int s = 0; s < core::numStructures; ++s) {
+            const auto *est = static_cast<core::OnlineAvfEstimator *>(
+                estimators[static_cast<std::size_t>(s)].get());
+            std::string mismatch = tracker->reconcile(*est);
+            if (!mismatch.empty())
+                throw std::runtime_error(
+                    "experiment '" + config.profile.name + "': " +
+                    mismatch);
+        }
+        result.lifecycle = tracker->summary();
+        result.summary.lifecycleRecords = result.lifecycle.totalClosed();
+        result.summary.lifecycleFailures =
+            result.lifecycle.totalFailures();
+        result.summary.lifecycleKilled =
+            result.lifecycle.totalWithOutcome(obs::Outcome::Killed);
+        result.summary.lifecycleExpired =
+            result.lifecycle.totalWithOutcome(obs::Outcome::Expired);
+    }
     return result;
 }
 

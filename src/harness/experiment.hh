@@ -23,6 +23,7 @@
 #include "core/regression_estimator.hh"
 #include "core/structures.hh"
 #include "cpu/config.hh"
+#include "obs/lifecycle.hh"
 #include "trace/workload_profile.hh"
 #include "util/types.hh"
 
@@ -42,6 +43,16 @@ struct ExperimentConfig
     int numIntervals = 100;
     /** SoftArch lookahead in cycles. */
     Cycle lookahead = 32'768;
+    /**
+     * Injection-lifecycle tracing (src/obs). When enabled, every
+     * online injection is tracked through its hops to an outcome,
+     * the summary lands on ExperimentResult::lifecycle, and the run
+     * hard-fails if the lifecycle ledger disagrees with the
+     * estimators' own counters. windowCycles is overridden with the
+     * resolved online.m automatically. Purely observational: AVF
+     * estimates are byte-identical either way.
+     */
+    obs::LifecycleConfig lifecycle;
 };
 
 /** One estimation interval's worth of results. */
@@ -67,6 +78,16 @@ struct RunSummary
     double dtlbMissRate = 0.0;
     std::uint64_t cycles = 0;
     std::uint64_t retired = 0;
+
+    /**
+     * Lifecycle digest (all zero when tracing was off), summed over
+     * structures so campaign progress callbacks (ExperimentEngine::
+     * onTaskDone) can report injection outcomes live per task.
+     */
+    std::uint64_t lifecycleRecords = 0;
+    std::uint64_t lifecycleFailures = 0;
+    std::uint64_t lifecycleKilled = 0;
+    std::uint64_t lifecycleExpired = 0;
 };
 
 /** Result of a full experiment. */
@@ -77,6 +98,11 @@ struct ExperimentResult
     /** Per-interval regression features (Walcott-style estimator). */
     std::vector<core::FeatureVector> features;
     RunSummary summary;
+    /**
+     * Injection-lifecycle summary (enabled == false when the run was
+     * configured without tracing; see ExperimentConfig::lifecycle).
+     */
+    obs::LifecycleSummary lifecycle;
 
     /** Extract one per-interval series. */
     std::vector<double> onlineSeries(core::Structure s) const;

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/structures.hh"
+#include "obs/lifecycle.hh"
 #include "util/logging.hh"
 
 namespace avf::harness
@@ -20,7 +21,51 @@ openOrDie(const std::string &path)
     return file;
 }
 
+/** Emit a histogram snapshot as a JSON object on @p file. */
+void
+printHistogram(std::FILE *file, const stats::HistogramSnapshot &hist)
+{
+    std::fprintf(file, "{\"lo\": %.1f, \"hi\": %.1f, \"bins\": [",
+                 hist.lo, hist.hi);
+    for (std::size_t b = 0; b < hist.bins.size(); ++b)
+        std::fprintf(file, "%s%llu", b ? ", " : "",
+                     static_cast<unsigned long long>(hist.bins[b]));
+    std::fprintf(file,
+                 "], \"underflow\": %llu, \"overflow\": %llu}",
+                 static_cast<unsigned long long>(hist.underflow),
+                 static_cast<unsigned long long>(hist.overflow));
+}
+
 } // namespace
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 void
 writeCsv(const ExperimentResult &result, const std::string &path)
@@ -57,7 +102,7 @@ writeJson(const ExperimentResult &result, const std::string &path)
     std::FILE *file = openOrDie(path);
 
     std::fprintf(file, "{\n  \"benchmark\": \"%s\",\n",
-                 result.benchmark.c_str());
+                 jsonEscape(result.benchmark).c_str());
     std::fprintf(file,
                  "  \"summary\": {\"ipc\": %.4f, "
                  "\"branch_accuracy\": %.4f, \"l1d_miss\": %.4f, "
@@ -87,7 +132,106 @@ writeJson(const ExperimentResult &result, const std::string &path)
                      row.utilization[0], row.utilization[1],
                      k + 1 == result.intervals.size() ? "" : ",");
     }
-    std::fprintf(file, "  ]\n}\n");
+    std::fprintf(file, "  ]%s\n",
+                 result.lifecycle.enabled ? "," : "");
+
+    if (result.lifecycle.enabled) {
+        std::fprintf(file, "  \"lifecycle\": {\n");
+        for (int s = 0; s < core::numStructures; ++s) {
+            const auto &sum =
+                result.lifecycle.structures[static_cast<std::size_t>(s)];
+            auto name = core::structureName(
+                static_cast<core::Structure>(s));
+            std::fprintf(file,
+                         "    \"%.*s\": {\"closed\": %llu, "
+                         "\"open_at_end\": %llu, \"live\": %llu, "
+                         "\"dropped\": %llu,\n",
+                         static_cast<int>(name.size()), name.data(),
+                         static_cast<unsigned long long>(sum.closed),
+                         static_cast<unsigned long long>(sum.openAtEnd),
+                         static_cast<unsigned long long>(sum.live),
+                         static_cast<unsigned long long>(sum.dropped));
+            std::fprintf(file, "      \"outcomes\": {");
+            for (int o = 0; o < obs::numOutcomes; ++o) {
+                auto oname = obs::outcomeName(
+                    static_cast<obs::Outcome>(o));
+                std::fprintf(
+                    file, "%s\"%.*s\": %llu", o ? ", " : "",
+                    static_cast<int>(oname.size()), oname.data(),
+                    static_cast<unsigned long long>(
+                        sum.outcomes[static_cast<std::size_t>(o)]));
+            }
+            std::fprintf(file, "},\n      \"hops\": {");
+            for (int h = 0; h < cpu::numErrorHops; ++h) {
+                const char *hname = cpu::errorHopName(
+                    static_cast<cpu::ErrorHop>(h));
+                std::fprintf(
+                    file, "%s\"%s\": %llu", h ? ", " : "", hname,
+                    static_cast<unsigned long long>(
+                        sum.hopTotals[static_cast<std::size_t>(h)]));
+            }
+            std::fprintf(file,
+                         "},\n      \"latency\": {\"mean\": %.4f, "
+                         "\"stddev\": %.4f, \"min\": %.1f, "
+                         "\"max\": %.1f},\n",
+                         sum.latencyMean, sum.latencyStddev,
+                         sum.latencyMin, sum.latencyMax);
+            std::fprintf(file, "      \"latency_hist\": ");
+            printHistogram(file, sum.latencyHist);
+            std::fprintf(file, ",\n      \"hop_count_hist\": ");
+            printHistogram(file, sum.hopCountHist);
+            std::fprintf(file, "}%s\n",
+                         s + 1 == core::numStructures ? "" : ",");
+        }
+        std::fprintf(file, "  }\n");
+    }
+
+    std::fprintf(file, "}\n");
+    if (std::fclose(file) != 0)
+        fatal("error closing '%s'", path.c_str());
+}
+
+void
+writeLifecycleJsonl(const ExperimentResult &result,
+                    const std::string &path)
+{
+    if (!result.lifecycle.enabled)
+        fatal("writeLifecycleJsonl('%s'): result has no lifecycle "
+              "data (run with lifecycle tracing enabled)",
+              path.c_str());
+
+    std::FILE *file = openOrDie(path);
+    std::string bench = jsonEscape(result.benchmark);
+    for (int s = 0; s < core::numStructures; ++s) {
+        const auto &sum =
+            result.lifecycle.structures[static_cast<std::size_t>(s)];
+        auto name = core::structureName(static_cast<core::Structure>(s));
+        for (const auto &rec : sum.records) {
+            auto oname = obs::outcomeName(rec.outcome);
+            std::fprintf(
+                file,
+                "{\"benchmark\": \"%s\", \"structure\": \"%.*s\", "
+                "\"entry\": %d, \"field\": %d, \"live\": %s, "
+                "\"inject_cycle\": %llu, \"close_cycle\": %llu, "
+                "\"outcome_cycle\": %llu, \"outcome\": \"%.*s\", "
+                "\"latency\": %llu, \"hops\": {",
+                bench.c_str(), static_cast<int>(name.size()),
+                name.data(), rec.entry, rec.field,
+                rec.live ? "true" : "false",
+                static_cast<unsigned long long>(rec.injectCycle),
+                static_cast<unsigned long long>(rec.closeCycle),
+                static_cast<unsigned long long>(rec.outcomeCycle),
+                static_cast<int>(oname.size()), oname.data(),
+                static_cast<unsigned long long>(rec.latency()));
+            for (int h = 0; h < cpu::numErrorHops; ++h) {
+                std::fprintf(
+                    file, "%s\"%s\": %u", h ? ", " : "",
+                    cpu::errorHopName(static_cast<cpu::ErrorHop>(h)),
+                    rec.hops[static_cast<std::size_t>(h)]);
+            }
+            std::fprintf(file, "}}\n");
+        }
+    }
     if (std::fclose(file) != 0)
         fatal("error closing '%s'", path.c_str());
 }
@@ -98,29 +242,36 @@ writeGnuplotScript(const std::string &csvPath,
                    const std::string &title)
 {
     std::FILE *file = openOrDie(scriptPath);
+    // One panel per structure, from the same enum walk writeCsv()
+    // uses for its header — names, column indices, and panel count
+    // all stay in lockstep when core::Structure grows.
+    const int rows = (core::numStructures + 1) / 2;
     std::fprintf(file,
                  "set datafile separator ','\n"
                  "set key outside\n"
                  "set xlabel 'estimation interval (1M cycles)'\n"
                  "set ylabel 'AVF'\n"
                  "set yrange [0:0.6]\n"
-                 "set terminal pngcairo size 1200,800\n"
+                 "set terminal pngcairo size 1200,%d\n"
                  "set output '%s_avf.png'\n"
-                 "set multiplot layout 2,2 title 'AVF for %s "
+                 "set multiplot layout %d,2 title 'AVF for %s "
                  "(Figure 4 style)'\n",
-                 title.c_str(), title.c_str());
-    // Columns: 1=interval, then pairs per structure in enum order.
-    const char *names[] = {"iq", "reg", "fxu", "fpu"};
-    for (int s = 0; s < 4; ++s) {
+                 400 * rows, title.c_str(), rows, title.c_str());
+    // Columns: 1=interval, then an online/softarch pair per structure
+    // in enum order (writeCsv's layout).
+    for (int s = 0; s < core::numStructures; ++s) {
+        auto name = core::structureName(
+            static_cast<core::Structure>(s));
         int online_col = 2 + 2 * s;
         int softarch_col = online_col + 1;
         std::fprintf(file,
-                     "set title '%s'\n"
+                     "set title '%.*s'\n"
                      "plot '%s' every ::1 using 1:%d with lines "
                      "title 'Real (SoftArch)', \\\n"
                      "     '%s' every ::1 using 1:%d with lines "
                      "title 'Online estimate'\n",
-                     names[s], csvPath.c_str(), softarch_col,
+                     static_cast<int>(name.size()), name.data(),
+                     csvPath.c_str(), softarch_col,
                      csvPath.c_str(), online_col);
     }
     std::fprintf(file, "unset multiplot\n");

@@ -9,11 +9,20 @@
 #define AVF_HARNESS_EXPORT_HH
 
 #include <string>
+#include <string_view>
 
 #include "harness/experiment.hh"
 
 namespace avf::harness
 {
+
+/**
+ * Minimal JSON string escaping: backslash, double quote, and control
+ * characters (U+0000..U+001F, as \n, \t, ... or \u00XX). Everything
+ * the JSON writers interpolate from runtime strings (benchmark names
+ * in particular) must pass through here.
+ */
+std::string jsonEscape(std::string_view text);
 
 /**
  * Write the per-interval series as CSV with the header
@@ -23,11 +32,22 @@ namespace avf::harness
 void writeCsv(const ExperimentResult &result, const std::string &path);
 
 /**
- * Write the full result (benchmark, summary, per-interval series) as
- * a single JSON object. fatal() on I/O errors.
+ * Write the full result (benchmark, summary, per-interval series, and
+ * — when tracing was enabled — the per-structure lifecycle summary)
+ * as a single JSON object. fatal() on I/O errors.
  */
 void writeJson(const ExperimentResult &result,
                const std::string &path);
+
+/**
+ * Write the retained injection-lifecycle records as JSON Lines: one
+ * object per record (structure, entry/field, liveness, cycles,
+ * outcome, per-kind hop counts), ordered by structure then injection
+ * cycle. Requires a result produced with lifecycle tracing enabled;
+ * fatal() otherwise and on I/O errors.
+ */
+void writeLifecycleJsonl(const ExperimentResult &result,
+                         const std::string &path);
 
 /**
  * Write a gnuplot script that plots the Figure 4-style AVF traces

@@ -1,0 +1,267 @@
+#include "obs/lifecycle.hh"
+
+#include <numeric>
+
+#include "core/online_estimator.hh"
+#include "util/logging.hh"
+
+namespace avf::obs
+{
+
+using core::Structure;
+
+std::string_view
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::FailureStore: return "failure_store";
+      case Outcome::FailureLoad: return "failure_load";
+      case Outcome::FailureBranch: return "failure_branch";
+      case Outcome::Killed: return "killed";
+      case Outcome::Expired: return "expired";
+      default: break;
+    }
+    panic("outcomeName(%d) out of range", static_cast<int>(o));
+}
+
+std::uint32_t
+LifecycleRecord::totalHops() const
+{
+    return std::accumulate(hops.begin(), hops.end(), 0u);
+}
+
+std::uint64_t
+StructureLifecycleSummary::failures() const
+{
+    std::uint64_t n = 0;
+    for (int o = 0; o < numOutcomes; ++o) {
+        if (isFailureOutcome(static_cast<Outcome>(o)))
+            n += outcomes[static_cast<std::size_t>(o)];
+    }
+    return n;
+}
+
+std::uint64_t
+LifecycleSummary::totalClosed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : structures)
+        n += s.closed;
+    return n;
+}
+
+std::uint64_t
+LifecycleSummary::totalFailures() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : structures)
+        n += s.failures();
+    return n;
+}
+
+std::uint64_t
+LifecycleSummary::totalWithOutcome(Outcome o) const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : structures)
+        n += s.outcomes[static_cast<std::size_t>(o)];
+    return n;
+}
+
+LifecycleTracker::PerStructure::PerStructure(const LifecycleConfig &conf)
+    : latencyHist(0.0,
+                  static_cast<double>(conf.windowCycles) + 1.0,
+                  conf.latencyBins),
+      hopCountHist(0.0, static_cast<double>(conf.hopCountBins),
+                   conf.hopCountBins)
+{
+}
+
+LifecycleTracker::LifecycleTracker(LifecycleConfig config)
+    : conf(config)
+{
+    avf_assert(conf.windowCycles > 0,
+               "lifecycle windowCycles must be positive");
+    avf_assert(conf.latencyBins > 0 && conf.hopCountBins > 0,
+               "lifecycle histograms need at least one bin");
+    perStructure.reserve(static_cast<std::size_t>(core::numStructures));
+    for (int s = 0; s < core::numStructures; ++s)
+        perStructure.emplace_back(conf);
+}
+
+LifecycleTracker::PerStructure &
+LifecycleTracker::stateOf(Structure s)
+{
+    return perStructure[static_cast<std::size_t>(s)];
+}
+
+const LifecycleTracker::PerStructure &
+LifecycleTracker::stateOf(Structure s) const
+{
+    return perStructure[static_cast<std::size_t>(s)];
+}
+
+void
+LifecycleTracker::openRecord(Structure s, int entry, int field,
+                             bool live, Cycle now)
+{
+    PerStructure &state = stateOf(s);
+    avf_assert(!state.open,
+               "lifecycle record for %s opened twice (one error at a "
+               "time)", std::string(structureName(s)).c_str());
+    state.open = true;
+    state.failed = false;
+    state.sawKill = false;
+    state.rec = LifecycleRecord{};
+    state.rec.structure = s;
+    state.rec.entry = entry;
+    state.rec.field = field;
+    state.rec.live = live;
+    state.rec.injectCycle = now;
+}
+
+void
+LifecycleTracker::closeRecord(Structure s, Cycle now)
+{
+    PerStructure &state = stateOf(s);
+    avf_assert(state.open, "lifecycle close without an open record");
+    state.open = false;
+
+    LifecycleRecord &rec = state.rec;
+    rec.closeCycle = now;
+    if (state.failed) {
+        rec.outcome = state.failureKind;
+        rec.outcomeCycle = state.failCycle;
+    } else if (state.sawKill) {
+        rec.outcome = Outcome::Killed;
+        rec.outcomeCycle = state.killCycle;
+    } else {
+        rec.outcome = Outcome::Expired;
+        rec.outcomeCycle = now;
+    }
+
+    ++state.closed;
+    if (rec.live)
+        ++state.live;
+    ++state.outcomes[static_cast<std::size_t>(rec.outcome)];
+    for (int h = 0; h < cpu::numErrorHops; ++h) {
+        state.hopTotals[static_cast<std::size_t>(h)] +=
+            rec.hops[static_cast<std::size_t>(h)];
+    }
+    double latency = static_cast<double>(rec.latency());
+    state.latency.add(latency);
+    state.latencyHist.add(latency);
+    state.hopCountHist.add(static_cast<double>(rec.totalHops()));
+
+    if (state.records.size() < conf.maxRecordsPerStructure)
+        state.records.push_back(rec);
+    else
+        ++state.dropped;
+}
+
+void
+LifecycleTracker::onRetire(const cpu::DynInstr &instr,
+                           const cpu::RetireInfo &info)
+{
+    if (!info.failureMask)
+        return;
+    for (auto &state : perStructure) {
+        if (!state.open || state.failed)
+            continue;
+        auto bit = static_cast<cpu::ErrorMask>(
+            1u << channelOf(state.rec.structure));
+        if (!(info.failureMask & bit))
+            continue;
+        state.failed = true;
+        state.failCycle = instr.retireCycle;
+        switch (instr.in.op) {
+          case trace::OpClass::Store:
+            state.failureKind = Outcome::FailureStore;
+            break;
+          case trace::OpClass::Load:
+            state.failureKind = Outcome::FailureLoad;
+            break;
+          default:
+            // isFailurePoint() admits only loads, stores, branches.
+            state.failureKind = Outcome::FailureBranch;
+            break;
+        }
+    }
+}
+
+void
+LifecycleTracker::onErrorHop(const cpu::DynInstr &instr,
+                             cpu::ErrorMask bits, cpu::ErrorHop hop)
+{
+    for (auto &state : perStructure) {
+        if (!state.open)
+            continue;
+        auto bit = static_cast<cpu::ErrorMask>(
+            1u << channelOf(state.rec.structure));
+        if (!(bits & bit))
+            continue;
+        ++state.rec.hops[static_cast<std::size_t>(hop)];
+        if (hop == cpu::ErrorHop::OverwriteKill && !state.sawKill) {
+            state.sawKill = true;
+            state.killCycle = instr.completeCycle;
+        }
+    }
+}
+
+LifecycleSummary
+LifecycleTracker::summary() const
+{
+    LifecycleSummary out;
+    out.enabled = true;
+    for (int s = 0; s < core::numStructures; ++s) {
+        const PerStructure &state =
+            perStructure[static_cast<std::size_t>(s)];
+        auto &dst = out.structures[static_cast<std::size_t>(s)];
+        dst.closed = state.closed;
+        dst.openAtEnd = state.open ? 1 : 0;
+        dst.live = state.live;
+        dst.dropped = state.dropped;
+        dst.outcomes = state.outcomes;
+        dst.hopTotals = state.hopTotals;
+        if (state.latency.count() > 0) {
+            dst.latencyMean = state.latency.mean();
+            dst.latencyStddev = state.latency.stddev();
+            dst.latencyMin = state.latency.min();
+            dst.latencyMax = state.latency.max();
+        }
+        dst.latencyHist = state.latencyHist.snapshot();
+        dst.hopCountHist = state.hopCountHist.snapshot();
+        dst.records = state.records;
+    }
+    return out;
+}
+
+std::string
+LifecycleTracker::reconcile(const core::OnlineAvfEstimator &est) const
+{
+    const PerStructure &state = stateOf(est.structure());
+    std::string name(structureName(est.structure()));
+
+    std::uint64_t tracked = state.closed + (state.open ? 1 : 0);
+    if (tracked != est.totalInjections()) {
+        return "lifecycle reconciliation failed for " + name + ": " +
+               std::to_string(tracked) + " records vs " +
+               std::to_string(est.totalInjections()) +
+               " estimator injections";
+    }
+
+    std::uint64_t failures = 0;
+    for (int o = 0; o < numOutcomes; ++o) {
+        if (isFailureOutcome(static_cast<Outcome>(o)))
+            failures += state.outcomes[static_cast<std::size_t>(o)];
+    }
+    if (failures != est.totalFailures()) {
+        return "lifecycle reconciliation failed for " + name + ": " +
+               std::to_string(failures) + " failure records vs " +
+               std::to_string(est.totalFailures()) +
+               " estimator failures";
+    }
+    return "";
+}
+
+} // namespace avf::obs

@@ -76,6 +76,35 @@ Histogram::quantile(double q) const
     return std::numeric_limits<double>::infinity();
 }
 
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.lo = lo;
+    snap.hi = hi;
+    snap.bins = counts;
+    snap.underflow = under;
+    snap.overflow = over;
+    snap.total = total;
+    return snap;
+}
+
+double
+HistogramSnapshot::binLo(std::size_t idx) const
+{
+    double width = bins.empty()
+        ? 0.0 : (hi - lo) / static_cast<double>(bins.size());
+    return lo + width * static_cast<double>(idx);
+}
+
+double
+HistogramSnapshot::binHi(std::size_t idx) const
+{
+    double width = bins.empty()
+        ? 0.0 : (hi - lo) / static_cast<double>(bins.size());
+    return lo + width * static_cast<double>(idx + 1);
+}
+
 void
 EmpiricalCdf::ensureSorted()
 {

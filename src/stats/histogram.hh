@@ -14,6 +14,33 @@ namespace avf::stats
 {
 
 /**
+ * Plain-data copy of a Histogram's state: default-constructible and
+ * trivially serializable, for embedding histogram results in result
+ * structs (e.g. the lifecycle observability summaries) without
+ * carrying the live accumulator around.
+ */
+struct HistogramSnapshot
+{
+    /** Lower edge of the first bin. */
+    double lo = 0.0;
+    /** Upper edge of the last bin (exclusive). */
+    double hi = 0.0;
+    /** Per-bin counts (empty when never snapshotted). */
+    std::vector<std::uint64_t> bins;
+    /** Samples below lo. */
+    std::uint64_t underflow = 0;
+    /** Samples at or above hi. */
+    std::uint64_t overflow = 0;
+    /** Total samples folded in. */
+    std::uint64_t total = 0;
+
+    /** Lower edge of bin @p idx. */
+    double binLo(std::size_t idx) const;
+    /** Upper edge of bin @p idx. */
+    double binHi(std::size_t idx) const;
+};
+
+/**
  * Histogram over [lo, hi) with uniform bins; samples outside the range
  * land in saturating under/overflow bins.
  */
@@ -63,6 +90,9 @@ class Histogram
      * when the quantile lies in the overflow region. @p q in [0, 1].
      */
     double quantile(double q) const;
+
+    /** Copy the current state into a plain-data snapshot. */
+    HistogramSnapshot snapshot() const;
 
   private:
     double lo;

@@ -8,6 +8,7 @@ namespace avf::trace
 {
 
 TraceFileWriter::TraceFileWriter(const std::string &path)
+    : path(path)
 {
     file = std::fopen(path.c_str(), "wb");
     if (!file)
@@ -38,7 +39,8 @@ TraceFileWriter::append(const TraceInstruction &instr)
     rec.memSize = instr.memSize;
     rec.taken = instr.taken ? 1 : 0;
     if (std::fwrite(&rec, sizeof(rec), 1, file) != 1)
-        fatal("short write while appending trace record");
+        fatal("short write while appending trace record to '%s'",
+              path.c_str());
     ++written;
 }
 
@@ -47,17 +49,25 @@ TraceFileWriter::close()
 {
     if (!file)
         return;
+    // Every step checked: a silently failed seek would splice the
+    // header into the record stream, a failed close would leave the
+    // count unflushed — either way readers see a corrupt trace, so
+    // die here, where the path is known.
     TraceFileHeader header;
     header.count = written;
-    std::fseek(file, 0, SEEK_SET);
+    if (std::fseek(file, 0, SEEK_SET) != 0)
+        fatal("cannot seek to trace header in '%s'", path.c_str());
     if (std::fwrite(&header, sizeof(header), 1, file) != 1)
-        fatal("cannot finalize trace header");
-    std::fclose(file);
+        fatal("cannot finalize trace header in '%s'", path.c_str());
+    if (std::fclose(file) != 0) {
+        file = nullptr;
+        fatal("error closing trace file '%s'", path.c_str());
+    }
     file = nullptr;
 }
 
 TraceFileReader::TraceFileReader(const std::string &path, bool loop)
-    : looping(loop)
+    : path(path), looping(loop)
 {
     file = std::fopen(path.c_str(), "rb");
     if (!file)
@@ -83,12 +93,14 @@ TraceFileReader::next(TraceInstruction &out)
     if (position >= header.count) {
         if (!looping || header.count == 0)
             return false;
-        std::fseek(file, sizeof(TraceFileHeader), SEEK_SET);
+        if (std::fseek(file, sizeof(TraceFileHeader), SEEK_SET) != 0)
+            fatal("cannot rewind trace file '%s'", path.c_str());
         position = 0;
     }
     TraceFileRecord rec;
     if (std::fread(&rec, sizeof(rec), 1, file) != 1)
-        fatal("truncated trace file (record %llu of %llu)",
+        fatal("truncated trace file '%s' (record %llu of %llu)",
+              path.c_str(),
               static_cast<unsigned long long>(position),
               static_cast<unsigned long long>(header.count));
     ++position;

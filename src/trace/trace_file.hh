@@ -69,6 +69,7 @@ class TraceFileWriter
 
   private:
     std::FILE *file = nullptr;
+    std::string path;
     std::uint64_t written = 0;
 };
 
@@ -93,6 +94,7 @@ class TraceFileReader : public TraceSource
 
   private:
     std::FILE *file = nullptr;
+    std::string path;
     TraceFileHeader header;
     std::uint64_t position = 0;
     bool looping;

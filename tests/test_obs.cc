@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Injection-lifecycle observability tests (src/obs): tracker unit
+ * behavior (outcome stamping, hop attribution, retention cap), the
+ * reconciliation invariant against the online estimators across every
+ * SPEC profile, and the guarantee that tracing never perturbs the AVF
+ * estimates themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "obs/lifecycle.hh"
+#include "trace/spec_profiles.hh"
+
+namespace
+{
+
+using namespace avf;
+using core::Structure;
+using obs::LifecycleConfig;
+using obs::LifecycleTracker;
+using obs::Outcome;
+
+// ---------------------------------------------------------------------
+// Tracker unit tests (no pipeline involved)
+// ---------------------------------------------------------------------
+
+LifecycleConfig
+smallTrackerConfig()
+{
+    LifecycleConfig conf;
+    conf.enabled = true;
+    conf.windowCycles = 100;
+    conf.maxRecordsPerStructure = 4;
+    return conf;
+}
+
+cpu::DynInstr
+instrAt(trace::OpClass op, Cycle retire)
+{
+    cpu::DynInstr instr;
+    instr.in.op = op;
+    instr.retireCycle = retire;
+    instr.completeCycle = retire;
+    return instr;
+}
+
+TEST(LifecycleTracker, ExpiredWhenNothingHappens)
+{
+    LifecycleTracker tracker(smallTrackerConfig());
+    tracker.openRecord(Structure::IQ, 3, 1, true, 10);
+    tracker.closeRecord(Structure::IQ, 110);
+
+    auto summary = tracker.summary();
+    const auto &iq = summary.structures[0];
+    EXPECT_EQ(iq.closed, 1u);
+    EXPECT_EQ(iq.live, 1u);
+    EXPECT_EQ(iq.outcomes[static_cast<int>(Outcome::Expired)], 1u);
+    ASSERT_EQ(iq.records.size(), 1u);
+    EXPECT_EQ(iq.records[0].entry, 3);
+    EXPECT_EQ(iq.records[0].field, 1);
+    EXPECT_EQ(iq.records[0].latency(), 100u);
+}
+
+TEST(LifecycleTracker, FailureOutcomeMatchesRetiringOp)
+{
+    LifecycleTracker tracker(smallTrackerConfig());
+    auto bit = static_cast<cpu::ErrorMask>(
+        1u << core::channelOf(Structure::REG));
+
+    tracker.openRecord(Structure::REG, 7, -1, true, 0);
+    cpu::RetireInfo info;
+    info.failureMask = bit;
+    tracker.onRetire(instrAt(trace::OpClass::Store, 40), info);
+    tracker.closeRecord(Structure::REG, 100);
+
+    auto summary = tracker.summary();
+    const auto &reg =
+        summary.structures[static_cast<int>(Structure::REG)];
+    EXPECT_EQ(reg.outcomes[static_cast<int>(Outcome::FailureStore)],
+              1u);
+    ASSERT_EQ(reg.records.size(), 1u);
+    EXPECT_EQ(reg.records[0].outcome, Outcome::FailureStore);
+    // Latency runs to the failure retirement, not the window close.
+    EXPECT_EQ(reg.records[0].latency(), 40u);
+    EXPECT_EQ(reg.records[0].closeCycle, 100u);
+}
+
+TEST(LifecycleTracker, KillWithoutFailureIsKilled)
+{
+    LifecycleTracker tracker(smallTrackerConfig());
+    auto bit = static_cast<cpu::ErrorMask>(
+        1u << core::channelOf(Structure::REG));
+
+    tracker.openRecord(Structure::REG, 2, -1, true, 0);
+    tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 25), bit,
+                       cpu::ErrorHop::OverwriteKill);
+    tracker.closeRecord(Structure::REG, 100);
+
+    auto summary = tracker.summary();
+    const auto &reg =
+        summary.structures[static_cast<int>(Structure::REG)];
+    EXPECT_EQ(reg.outcomes[static_cast<int>(Outcome::Killed)], 1u);
+    ASSERT_EQ(reg.records.size(), 1u);
+    EXPECT_EQ(reg.records[0].outcomeCycle, 25u);
+    EXPECT_EQ(reg.records[0].hops[static_cast<int>(
+                  cpu::ErrorHop::OverwriteKill)], 1u);
+}
+
+TEST(LifecycleTracker, FailureWinsOverLaterKill)
+{
+    // A failure followed by an overwrite of the same bit still counts
+    // as a failure: the error already escaped.
+    LifecycleTracker tracker(smallTrackerConfig());
+    auto bit = static_cast<cpu::ErrorMask>(
+        1u << core::channelOf(Structure::IQ));
+
+    tracker.openRecord(Structure::IQ, 0, -1, true, 0);
+    cpu::RetireInfo info;
+    info.failureMask = bit;
+    tracker.onRetire(instrAt(trace::OpClass::BranchCond, 30), info);
+    tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 50), bit,
+                       cpu::ErrorHop::OverwriteKill);
+    tracker.closeRecord(Structure::IQ, 100);
+
+    auto summary = tracker.summary();
+    const auto &iq = summary.structures[0];
+    EXPECT_EQ(iq.outcomes[static_cast<int>(Outcome::FailureBranch)],
+              1u);
+    EXPECT_EQ(iq.outcomes[static_cast<int>(Outcome::Killed)], 0u);
+}
+
+TEST(LifecycleTracker, HopsAttributeByChannelBit)
+{
+    LifecycleTracker tracker(smallTrackerConfig());
+    auto iq_bit = static_cast<cpu::ErrorMask>(
+        1u << core::channelOf(Structure::IQ));
+    auto reg_bit = static_cast<cpu::ErrorMask>(
+        1u << core::channelOf(Structure::REG));
+
+    tracker.openRecord(Structure::IQ, 0, -1, true, 0);
+    tracker.openRecord(Structure::REG, 0, -1, true, 0);
+    // A hop carrying both channels lands on both records; one
+    // carrying only REG's bit must not touch the IQ record.
+    tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 10),
+                       iq_bit | reg_bit, cpu::ErrorHop::ReadCarry);
+    tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 12), reg_bit,
+                       cpu::ErrorHop::FuTransit);
+    tracker.closeRecord(Structure::IQ, 100);
+    tracker.closeRecord(Structure::REG, 100);
+
+    auto summary = tracker.summary();
+    const auto &iq = summary.structures[0];
+    const auto &reg =
+        summary.structures[static_cast<int>(Structure::REG)];
+    EXPECT_EQ(iq.hopTotals[static_cast<int>(
+                  cpu::ErrorHop::ReadCarry)], 1u);
+    EXPECT_EQ(iq.hopTotals[static_cast<int>(
+                  cpu::ErrorHop::FuTransit)], 0u);
+    EXPECT_EQ(reg.hopTotals[static_cast<int>(
+                  cpu::ErrorHop::ReadCarry)], 1u);
+    EXPECT_EQ(reg.hopTotals[static_cast<int>(
+                  cpu::ErrorHop::FuTransit)], 1u);
+}
+
+TEST(LifecycleTracker, RetentionCapDropsRecordsNotCounts)
+{
+    LifecycleTracker tracker(smallTrackerConfig()); // cap = 4
+    for (int k = 0; k < 6; ++k) {
+        tracker.openRecord(Structure::FXU, 0, -1, false,
+                           static_cast<Cycle>(100 * k));
+        tracker.closeRecord(Structure::FXU,
+                            static_cast<Cycle>(100 * (k + 1)));
+    }
+    auto summary = tracker.summary();
+    const auto &fxu =
+        summary.structures[static_cast<int>(Structure::FXU)];
+    EXPECT_EQ(fxu.closed, 6u);
+    EXPECT_EQ(fxu.records.size(), 4u);
+    EXPECT_EQ(fxu.dropped, 2u);
+}
+
+TEST(LifecycleTracker, DoubleOpenDies)
+{
+    LifecycleTracker tracker(smallTrackerConfig());
+    tracker.openRecord(Structure::IQ, 0, -1, true, 0);
+    EXPECT_DEATH(tracker.openRecord(Structure::IQ, 1, -1, true, 5),
+                 "opened twice");
+}
+
+TEST(LifecycleOutcome, FailureClassification)
+{
+    EXPECT_TRUE(obs::isFailureOutcome(Outcome::FailureStore));
+    EXPECT_TRUE(obs::isFailureOutcome(Outcome::FailureLoad));
+    EXPECT_TRUE(obs::isFailureOutcome(Outcome::FailureBranch));
+    EXPECT_FALSE(obs::isFailureOutcome(Outcome::Killed));
+    EXPECT_FALSE(obs::isFailureOutcome(Outcome::Expired));
+    EXPECT_EQ(obs::outcomeName(Outcome::Killed), "killed");
+}
+
+// ---------------------------------------------------------------------
+// Full-stack reconciliation and non-perturbation
+// ---------------------------------------------------------------------
+
+harness::ExperimentConfig
+tracedConfig(const std::string &bench, bool traced)
+{
+    harness::ExperimentConfig conf;
+    conf.profile = trace::specProfile(bench);
+    conf.online.m = 200;
+    conf.online.n = 50;
+    conf.numIntervals = 2;
+    conf.lookahead = 4'096;
+    conf.lifecycle.enabled = traced;
+    return conf;
+}
+
+TEST(LifecycleIntegration, ReconcilesOnEverySpecProfile)
+{
+    // runExperiment() throws if the tracker's ledger disagrees with
+    // any online estimator, so surviving all eleven profiles IS the
+    // reconciliation check; the assertions below pin the bookkeeping
+    // identities on top.
+    for (const auto &name : trace::specBenchmarkNames()) {
+        auto result = runExperiment(tracedConfig(name, true));
+        ASSERT_TRUE(result.lifecycle.enabled) << name;
+
+        std::uint64_t closed = 0;
+        for (int s = 0; s < core::numStructures; ++s) {
+            const auto &sum = result.lifecycle.structures[s];
+            closed += sum.closed;
+            // Outcomes partition the closed records.
+            std::uint64_t outcome_sum = 0;
+            for (int o = 0; o < obs::numOutcomes; ++o)
+                outcome_sum += sum.outcomes[o];
+            EXPECT_EQ(outcome_sum, sum.closed) << name;
+            // Retention: kept + dropped = closed.
+            EXPECT_EQ(sum.records.size() + sum.dropped, sum.closed)
+                << name;
+            // Latency never exceeds the window length M, and the
+            // histogram's [0, M + 1) range therefore catches all.
+            EXPECT_LE(sum.latencyMax, 200.0) << name;
+            EXPECT_EQ(sum.latencyHist.overflow, 0u) << name;
+            EXPECT_EQ(sum.latencyHist.underflow, 0u) << name;
+        }
+        EXPECT_GT(closed, 0u) << name;
+        EXPECT_EQ(result.summary.lifecycleRecords, closed) << name;
+        EXPECT_EQ(result.summary.lifecycleFailures,
+                  result.lifecycle.totalFailures()) << name;
+    }
+}
+
+TEST(LifecycleIntegration, TracingDoesNotPerturbEstimates)
+{
+    auto plain = runExperiment(tracedConfig("bzip2", false));
+    auto traced = runExperiment(tracedConfig("bzip2", true));
+    EXPECT_FALSE(plain.lifecycle.enabled);
+    EXPECT_TRUE(traced.lifecycle.enabled);
+    ASSERT_EQ(plain.intervals.size(), traced.intervals.size());
+    for (std::size_t k = 0; k < plain.intervals.size(); ++k) {
+        for (int s = 0; s < core::numStructures; ++s) {
+            EXPECT_DOUBLE_EQ(plain.intervals[k].online[s],
+                             traced.intervals[k].online[s]);
+            EXPECT_DOUBLE_EQ(plain.intervals[k].softarch[s],
+                             traced.intervals[k].softarch[s]);
+        }
+    }
+    EXPECT_EQ(plain.summary.cycles, traced.summary.cycles);
+    EXPECT_EQ(plain.summary.retired, traced.summary.retired);
+    // And tracing itself is deterministic.
+    auto traced2 = runExperiment(tracedConfig("bzip2", true));
+    EXPECT_EQ(traced.summary.lifecycleRecords,
+              traced2.summary.lifecycleRecords);
+    EXPECT_EQ(traced.summary.lifecycleFailures,
+              traced2.summary.lifecycleFailures);
+    EXPECT_EQ(traced.summary.lifecycleKilled,
+              traced2.summary.lifecycleKilled);
+}
+
+TEST(LifecycleIntegration, FailureRecordsCarryPropagationHops)
+{
+    // An error can only fail by being read out of its structure and
+    // carried to a failure point, so failure records must show hops.
+    auto result = runExperiment(tracedConfig("bzip2", true));
+    std::uint64_t failures = 0, failure_hops = 0;
+    for (int s = 0; s < core::numStructures; ++s) {
+        for (const auto &rec : result.lifecycle.structures[s].records) {
+            if (!obs::isFailureOutcome(rec.outcome))
+                continue;
+            ++failures;
+            failure_hops += rec.totalHops();
+        }
+    }
+    ASSERT_GT(failures, 0u);
+    EXPECT_GT(failure_hops, failures); // > 1 hop per failure on avg
+}
+
+} // namespace
