@@ -66,7 +66,7 @@ main()
     for (auto &task : engine.collect()) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
         const auto &result = task.result;
         table.addRow({task.name, "iq",
                       TablePrinter::num(

@@ -61,7 +61,7 @@ main()
     for (const auto &task : tasks)
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
 
     auto mean = [](const std::vector<double> &v) {
         stats::RunningStats s;

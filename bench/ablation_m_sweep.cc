@@ -53,7 +53,7 @@ main()
     for (auto &task : engine.collect()) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
         Cycle m = task_m[task.index];
         const auto &result = task.result;
 

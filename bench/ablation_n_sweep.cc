@@ -59,7 +59,7 @@ main()
     for (auto &task : engine.collect()) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
         std::uint32_t n = ns[task.index];
         const auto &result = task.result;
 

@@ -79,7 +79,7 @@ main()
     for (auto &task : engine.collect()) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
         AppData d;
         d.features = task.result.features;
         d.reference = task.result.softarchSeries(Structure::IQ);

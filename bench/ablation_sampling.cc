@@ -53,7 +53,7 @@ main()
     for (const auto &task : tasks)
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
 
     for (std::size_t pair = 0; pair < benches.size(); ++pair) {
         const auto &name = benches[pair];

@@ -142,7 +142,7 @@ main()
     for (auto &task : engine.collect()) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
         if (options.lifecycle) {
             std::string out = "fig3_" + task.name + "_lifecycle.jsonl";
             writeLifecycleJsonl(task.result, out);

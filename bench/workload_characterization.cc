@@ -85,7 +85,7 @@ main()
     for (auto &task : engine.collect()) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
         const auto &name = task.name;
         const auto &summary = task.result.summary;
 

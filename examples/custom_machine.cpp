@@ -69,7 +69,7 @@ main(int argc, char **argv)
     for (const auto &task : tasks)
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
-                  task.error.c_str());
+                  task.errorText.c_str());
     const auto &a = tasks[0].result;
     const auto &b = tasks[1].result;
 

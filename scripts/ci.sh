@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + full test suite, the lint gate (avflint
+# repo scan against the committed baseline ratchet + avflint unit
+# tests + clang-tidy when available), and an UndefinedBehaviorSanitizer
+# smoke build of the engine tests.
+#
+#   scripts/ci.sh [build-dir]
+#
+# The avflint_repo test fails on any finding that is neither fixed,
+# suppressed inline with a justification, nor already recorded in
+# tools/avflint/baseline.txt — so new debt cannot land, and the
+# baseline can only shrink.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "=== tier-1: configure + build + full test suite ==="
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+echo "=== lint gate: avflint (unit tests + repo scan vs baseline) ==="
+ctest --test-dir "$BUILD" -L lint --output-on-failure
+
+echo "=== lint gate: clang-tidy (skips when absent) ==="
+scripts/run_clang_tidy.sh "$BUILD"
+
+echo "=== UBSan smoke: engine tests under -DAVF_SANITIZE=undefined ==="
+cmake -B "$BUILD-ubsan" -S . -DAVF_SANITIZE=undefined
+cmake --build "$BUILD-ubsan" -j --target avf_engine_tests
+ctest --test-dir "$BUILD-ubsan" -L engine --output-on-failure
+
+echo "ci.sh: all gates green"

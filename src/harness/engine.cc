@@ -68,17 +68,21 @@ ExperimentEngine::submit(std::string name, TaskFn task)
 void
 ExperimentEngine::runTask(TaskResult &slot, const TaskFn &task)
 {
+    // Wall time feeds only the wallMs progress metric, never the
+    // experiment results. avflint: allow(determinism)
     auto start = std::chrono::steady_clock::now();
     try {
         slot.result = task();
     } catch (const std::exception &e) {
-        slot.error = e.what();
+        slot.errorText = e.what();
         slot.exception = std::current_exception();
     } catch (...) {
-        slot.error = "unknown exception";
+        slot.errorText = "unknown exception";
         slot.exception = std::current_exception();
     }
     slot.wallMs = std::chrono::duration<double, std::milli>(
+                      // Wall-clock side-channel again: wallMs only.
+                      // avflint: allow(determinism)
                       std::chrono::steady_clock::now() - start)
                       .count();
     if (progress) {

@@ -70,15 +70,17 @@ struct TaskResult
     std::string name;
     /** The experiment output; meaningful only when ok(). */
     ExperimentResult result;
-    /** Empty on success; the failure message otherwise. */
-    std::string error;
+    /** Empty on success; the failure message otherwise. (Named
+     *  errorText, not error: in this codebase bare `error` members
+     *  are per-entry error-bit planes — avflint enforces that.) */
+    std::string errorText;
     /** The captured exception, for callers who want to rethrow. */
     std::exception_ptr exception;
     /** Wall-clock time the task spent executing, in milliseconds. */
     double wallMs = 0.0;
 
     /** True when the task ran to completion. */
-    bool ok() const { return error.empty(); }
+    bool ok() const { return errorText.empty(); }
 };
 
 /**

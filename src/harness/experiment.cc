@@ -245,7 +245,7 @@ runExperiment(const ExperimentConfig &config)
         if (task.exception)
             std::rethrow_exception(task.exception);
         fatal("experiment '%s' failed: %s",
-              config.profile.name.c_str(), task.error.c_str());
+              config.profile.name.c_str(), task.errorText.c_str());
     }
     return std::move(task.result);
 }

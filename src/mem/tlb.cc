@@ -70,7 +70,10 @@ Tlb::access(Addr addr, Cycle now, std::uint8_t *errorOut)
     slot.valid = true;
     slot.lruStamp = tick;
     slot.lastTouch = now;
-    slot.error = 0; // refill overwrites any injected error
+    // Refill overwrites any injected error: this is the TLB's kill
+    // discipline, analogous to pipeline.cc's destination-overwrite
+    // kill. avflint: allow(error-bit)
+    slot.error = 0;
     index[page] = victim;
     return conf.missPenalty;
 }
@@ -91,7 +94,9 @@ Tlb::injectError(int slot, std::uint8_t mask)
     Entry &entry = entries[static_cast<std::size_t>(slot)];
     if (!entry.valid)
         return false;
-    entry.error |= mask;
+    // The TLB's injection (carry) helper — the sanctioned entry
+    // point Pipeline::injectDtlbError routes to.
+    entry.error |= mask; // avflint: allow(error-bit)
     return true;
 }
 
@@ -100,7 +105,7 @@ Tlb::clearErrors(std::uint8_t mask)
 {
     auto keep = static_cast<std::uint8_t>(~mask);
     for (auto &entry : entries)
-        entry.error &= keep;
+        entry.error &= keep; // channel clear. avflint: allow(error-bit)
 }
 
 double

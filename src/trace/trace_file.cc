@@ -83,8 +83,10 @@ TraceFileReader::TraceFileReader(const std::string &path, bool loop)
 
 TraceFileReader::~TraceFileReader()
 {
+    // Read-only stream: close failure cannot lose data, and a
+    // destructor must not throw or fatal().
     if (file)
-        std::fclose(file);
+        (void)std::fclose(file);
 }
 
 bool

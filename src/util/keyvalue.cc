@@ -38,7 +38,9 @@ KeyValueFile::fromFile(const std::string &path)
     std::size_t got;
     while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
         text.append(buf, got);
-    std::fclose(file);
+    bool truncated = std::ferror(file) != 0;
+    if (std::fclose(file) != 0 || truncated)
+        fatal("error reading config file '%s'", path.c_str());
 
     KeyValueFile out;
     out.parse(text, path);

@@ -78,6 +78,14 @@ panicAt(const char *file, int line, const char *cond, const char *fmt,
 }
 
 void
+panicAt(const char *file, int line, const char *cond)
+{
+    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d\n",
+                 cond, file, line);
+    std::abort();
+}
+
+void
 setQuiet(bool quiet)
 {
     quietFlag = quiet;

@@ -50,16 +50,23 @@ bool isQuiet();
                           const char *fmt, ...)
     __attribute__((format(printf, 4, 5)));
 
+/** Message-less backend for avf_assert(cond). */
+[[noreturn]] void panicAt(const char *file, int line,
+                          const char *cond);
+
 /**
  * Assert a simulator invariant; panics with the message on failure.
  * Unlike assert(), stays on in release builds: the simulator's
- * correctness arguments depend on these checks. A printf-style
- * message is required.
+ * correctness arguments depend on these checks. The printf-style
+ * message is optional — `__VA_OPT__` keeps the expansion well-formed
+ * under -Wpedantic when only the condition (or a message with no
+ * varargs) is given, instead of the GNU `, ##__VA_ARGS__` extension.
  */
 #define avf_assert(cond, ...)                                           \
     do {                                                                \
         if (!(cond)) {                                                  \
-            ::avf::panicAt(__FILE__, __LINE__, #cond, __VA_ARGS__);     \
+            ::avf::panicAt(__FILE__, __LINE__,                          \
+                           #cond __VA_OPT__(, ) __VA_ARGS__);           \
         }                                                               \
     } while (0)
 

@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Unit tests for avflint: the lexer, every domain check (positive and
+ * negative fixtures), the suppression comment machinery, and the
+ * baseline ratchet. Fixtures are in-memory snippets passed through
+ * lintText() with a path chosen to exercise the per-path scoping
+ * rules (sanctioned files, header-only checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "avflint/checks.hh"
+#include "avflint/lexer.hh"
+
+namespace
+{
+
+using avf::lint::Baseline;
+using avf::lint::Finding;
+using avf::lint::lex;
+using avf::lint::lintText;
+using avf::lint::SourceFile;
+using avf::lint::TokKind;
+
+std::vector<Finding>
+withId(const std::vector<Finding> &findings, const std::string &id)
+{
+    std::vector<Finding> out;
+    for (const Finding &f : findings)
+        if (f.id == id)
+            out.push_back(f);
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+// Lexer                                                             //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintLexer, StripsCommentsAndStrings)
+{
+    SourceFile src = lex("x.cc",
+                         "int a = 1; // rand() in a comment\n"
+                         "const char *s = \"rand()\";\n"
+                         "/* srand(1); */ int b;\n");
+    for (const auto &tok : src.tokens) {
+        EXPECT_NE(tok.text, "rand");
+        EXPECT_NE(tok.text, "srand");
+    }
+    // The string literal survives as a single String token.
+    auto it = std::find_if(src.tokens.begin(), src.tokens.end(),
+                           [](const auto &t) {
+                               return t.kind == TokKind::String;
+                           });
+    ASSERT_NE(it, src.tokens.end());
+    EXPECT_EQ(it->text, "\"rand()\"");
+    EXPECT_EQ(it->line, 2);
+}
+
+TEST(AvflintLexer, TracksLineNumbersAcrossBlockComments)
+{
+    SourceFile src = lex("x.cc", "/* one\ntwo\nthree */\nint a;\n");
+    ASSERT_GE(src.tokens.size(), 2u);
+    EXPECT_EQ(src.tokens[0].text, "int");
+    EXPECT_EQ(src.tokens[0].line, 4);
+}
+
+TEST(AvflintLexer, HandlesRawStrings)
+{
+    SourceFile src =
+        lex("x.cc", "auto s = R\"(exit(1); \" quote)\"; int a;\n");
+    auto it = std::find_if(src.tokens.begin(), src.tokens.end(),
+                           [](const auto &t) {
+                               return t.isIdent("exit");
+                           });
+    EXPECT_EQ(it, src.tokens.end());
+    EXPECT_TRUE(std::any_of(src.tokens.begin(), src.tokens.end(),
+                            [](const auto &t) {
+                                return t.isIdent("a");
+                            }));
+}
+
+TEST(AvflintLexer, LexesMultiCharOperatorsAsOneToken)
+{
+    SourceFile src = lex("x.cc", "a |= b; c <<= d; e == f;\n");
+    auto has = [&](const char *text) {
+        return std::any_of(src.tokens.begin(), src.tokens.end(),
+                           [&](const auto &t) {
+                               return t.is(text);
+                           });
+    };
+    EXPECT_TRUE(has("|="));
+    EXPECT_TRUE(has("<<="));
+    EXPECT_TRUE(has("=="));
+}
+
+TEST(AvflintLexer, ParsesAllowDirectives)
+{
+    SourceFile src = lex("x.cc",
+                         "int a; // avflint: allow(checked-io)\n"
+                         "int b;\n"
+                         "// avflint: allow(error-bit, determinism)\n"
+                         "int c;\n");
+    EXPECT_TRUE(src.suppressed(1, "checked-io"));
+    EXPECT_TRUE(src.suppressed(2, "checked-io")); // line after
+    EXPECT_FALSE(src.suppressed(1, "error-bit"));
+    EXPECT_TRUE(src.suppressed(4, "error-bit"));
+    EXPECT_TRUE(src.suppressed(4, "determinism"));
+    EXPECT_FALSE(src.suppressed(5, "naked-assert"));
+}
+
+// ---------------------------------------------------------------- //
+// error-bit                                                         //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintErrorBit, FlagsWritesOutsideSanctionedFiles)
+{
+    auto findings = withId(
+        lintText("src/mem/foo.cc", "void f() { instr.errorMask |= bits; }\n"),
+        "error-bit");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 1);
+
+    findings = withId(
+        lintText("bench/foo.cc", "void f() { regError[i] = 0; }\n"),
+        "error-bit");
+    EXPECT_EQ(findings.size(), 1u);
+
+    findings = withId(
+        lintText("src/obs/foo.cc", "void f() { entry.error = 0; }\n"),
+        "error-bit");
+    EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(AvflintErrorBit, AllowsSanctionedFilesAndReads)
+{
+    const char *write = "void f() { instr.errorMask |= bits; }\n";
+    EXPECT_TRUE(
+        withId(lintText("src/cpu/pipeline.cc", write), "error-bit")
+            .empty());
+    EXPECT_TRUE(
+        withId(lintText("src/core/online_estimator.cc", write),
+               "error-bit")
+            .empty());
+    // Reads and declarations are fine anywhere.
+    EXPECT_TRUE(
+        withId(lintText("src/mem/foo.cc",
+                        "ErrorMask errorMask = 0;\n"
+                        "auto x = regError[i];\n"
+                        "if (instr.errorMask == 0) return;\n"),
+               "error-bit")
+            .empty());
+}
+
+TEST(AvflintErrorBit, SuppressionCommentIsHonored)
+{
+    auto findings = withId(
+        lintText("src/mem/tlb.cc",
+                 "// avflint: allow(error-bit): refill helper\n"
+                 "slot.error = 0;\n"),
+        "error-bit");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------- //
+// determinism                                                       //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintDeterminism, FlagsHiddenEntropy)
+{
+    EXPECT_EQ(withId(lintText("x.cc", "int a = rand();\n"),
+                     "determinism")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("x.cc", "std::srand(42);\n"),
+                     "determinism")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("x.cc", "std::random_device rd;\n"),
+                     "determinism")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintDeterminism, FlagsArglessTimeSources)
+{
+    EXPECT_EQ(withId(lintText("x.cc", "auto t = time(NULL);\n"),
+                     "determinism")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("x.cc", "auto t = std::time(nullptr);\n"),
+                     "determinism")
+                  .size(),
+              1u);
+    EXPECT_EQ(
+        withId(lintText(
+                   "x.cc",
+                   "auto t = std::chrono::steady_clock::now();\n"),
+               "determinism")
+            .size(),
+        1u);
+    // A time source fed an explicit out-parameter is not argless.
+    EXPECT_TRUE(withId(lintText("x.cc", "time(&t);\n"), "determinism")
+                    .empty());
+    // Methods named like time sources belong to their own class.
+    EXPECT_TRUE(
+        withId(lintText("x.cc", "sim.clock();\n"), "determinism")
+            .empty());
+}
+
+TEST(AvflintDeterminism, FlagsUnorderedIteration)
+{
+    auto findings = withId(
+        lintText("src/harness/foo.cc",
+                 "std::unordered_map<int, double> table;\n"
+                 "void dump() { for (const auto &kv : table) "
+                 "print(kv); }\n"),
+        "determinism");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 2);
+
+    // Ordered containers iterate deterministically.
+    EXPECT_TRUE(withId(lintText("src/harness/foo.cc",
+                                "std::map<int, double> table;\n"
+                                "void dump() { for (const auto &kv : "
+                                "table) print(kv); }\n"),
+                       "determinism")
+                    .empty());
+    // Lookups into unordered containers are fine.
+    EXPECT_TRUE(withId(lintText("src/harness/foo.cc",
+                                "std::unordered_map<int, int> idx;\n"
+                                "int get(int k) { return idx.at(k); "
+                                "}\n"),
+                       "determinism")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// checked-io                                                        //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintCheckedIo, FlagsDiscardedResults)
+{
+    EXPECT_EQ(withId(lintText("x.cc", "void f() { std::fclose(fp); }\n"),
+                     "checked-io")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("x.cc",
+                              "void f() { if (ok) fclose(fp); }\n"),
+                     "checked-io")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("x.cc",
+                              "void f() { fseek(fp, 0, SEEK_SET); "
+                              "fwrite(buf, 1, n, fp); }\n"),
+                     "checked-io")
+                  .size(),
+              2u);
+}
+
+TEST(AvflintCheckedIo, AllowsCheckedAndExplicitlyDiscardedResults)
+{
+    EXPECT_TRUE(
+        withId(lintText("x.cc",
+                        "void f() { if (std::fclose(fp) != 0) "
+                        "die(); }\n"),
+               "checked-io")
+            .empty());
+    EXPECT_TRUE(withId(lintText("x.cc",
+                                "void f() { int rc = fseek(fp, 0, "
+                                "SEEK_SET); use(rc); }\n"),
+                       "checked-io")
+                    .empty());
+    EXPECT_TRUE(
+        withId(lintText("x.cc", "void f() { (void)std::fclose(fp); }\n"),
+               "checked-io")
+            .empty());
+    EXPECT_TRUE(withId(lintText("x.cc",
+                                "void f() { while (fread(b, 1, n, fp) "
+                                "> 0) use(b); }\n"),
+                       "checked-io")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// exit-site                                                         //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintExitSite, FlagsExitOutsideLogging)
+{
+    EXPECT_EQ(withId(lintText("src/harness/foo.cc",
+                              "void f() { exit(1); }\n"),
+                     "exit-site")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("bench/foo.cc",
+                              "void f() { std::abort(); }\n"),
+                     "exit-site")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintExitSite, AllowsLoggingAndScopedNames)
+{
+    EXPECT_TRUE(withId(lintText("src/util/logging.cc",
+                                "void f() { std::exit(1); }\n"),
+                       "exit-site")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("x.cc",
+                                "void f() { Machine::exit(1); "
+                                "sim.exit(0); }\n"),
+                       "exit-site")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// include-guard                                                     //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintIncludeGuard, FlagsUnguardedHeaders)
+{
+    EXPECT_EQ(withId(lintText("src/foo.hh", "int f();\n"),
+                     "include-guard")
+                  .size(),
+              1u);
+    // Mismatched #ifndef/#define names do not guard anything.
+    EXPECT_EQ(withId(lintText("src/foo.hh",
+                              "#ifndef FOO_HH\n#define BAR_HH\n"
+                              "#endif\n"),
+                     "include-guard")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintIncludeGuard, AcceptsGuardsAndIgnoresNonHeaders)
+{
+    EXPECT_TRUE(withId(lintText("src/foo.hh",
+                                "/* doc */\n#ifndef FOO_HH\n"
+                                "#define FOO_HH\nint f();\n#endif\n"),
+                       "include-guard")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("src/foo.hh", "#pragma once\nint f();\n"),
+                       "include-guard")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("src/foo.cc", "int f() { return 0; }\n"),
+                       "include-guard")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// naked-assert                                                      //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintNakedAssert, FlagsAssertButNotAvfAssert)
+{
+    EXPECT_EQ(withId(lintText("src/foo.cc",
+                              "void f() { assert(x > 0); }\n"),
+                     "naked-assert")
+                  .size(),
+              1u);
+    EXPECT_TRUE(withId(lintText("src/foo.cc",
+                                "void f() { avf_assert(x > 0, \"x "
+                                "must be positive, got %d\", x); "
+                                "static_assert(sizeof(int) == 4); }\n"),
+                       "naked-assert")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// Suppressions end-to-end                                           //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintSuppression, OnlyNamedCheckIsSuppressed)
+{
+    // Line carries both a checked-io and an exit-site violation; the
+    // allow() names only one of them.
+    auto findings = lintText(
+        "x.cc",
+        "void f() { fclose(fp); exit(1); } "
+        "// avflint: allow(checked-io)\n");
+    EXPECT_TRUE(withId(findings, "checked-io").empty());
+    EXPECT_EQ(withId(findings, "exit-site").size(), 1u);
+}
+
+TEST(AvflintSuppression, AllowAllSuppressesEverything)
+{
+    auto findings = lintText(
+        "x.cc",
+        "// avflint: allow(all)\n"
+        "void f() { fclose(fp); exit(1); assert(x); }\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------- //
+// Baseline ratchet                                                  //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintBaseline, MatchesConsumesAndReportsStale)
+{
+    Finding f{"src/foo.cc", 10, "checked-io", "result discarded"};
+    Baseline base = Baseline::fromString(
+        "# comment\n"
+        "\n" +
+        f.key() + "\n" +
+        "src/gone.cc: [exit-site] stale entry\n");
+    EXPECT_EQ(base.size(), 2u);
+    EXPECT_TRUE(base.matches(f));
+    // Each entry covers exactly one occurrence.
+    EXPECT_FALSE(base.matches(f));
+    auto stale = base.unmatched();
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0], "src/gone.cc: [exit-site] stale entry");
+}
+
+TEST(AvflintBaseline, KeyIgnoresLineNumbers)
+{
+    Finding early{"src/foo.cc", 10, "checked-io", "msg"};
+    Finding late{"src/foo.cc", 99, "checked-io", "msg"};
+    EXPECT_EQ(early.key(), late.key());
+    EXPECT_NE(early.format(), late.format());
+}
+
+// ---------------------------------------------------------------- //
+// Integration: multiple findings come out sorted and complete       //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintIntegration, ReportsAllFindingsSortedByLine)
+{
+    auto findings = lintText("src/mem/foo.cc",
+                             "void f() {\n"
+                             "    entry.error = 1;\n"
+                             "    fclose(fp);\n"
+                             "    exit(2);\n"
+                             "}\n");
+    ASSERT_EQ(findings.size(), 3u);
+    EXPECT_EQ(findings[0].id, "error-bit");
+    EXPECT_EQ(findings[1].id, "checked-io");
+    EXPECT_EQ(findings[2].id, "exit-site");
+    EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
+                               [](const auto &a, const auto &b) {
+                                   return a.line < b.line;
+                               }));
+    // file:line: [id] message, ready for editors and CI logs.
+    EXPECT_EQ(findings[0].format().rfind("src/mem/foo.cc:2: "
+                                         "[error-bit]", 0),
+              0u);
+}
+
+} // namespace

@@ -139,7 +139,7 @@ TEST(ExperimentEngine, ThrowingTaskDoesNotPoisonSiblings)
     EXPECT_TRUE(tasks[0].ok());
     EXPECT_FALSE(tasks[1].ok());
     EXPECT_TRUE(tasks[2].ok());
-    EXPECT_EQ(tasks[1].error, "deliberate task failure");
+    EXPECT_EQ(tasks[1].errorText, "deliberate task failure");
     EXPECT_TRUE(tasks[1].exception != nullptr);
     EXPECT_EQ(tasks[0].result.intervals.size(), 1u);
     EXPECT_EQ(tasks[2].result.intervals.size(), 1u);
@@ -155,7 +155,7 @@ TEST(ExperimentEngine, BadConfigIsReportedPerTask)
     auto tasks = engine.collect();
     ASSERT_EQ(tasks.size(), 2u);
     EXPECT_FALSE(tasks[0].ok());
-    EXPECT_NE(tasks[0].error.find("interval"), std::string::npos);
+    EXPECT_NE(tasks[0].errorText.find("interval"), std::string::npos);
     EXPECT_TRUE(tasks[1].ok());
 }
 

@@ -35,8 +35,9 @@ TEST(Robustness, TraceFileBadMagicIsFatal)
         std::FILE *f = std::fopen(path.c_str(), "wb");
         ASSERT_NE(f, nullptr);
         const char junk[] = "this is not a trace file at all........";
-        std::fwrite(junk, 1, sizeof(junk), f);
-        std::fclose(f);
+        ASSERT_EQ(std::fwrite(junk, 1, sizeof(junk), f),
+                  sizeof(junk));
+        ASSERT_EQ(std::fclose(f), 0);
     }
     EXPECT_DEATH(trace::TraceFileReader reader(path),
                  "not an AVF trace");
@@ -62,11 +63,11 @@ TEST(Robustness, TraceFileTruncatedIsFatal)
     {
         std::FILE *f = std::fopen(path.c_str(), "rb+");
         ASSERT_NE(f, nullptr);
-        std::fseek(f, 0, SEEK_END);
+        ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
         long size = std::ftell(f);
         ASSERT_EQ(
             ::truncate(path.c_str(), size - 16), 0);
-        std::fclose(f);
+        ASSERT_EQ(std::fclose(f), 0);
     }
     EXPECT_DEATH(
         {

@@ -215,7 +215,7 @@ TEST(TablePrinter, PrintsAlignedTable)
     std::FILE *mem = fmemopen(buf, sizeof(buf) - 1, "w");
     ASSERT_NE(mem, nullptr);
     t.print(mem);
-    std::fclose(mem);
+    ASSERT_EQ(std::fclose(mem), 0);
     std::string out(buf);
     EXPECT_NE(out.find("demo"), std::string::npos);
     EXPECT_NE(out.find("mesa"), std::string::npos);
@@ -229,7 +229,7 @@ TEST(SeriesPrinter, EmitsAllSeries)
     ASSERT_NE(mem, nullptr);
     printSeries("fig", "x", {1.0, 2.0}, {"a", "b"},
                 {{0.1, 0.2}, {0.3, 0.4}}, mem);
-    std::fclose(mem);
+    ASSERT_EQ(std::fclose(mem), 0);
     std::string out(buf);
     EXPECT_NE(out.find("fig"), std::string::npos);
     EXPECT_NE(out.find("0.1000"), std::string::npos);

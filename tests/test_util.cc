@@ -11,6 +11,7 @@
 
 #include "util/bitvector.hh"
 #include "util/env.hh"
+#include "util/logging.hh"
 #include "util/random.hh"
 
 namespace
@@ -18,6 +19,27 @@ namespace
 
 using avf::BitVector;
 using avf::Rng;
+
+// avf_assert accepts a bare condition, a plain message, and a
+// printf-style message — all pedantic-clean via __VA_OPT__.
+TEST(Logging, AvfAssertPassesQuietlyInEveryArity)
+{
+    avf_assert(1 + 1 == 2);
+    avf_assert(2 + 2 == 4, "arithmetic holds");
+    avf_assert(3 + 3 == 6, "arithmetic holds: %d", 6);
+}
+
+TEST(LoggingDeathTest, AvfAssertWithoutMessageStillPanics)
+{
+    EXPECT_DEATH(avf_assert(1 == 2),
+                 "assertion '1 == 2' failed");
+}
+
+TEST(LoggingDeathTest, AvfAssertFormatsMessage)
+{
+    EXPECT_DEATH(avf_assert(false, "value was %d", 41),
+                 "value was 41");
+}
 
 TEST(Rng, DeterministicForSameSeed)
 {

@@ -1,0 +1,526 @@
+#include "avflint/checks.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace avf::lint
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+bool
+startsWith(const std::string &text, std::string_view prefix)
+{
+    return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+/** tokens[i] or an empty sentinel when out of range. */
+const Token &
+at(const SourceFile &src, std::size_t i)
+{
+    static const Token none{TokKind::Punct, "", 0};
+    return i < src.tokens.size() ? src.tokens[i] : none;
+}
+
+bool
+isMemberAccess(const Token &t)
+{
+    return t.is(".") || t.is("->");
+}
+
+/**
+ * From the token after an lvalue identifier, skip one balanced
+ * `[...]` subscript if present and return the index of the token
+ * that follows.
+ */
+std::size_t
+skipSubscript(const SourceFile &src, std::size_t i)
+{
+    if (!at(src, i).is("["))
+        return i;
+    int depth = 0;
+    while (i < src.tokens.size()) {
+        if (at(src, i).is("["))
+            ++depth;
+        else if (at(src, i).is("]") && --depth == 0)
+            return i + 1;
+        ++i;
+    }
+    return i;
+}
+
+bool
+isAssignOp(const Token &t)
+{
+    return t.kind == TokKind::Punct &&
+           (t.is("=") || t.is("|=") || t.is("&=") || t.is("^=") ||
+            t.is("+=") || t.is("-=") || t.is("<<=") || t.is(">>="));
+}
+
+// ---------------------------------------------------------------- //
+// error-bit: writes to error-bit state outside sanctioned helpers.  //
+// ---------------------------------------------------------------- //
+
+void
+checkErrorBit(const SourceFile &src, std::vector<Finding> &out)
+{
+    // The kill/carry/merge discipline lives here; everything else
+    // must go through the Pipeline / estimator APIs.
+    if (src.path == "src/cpu/pipeline.cc" ||
+        startsWith(src.path, "src/core/"))
+        return;
+
+    static const std::set<std::string_view> state = {
+        "errorMask", "errorBits", "errorBit", "regError"};
+    // `error` alone is flagged only as a member write (`x.error =`):
+    // in this codebase `.error` members are per-entry error-bit
+    // planes, and reusing the name for anything else defeats grep.
+    static const std::set<std::string_view> memberState = {"error"};
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier)
+            continue;
+        bool plain = state.count(tok.text) > 0;
+        bool member = memberState.count(tok.text) > 0;
+        if (!plain && !member)
+            continue;
+        const Token &prev = at(src, i - 1);
+        if (member && !isMemberAccess(prev))
+            continue;
+        // `ErrorMask errorMask = 0;` is a declaration with default
+        // initializer, not a stray write.
+        if (plain && !isMemberAccess(prev) &&
+            prev.kind == TokKind::Identifier)
+            continue;
+        std::size_t j = skipSubscript(src, i + 1);
+        if (!isAssignOp(at(src, j)))
+            continue;
+        out.push_back(
+            {src.path, tok.line, "error-bit",
+             "direct write to error-bit state '" + tok.text +
+                 "' outside the sanctioned kill/carry/merge helpers "
+                 "(src/cpu/pipeline.cc, src/core/); use the Pipeline "
+                 "injection/clear API"});
+    }
+}
+
+// ---------------------------------------------------------------- //
+// determinism: hidden entropy and unordered iteration.              //
+// ---------------------------------------------------------------- //
+
+void
+checkDeterminism(const SourceFile &src, std::vector<Finding> &out)
+{
+    static const std::set<std::string_view> bannedCalls = {
+        "rand",    "srand",   "rand_r",  "random_r", "drand48",
+        "lrand48", "mrand48", "gettimeofday", "clock_gettime"};
+    static const std::set<std::string_view> chronoClocks = {
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    static const std::set<std::string_view> unorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+
+    // Pass 1: names declared with std::unordered_* types.
+    std::set<std::string> unorderedVars;
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        if (src.tokens[i].kind != TokKind::Identifier ||
+            unorderedTypes.count(src.tokens[i].text) == 0)
+            continue;
+        std::size_t j = i + 1;
+        if (at(src, j).is("<")) {
+            int depth = 0;
+            for (; j < src.tokens.size(); ++j) {
+                if (at(src, j).is("<"))
+                    ++depth;
+                else if (at(src, j).is(">") && --depth == 0) {
+                    ++j;
+                    break;
+                } else if (at(src, j).is(">>") && (depth -= 2) <= 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        while (at(src, j).is("&") || at(src, j).is("*"))
+            ++j;
+        if (at(src, j).kind == TokKind::Identifier)
+            unorderedVars.insert(at(src, j).text);
+    }
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier)
+            continue;
+        const Token &prev = at(src, i - 1);
+
+        if (tok.text == "random_device") {
+            out.push_back(
+                {src.path, tok.line, "determinism",
+                 "std::random_device is nondeterministic; seed "
+                 "avf::Rng (util/random.hh) from configuration"});
+            continue;
+        }
+
+        if (isMemberAccess(prev))
+            continue; // x.rand() is somebody else's method
+
+        if (bannedCalls.count(tok.text) > 0 && at(src, i + 1).is("(")) {
+            out.push_back(
+                {src.path, tok.line, "determinism",
+                 "'" + tok.text + "()' breaks bit-deterministic "
+                 "campaigns; use avf::Rng (util/random.hh) or plumb "
+                 "the value through RunOptions"});
+            continue;
+        }
+
+        // Argless wall-clock reads: time(NULL|nullptr|0|), clock().
+        if ((tok.text == "time" || tok.text == "clock") &&
+            at(src, i + 1).is("(")) {
+            const Token &arg = at(src, i + 2);
+            bool argless =
+                arg.is(")") || ((arg.isIdent("NULL") ||
+                                 arg.isIdent("nullptr") ||
+                                 (arg.kind == TokKind::Number &&
+                                  arg.text == "0")) &&
+                                at(src, i + 3).is(")"));
+            if (argless)
+                out.push_back(
+                    {src.path, tok.line, "determinism",
+                     "'" + tok.text + "()' reads the wall clock; "
+                     "results must be a function of (trace, seed) "
+                     "only"});
+            continue;
+        }
+
+        if (chronoClocks.count(tok.text) > 0 &&
+            at(src, i + 1).is("::") &&
+            at(src, i + 2).isIdent("now")) {
+            out.push_back(
+                {src.path, tok.line, "determinism",
+                 "'" + tok.text + "::now()' reads the wall clock; "
+                 "keep it out of anything that feeds exported "
+                 "results (suppress with a justification if it only "
+                 "feeds a timing side-channel)"});
+            continue;
+        }
+
+        // Range-for over an unordered container: iteration order is
+        // implementation-defined and leaks into stdout/exports.
+        if (tok.text == "for" && at(src, i + 1).is("(")) {
+            int depth = 0;
+            std::size_t colon = 0;
+            for (std::size_t j = i + 1; j < src.tokens.size(); ++j) {
+                if (at(src, j).is("("))
+                    ++depth;
+                else if (at(src, j).is(")") && --depth == 0) {
+                    if (!colon)
+                        break;
+                    for (std::size_t k = colon + 1; k < j; ++k) {
+                        if (at(src, k).kind == TokKind::Identifier &&
+                            unorderedVars.count(at(src, k).text)) {
+                            out.push_back(
+                                {src.path, src.tokens[i].line,
+                                 "determinism",
+                                 "iteration over unordered "
+                                 "container '" + at(src, k).text +
+                                     "' has implementation-defined "
+                                     "order; copy into a sorted "
+                                     "container before emitting"});
+                            break;
+                        }
+                    }
+                    break;
+                } else if (at(src, j).is(":") && depth == 1 && !colon) {
+                    colon = j;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// checked-io: C stdio results silently discarded.                   //
+// ---------------------------------------------------------------- //
+
+void
+checkCheckedIo(const SourceFile &src, std::vector<Finding> &out)
+{
+    static const std::set<std::string_view> ioCalls = {
+        "fopen", "fclose", "fread", "fwrite", "fseek", "fflush"};
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier ||
+            ioCalls.count(tok.text) == 0 || !at(src, i + 1).is("("))
+            continue;
+
+        // First token of the call expression (absorb a std:: prefix).
+        std::size_t first = i;
+        if (at(src, i - 1).is("::") && at(src, i - 2).isIdent("std"))
+            first = i - 2;
+
+        const Token &ctx = at(src, first - 1);
+        bool discarded =
+            ctx.is(";") || ctx.is("{") || ctx.is("}") ||
+            ctx.isIdent("else") || ctx.isIdent("do") ||
+            ctx.line == 0; // file start
+        if (ctx.is(")")) {
+            // `if (...) fclose(f);` discards too — but a `(void)`
+            // cast is the sanctioned explicit discard.
+            bool voidCast = at(src, first - 2).isIdent("void") &&
+                            at(src, first - 3).is("(");
+            discarded = !voidCast;
+        }
+        if (!discarded)
+            continue;
+        out.push_back(
+            {src.path, tok.line, "checked-io",
+             "result of '" + tok.text + "' is discarded; check it "
+             "(or cast to (void) with a comment when failure is "
+             "genuinely ignorable)"});
+    }
+}
+
+// ---------------------------------------------------------------- //
+// exit-site: process exit outside the logging sanctioned site.      //
+// ---------------------------------------------------------------- //
+
+void
+checkExitSite(const SourceFile &src, std::vector<Finding> &out)
+{
+    if (src.path == "src/util/logging.cc")
+        return; // panic()/fatal() are the sanctioned exit paths
+
+    static const std::set<std::string_view> exits = {
+        "exit", "_exit", "_Exit", "quick_exit", "abort"};
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier ||
+            exits.count(tok.text) == 0 || !at(src, i + 1).is("("))
+            continue;
+        const Token &prev = at(src, i - 1);
+        if (isMemberAccess(prev))
+            continue; // someone's .exit() method
+        if (prev.is("::") && !at(src, i - 2).isIdent("std"))
+            continue; // Foo::exit(), not std::exit()
+        out.push_back(
+            {src.path, tok.line, "exit-site",
+             "'" + tok.text + "()' outside src/util/logging.cc; use "
+             "fatal() for user errors or panic() for internal bugs "
+             "so every exit is logged and testable"});
+    }
+}
+
+// ---------------------------------------------------------------- //
+// include-guard: headers must be re-include safe.                   //
+// ---------------------------------------------------------------- //
+
+void
+checkIncludeGuard(const SourceFile &src, std::vector<Finding> &out)
+{
+    auto len = src.path.size();
+    bool header =
+        (len > 3 && src.path.compare(len - 3, 3, ".hh") == 0) ||
+        (len > 4 && src.path.compare(len - 4, 4, ".hpp") == 0);
+    if (!header || src.tokens.empty())
+        return;
+
+    const Token &t0 = at(src, 0);
+    bool guarded = false;
+    if (t0.is("#")) {
+        if (at(src, 1).isIdent("pragma") && at(src, 2).isIdent("once"))
+            guarded = true;
+        if (at(src, 1).isIdent("ifndef") &&
+            at(src, 2).kind == TokKind::Identifier &&
+            at(src, 3).is("#") && at(src, 4).isIdent("define") &&
+            at(src, 5).text == at(src, 2).text)
+            guarded = true;
+    }
+    if (!guarded)
+        out.push_back(
+            {src.path, t0.line, "include-guard",
+             "header does not open with an #ifndef/#define include "
+             "guard (or #pragma once)"});
+}
+
+// ---------------------------------------------------------------- //
+// naked-assert: assert() compiles out of release builds.            //
+// ---------------------------------------------------------------- //
+
+void
+checkNakedAssert(const SourceFile &src, std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (!tok.isIdent("assert") || !at(src, i + 1).is("("))
+            continue;
+        if (isMemberAccess(at(src, i - 1)) || at(src, i - 1).is("::"))
+            continue;
+        out.push_back(
+            {src.path, tok.line, "naked-assert",
+             "assert() is compiled out under NDEBUG; use avf_assert "
+             "(util/logging.hh), which stays on in release builds"});
+    }
+}
+
+} // namespace
+
+std::string
+Finding::key() const
+{
+    return file + ": [" + id + "] " + message;
+}
+
+std::string
+Finding::format() const
+{
+    return file + ":" + std::to_string(line) + ": [" + id + "] " +
+           message;
+}
+
+const std::vector<CheckInfo> &
+checkRegistry()
+{
+    static const std::vector<CheckInfo> registry = {
+        {"error-bit",
+         "error-bit state written outside kill/carry/merge helpers",
+         checkErrorBit},
+        {"determinism",
+         "hidden entropy, wall-clock reads, unordered iteration",
+         checkDeterminism},
+        {"checked-io", "C stdio results silently discarded",
+         checkCheckedIo},
+        {"exit-site", "process exit outside src/util/logging.cc",
+         checkExitSite},
+        {"include-guard", "headers must carry an include guard",
+         checkIncludeGuard},
+        {"naked-assert", "assert() where avf_assert is required",
+         checkNakedAssert},
+    };
+    return registry;
+}
+
+std::vector<Finding>
+lintSource(const SourceFile &src)
+{
+    std::vector<Finding> all;
+    for (const CheckInfo &check : checkRegistry())
+        check.run(src, all);
+    std::vector<Finding> kept;
+    for (Finding &f : all)
+        if (!src.suppressed(f.line, f.id))
+            kept.push_back(std::move(f));
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+    return kept;
+}
+
+std::vector<Finding>
+lintText(const std::string &path, std::string_view text)
+{
+    return lintSource(lex(path, text));
+}
+
+Baseline
+Baseline::fromString(std::string_view text)
+{
+    Baseline out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos)
+            eol = text.size();
+        std::string_view line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string_view::npos || line[b] == '#')
+            continue;
+        std::size_t e = line.find_last_not_of(" \t\r");
+        ++out.entries[std::string(line.substr(b, e - b + 1))];
+        ++out.total;
+        if (pos > text.size())
+            break;
+    }
+    return out;
+}
+
+Baseline
+Baseline::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Baseline{};
+    std::ostringstream text;
+    text << in.rdbuf();
+    return fromString(text.str());
+}
+
+bool
+Baseline::matches(const Finding &f)
+{
+    auto it = entries.find(f.key());
+    if (it == entries.end() || it->second == 0)
+        return false;
+    --it->second;
+    return true;
+}
+
+std::vector<std::string>
+Baseline::unmatched() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, count] : entries)
+        if (count > 0)
+            out.push_back(key);
+    return out;
+}
+
+std::vector<std::string>
+collectFiles(const std::string &root,
+             const std::vector<std::string> &paths)
+{
+    auto lintable = [](const fs::path &p) {
+        std::string ext = p.extension().string();
+        return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+               ext == ".hpp";
+    };
+    auto skipDir = [](const fs::path &p) {
+        std::string name = p.filename().string();
+        return name == ".git" || name == "results" ||
+               startsWith(name, "build");
+    };
+
+    std::set<std::string> found;
+    for (const std::string &arg : paths) {
+        fs::path base = fs::path(root) / arg;
+        std::error_code ec;
+        if (fs::is_regular_file(base, ec)) {
+            if (lintable(base))
+                found.insert(arg);
+            continue;
+        }
+        fs::recursive_directory_iterator it(base, ec), end;
+        for (; !ec && it != end; it.increment(ec)) {
+            if (it->is_directory() && skipDir(it->path())) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (it->is_regular_file() && lintable(it->path()))
+                found.insert(
+                    fs::relative(it->path(), root).generic_string());
+        }
+    }
+    return {found.begin(), found.end()};
+}
+
+} // namespace avf::lint

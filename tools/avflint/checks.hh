@@ -1,0 +1,117 @@
+/**
+ * @file
+ * avflint's domain checks. Each check walks a lexed SourceFile and
+ * appends findings; `lintSource` runs the whole registry and drops
+ * findings covered by `avflint: allow(id)` suppressions. A Baseline
+ * ratchets pre-existing debt: findings whose (file, check, message)
+ * key appears in the baseline are reported as baselined and do not
+ * fail the run, but new findings always do.
+ *
+ * Checks (ids):
+ *   error-bit     direct writes to error-bit state (errorMask,
+ *                 regError, `.error` members) outside the sanctioned
+ *                 kill/carry/merge helpers (src/cpu/pipeline.cc and
+ *                 src/core/).
+ *   determinism   rand()/srand()/std::random_device, argless time
+ *                 sources (time(NULL), clock(), *_clock::now), and
+ *                 range-for iteration over std::unordered_*
+ *                 containers (unordered order leaks into exports).
+ *   checked-io    fopen/fclose/fread/fwrite/fseek/fflush calls whose
+ *                 result is discarded (statement position); a
+ *                 `(void)` cast is an accepted explicit discard.
+ *   exit-site     exit()/abort() family outside src/util/logging.cc,
+ *                 the only sanctioned process-exit site.
+ *   include-guard .hh files must open with an #ifndef/#define guard
+ *                 or #pragma once.
+ *   naked-assert  assert() where avf_assert (on in release builds)
+ *                 is required.
+ */
+
+#ifndef AVF_TOOLS_AVFLINT_CHECKS_HH
+#define AVF_TOOLS_AVFLINT_CHECKS_HH
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "avflint/lexer.hh"
+
+namespace avf::lint
+{
+
+/** One diagnostic produced by a check. */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string id;       ///< check id, e.g. "determinism"
+    std::string message;
+
+    /** Baseline key: stable across line-number churn. */
+    std::string key() const;
+    /** Human/CI form: `file:line: [id] message`. */
+    std::string format() const;
+};
+
+/** A registered check. */
+struct CheckInfo
+{
+    std::string_view id;
+    std::string_view description;
+    void (*run)(const SourceFile &src, std::vector<Finding> &out);
+};
+
+/** All checks, in reporting order. */
+const std::vector<CheckInfo> &checkRegistry();
+
+/** Run every check on @p src and filter suppressed findings. */
+std::vector<Finding> lintSource(const SourceFile &src);
+
+/** Convenience: lex then lint. @p path is repo-relative. */
+std::vector<Finding> lintText(const std::string &path,
+                              std::string_view text);
+
+/**
+ * Committed debt ledger. Lines are Finding::key() strings; `#`
+ * comments and blank lines are ignored. Matching consumes an entry,
+ * so duplicate findings need duplicate lines and entries left over
+ * after a run are reported as stale.
+ */
+class Baseline
+{
+  public:
+    Baseline() = default;
+
+    /** Parse from text (tests). */
+    static Baseline fromString(std::string_view text);
+
+    /** Load from disk; a missing file yields an empty baseline. */
+    static Baseline fromFile(const std::string &path);
+
+    /** True (and one entry consumed) if @p f is baselined. */
+    bool matches(const Finding &f);
+
+    /** Keys with unconsumed occurrences (stale debt). */
+    std::vector<std::string> unmatched() const;
+
+    /** Total entries loaded. */
+    std::size_t size() const { return total; }
+
+  private:
+    std::map<std::string, int> entries;
+    std::size_t total = 0;
+};
+
+/**
+ * Recursively collect lintable sources (.cc/.hh/.cpp/.hpp) under each
+ * of @p paths (files or directories, relative to @p root), skipping
+ * build trees and VCS metadata. The result is sorted — avflint obeys
+ * its own determinism rule.
+ */
+std::vector<std::string> collectFiles(
+    const std::string &root, const std::vector<std::string> &paths);
+
+} // namespace avf::lint
+
+#endif // AVF_TOOLS_AVFLINT_CHECKS_HH

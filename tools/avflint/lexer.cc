@@ -1,0 +1,264 @@
+#include "avflint/lexer.hh"
+
+#include <array>
+#include <cctype>
+
+namespace avf::lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within a length tier. */
+constexpr std::array<std::string_view, 36> multiPuncts = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=", "|=", "^=", "##", ".*", "<",  ">",  "=",  "!",
+    "&",   "|",  "^",  "+",  "-",  "%",
+};
+
+/**
+ * Scan a comment body for `avflint: allow(a, b, ...)` directives and
+ * record every listed id on @p line and @p line + 1 of @p out.
+ */
+void
+recordAllows(SourceFile &out, std::string_view comment, int line)
+{
+    const std::string_view marker = "avflint:";
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string_view::npos) {
+        pos += marker.size();
+        while (pos < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[pos])))
+            ++pos;
+        const std::string_view verb = "allow(";
+        if (comment.compare(pos, verb.size(), verb) != 0)
+            continue;
+        pos += verb.size();
+        std::size_t close = comment.find(')', pos);
+        if (close == std::string_view::npos)
+            return;
+        std::string_view list = comment.substr(pos, close - pos);
+        pos = close + 1;
+        while (!list.empty()) {
+            std::size_t comma = list.find(',');
+            std::string_view id = list.substr(0, comma);
+            list = comma == std::string_view::npos
+                       ? std::string_view{}
+                       : list.substr(comma + 1);
+            std::size_t b = id.find_first_not_of(" \t");
+            if (b == std::string_view::npos)
+                continue;
+            std::size_t e = id.find_last_not_of(" \t");
+            std::string name(id.substr(b, e - b + 1));
+            out.allows[line].insert(name);
+            out.allows[line + 1].insert(name);
+        }
+    }
+}
+
+} // namespace
+
+bool
+SourceFile::suppressed(int line, const std::string &id) const
+{
+    auto it = allows.find(line);
+    if (it == allows.end())
+        return false;
+    return it->second.count(id) > 0 || it->second.count("all") > 0;
+}
+
+SourceFile
+lex(std::string path, std::string_view text)
+{
+    SourceFile out;
+    out.path = std::move(path);
+
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = text.size();
+
+    auto push = [&](TokKind kind, std::size_t begin, std::size_t end,
+                    int atLine) {
+        out.tokens.push_back(
+            {kind, std::string(text.substr(begin, end - begin)),
+             atLine});
+    };
+    auto countLines = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t k = begin; k < end; ++k)
+            if (text[k] == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        char c = text[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            std::size_t end = text.find('\n', i);
+            if (end == std::string_view::npos)
+                end = n;
+            recordAllows(out, text.substr(i, end - i), line);
+            i = end;
+            continue;
+        }
+
+        // Block comment (may span lines; allow applies to its end).
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            std::size_t end = text.find("*/", i + 2);
+            if (end == std::string_view::npos)
+                end = n;
+            else
+                end += 2;
+            countLines(i, end);
+            recordAllows(out, text.substr(i, end - i), line);
+            i = end;
+            continue;
+        }
+
+        // Raw string literal: (prefix)R"delim( ... )delim".
+        if ((c == 'R' ||
+             ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
+              text[i + 1] == 'R')) &&
+            text.find('"', i) == i + (c == 'R' ? 1 : 2) &&
+            i + (c == 'R' ? 1 : 2) < n) {
+            std::size_t quote = i + (c == 'R' ? 1 : 2);
+            std::size_t open = text.find('(', quote);
+            if (open != std::string_view::npos) {
+                std::string close = ")";
+                close.append(text.substr(quote + 1,
+                                         open - quote - 1));
+                close.push_back('"');
+                std::size_t end = text.find(close, open + 1);
+                end = end == std::string_view::npos
+                          ? n
+                          : end + close.size();
+                int at = line;
+                countLines(i, end);
+                push(TokKind::String, i, end, at);
+                i = end;
+                continue;
+            }
+        }
+
+        // Ordinary string / char literal, with optional prefix.
+        if (c == '"' || c == '\'' ||
+            ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
+             (text[i + 1] == '"' || text[i + 1] == '\''))) {
+            std::size_t begin = i;
+            if (c != '"' && c != '\'') {
+                ++i;
+                c = text[i];
+            }
+            char quote = c;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i < n)
+                ++i; // closing quote
+            push(quote == '"' ? TokKind::String : TokKind::CharLit,
+                 begin, i, line);
+            continue;
+        }
+
+        // Identifier (or keyword; checks only care about spelling).
+        if (identStart(c)) {
+            std::size_t begin = i;
+            while (i < n && identCont(text[i]))
+                ++i;
+            // u8"..." style prefixes already handled above for u/U/L;
+            // u8 needs a second look here.
+            if (i < n && (text[i] == '"' || text[i] == '\'') &&
+                (text.substr(begin, i - begin) == "u8")) {
+                char quote = text[i];
+                ++i;
+                while (i < n && text[i] != quote) {
+                    if (text[i] == '\\' && i + 1 < n)
+                        ++i;
+                    if (text[i] == '\n')
+                        ++line;
+                    ++i;
+                }
+                if (i < n)
+                    ++i;
+                push(quote == '"' ? TokKind::String : TokKind::CharLit,
+                     begin, i, line);
+                continue;
+            }
+            push(TokKind::Identifier, begin, i, line);
+            continue;
+        }
+
+        // Number: digits, hex, floats, digit separators, exponents.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+            std::size_t begin = i;
+            ++i;
+            while (i < n) {
+                char d = text[i];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '.' || d == '\'') {
+                    ++i;
+                    continue;
+                }
+                if ((d == '+' || d == '-') && i > begin) {
+                    char p = text[i - 1];
+                    if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+                        ++i;
+                        continue;
+                    }
+                }
+                break;
+            }
+            push(TokKind::Number, begin, i, line);
+            continue;
+        }
+
+        // Punctuator: longest match against the multi-char table.
+        bool matched = false;
+        for (std::string_view op : multiPuncts) {
+            if (text.compare(i, op.size(), op) == 0) {
+                push(TokKind::Punct, i, i + op.size(), line);
+                i += op.size();
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            push(TokKind::Punct, i, i + 1, line);
+            ++i;
+        }
+    }
+
+    return out;
+}
+
+} // namespace avf::lint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight C++ lexer for avflint. Not a parser: it strips comments
+ * and string/character literals into dedicated token kinds, recognizes
+ * identifiers, numbers, and (longest-match) punctuators, and records
+ * line numbers so checks can report `file:line`. Comments are scanned
+ * for `avflint: allow(check-id)` suppressions before being dropped;
+ * a suppression applies to the line the comment ends on and to the
+ * following line, which covers both trailing and stand-alone comment
+ * placement.
+ */
+
+#ifndef AVF_TOOLS_AVFLINT_LEXER_HH
+#define AVF_TOOLS_AVFLINT_LEXER_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avf::lint
+{
+
+/** Lexical class of a token. */
+enum class TokKind
+{
+    Identifier, ///< keywords included; checks match on spelling
+    Number,     ///< integer / floating / user-suffixed literal
+    String,     ///< "..." or R"delim(...)delim", prefix included
+    CharLit,    ///< '...'
+    Punct       ///< operator or punctuator, longest-match
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;
+
+    bool is(std::string_view t) const { return text == t; }
+    bool isIdent(std::string_view t) const
+    {
+        return kind == TokKind::Identifier && text == t;
+    }
+};
+
+/** A lexed translation unit plus its suppression map. */
+struct SourceFile
+{
+    /** Repo-relative path with forward slashes. */
+    std::string path;
+    std::vector<Token> tokens;
+    /** line -> check-ids allowed on that line ("all" = every check). */
+    std::map<int, std::set<std::string>> allows;
+
+    /** True when `avflint: allow(id)` covers @p line for @p id. */
+    bool suppressed(int line, const std::string &id) const;
+};
+
+/**
+ * Tokenize @p text. Never fails: bytes that fit no token class are
+ * emitted as single-character punctuators so checks keep their line
+ * sync even on malformed input.
+ */
+SourceFile lex(std::string path, std::string_view text);
+
+} // namespace avf::lint
+
+#endif // AVF_TOOLS_AVFLINT_LEXER_HH

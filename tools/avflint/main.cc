@@ -1,0 +1,161 @@
+/**
+ * @file
+ * avflint CLI: lint the repository's sources against the domain
+ * checks in checks.cc.
+ *
+ *   avflint [--root DIR] [--baseline FILE] [--update-baseline]
+ *           [--list-checks] [--quiet] <path>...
+ *
+ * Exit status: 0 when every finding is suppressed or baselined,
+ * 1 when new findings exist, 2 on usage errors. The baseline is a
+ * ratchet — running with --update-baseline rewrites it from the
+ * current findings, which should only ever shrink it.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "avflint/checks.hh"
+#include "avflint/lexer.hh"
+
+namespace
+{
+
+using avf::lint::Baseline;
+using avf::lint::Finding;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--baseline FILE] [--update-baseline]\n"
+        "          [--list-checks] [--quiet] <path>...\n"
+        "Paths are files or directories, relative to --root (default:\n"
+        "current directory).\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string baselinePath;
+    bool updateBaseline = false;
+    bool quiet = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--update-baseline") {
+            updateBaseline = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-checks") {
+            for (const auto &check : avf::lint::checkRegistry())
+                std::printf("%-14s %s\n",
+                            std::string(check.id).c_str(),
+                            std::string(check.description).c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        } else {
+            paths.push_back(std::move(arg));
+        }
+    }
+    if (paths.empty())
+        return usage(argv[0]);
+
+    Baseline baseline;
+    if (!baselinePath.empty() && !updateBaseline)
+        baseline = Baseline::fromFile(baselinePath);
+
+    std::vector<Finding> fresh;
+    std::size_t baselined = 0;
+    std::size_t filesScanned = 0;
+
+    for (const std::string &rel :
+         avf::lint::collectFiles(root, paths)) {
+        std::ifstream in(std::filesystem::path(root) / rel,
+                         std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "avflint: cannot read %s\n",
+                         rel.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        ++filesScanned;
+        for (Finding &f : avf::lint::lintText(rel, text.str())) {
+            if (baseline.matches(f)) {
+                ++baselined;
+                if (!quiet)
+                    std::printf("%s (baselined)\n",
+                                f.format().c_str());
+            } else {
+                fresh.push_back(std::move(f));
+            }
+        }
+    }
+
+    for (const Finding &f : fresh)
+        std::printf("%s\n", f.format().c_str());
+
+    for (const std::string &stale : baseline.unmatched())
+        std::fprintf(stderr,
+                     "avflint: note: stale baseline entry (fixed? "
+                     "remove it): %s\n",
+                     stale.c_str());
+
+    if (updateBaseline) {
+        if (baselinePath.empty()) {
+            std::fprintf(stderr,
+                         "avflint: --update-baseline needs "
+                         "--baseline FILE\n");
+            return 2;
+        }
+        std::ofstream outFile(baselinePath, std::ios::trunc);
+        outFile << "# avflint baseline — committed debt ledger.\n"
+                   "# One `file: [check-id] message` key per line; "
+                   "regenerate with\n"
+                   "#   avflint --root . --baseline "
+                   "tools/avflint/baseline.txt --update-baseline "
+                   "src tools bench tests\n"
+                   "# This file may only ever shrink.\n";
+        for (const Finding &f : fresh)
+            outFile << f.key() << "\n";
+        if (!outFile.flush()) {
+            std::fprintf(stderr, "avflint: cannot write %s\n",
+                         baselinePath.c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "avflint: wrote %zu entries to %s\n",
+                     fresh.size(), baselinePath.c_str());
+        return 0;
+    }
+
+    if (!quiet || !fresh.empty())
+        std::fprintf(stderr,
+                     "avflint: %zu new finding%s, %zu baselined "
+                     "(%zu files scanned)\n",
+                     fresh.size(), fresh.size() == 1 ? "" : "s",
+                     baselined, filesScanned);
+    return fresh.empty() ? 0 : 1;
+}
