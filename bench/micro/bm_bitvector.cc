@@ -1,0 +1,105 @@
+/**
+ * @file
+ * BitVector primitives: popcount and clear as used by the error-bit
+ * planes, plus the word-level merge/kill operators next to per-bit
+ * reference loops so the JSON report shows the word-vs-bit gap
+ * directly.
+ */
+
+#include "micro.hh"
+
+#include "util/bitvector.hh"
+
+namespace
+{
+
+using avf::BitVector;
+
+constexpr std::size_t benchBits = 4096;
+
+BitVector
+patterned()
+{
+    BitVector bits(benchBits);
+    for (std::size_t i = 0; i < benchBits; i += 7)
+        bits.set(i);
+    return bits;
+}
+
+} // namespace
+
+AVF_MICROBENCH(bitvector_popcount)
+{
+    BitVector bits = patterned();
+    b.setItems(benchBits);
+    while (b.next())
+        avf::micro::doNotOptimize(bits.count());
+}
+
+AVF_MICROBENCH(bitvector_clear_all)
+{
+    BitVector bits = patterned();
+    b.setItems(benchBits);
+    while (b.next()) {
+        bits.clearAll();
+        avf::micro::doNotOptimize(bits);
+    }
+}
+
+AVF_MICROBENCH(bitvector_or_words)
+{
+    BitVector dst = patterned();
+    BitVector src(benchBits);
+    for (std::size_t i = 0; i < benchBits; i += 3)
+        src.set(i);
+    b.setItems(benchBits);
+    while (b.next()) {
+        dst.orWith(src);
+        avf::micro::doNotOptimize(dst);
+    }
+}
+
+AVF_MICROBENCH(bitvector_or_perbit)
+{
+    // Reference per-bit carry loop the word-level orWith replaces.
+    BitVector dst = patterned();
+    BitVector src(benchBits);
+    for (std::size_t i = 0; i < benchBits; i += 3)
+        src.set(i);
+    b.setItems(benchBits);
+    while (b.next()) {
+        for (std::size_t i = 0; i < benchBits; ++i)
+            if (src.test(i))
+                dst.set(i);
+        avf::micro::doNotOptimize(dst);
+    }
+}
+
+AVF_MICROBENCH(bitvector_andnot_words)
+{
+    BitVector dst = patterned();
+    BitVector kill(benchBits);
+    for (std::size_t i = 0; i < benchBits; i += 5)
+        kill.set(i);
+    b.setItems(benchBits);
+    while (b.next()) {
+        dst.andNotWith(kill);
+        avf::micro::doNotOptimize(dst);
+    }
+}
+
+AVF_MICROBENCH(bitvector_andnot_perbit)
+{
+    // Reference per-bit kill loop the word-level andNotWith replaces.
+    BitVector dst = patterned();
+    BitVector kill(benchBits);
+    for (std::size_t i = 0; i < benchBits; i += 5)
+        kill.set(i);
+    b.setItems(benchBits);
+    while (b.next()) {
+        for (std::size_t i = 0; i < benchBits; ++i)
+            if (kill.test(i))
+                dst.reset(i);
+        avf::micro::doNotOptimize(dst);
+    }
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Full ExperimentEngine campaigns at 1, 4, and 8 workers: four small
+ * single-interval experiments per campaign, the engine's submit /
+ * fan-out / submission-order collect cycle included. One iteration =
+ * one campaign; items_per_sec is experiments/sec. On a single-core
+ * host the worker counts measure scheduling overhead, not speedup —
+ * the numbers are still the regression canary for engine dispatch.
+ */
+
+#include "micro.hh"
+
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
+#include "trace/spec_profiles.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::harness;
+
+void
+runCampaignOnce(unsigned threads)
+{
+    RunOptions options;
+    options.threads = threads;
+    ExperimentEngine engine(options);
+    for (const char *name : {"mesa", "bzip2", "swim", "ammp"}) {
+        ExperimentConfig conf;
+        conf.profile = trace::specProfile(name);
+        conf.numIntervals = 1;
+        conf.online.m = 100;
+        conf.online.n = 100;
+        conf.lookahead = 4096;
+        engine.submit(name, conf);
+    }
+    auto results = engine.collect();
+    for (const auto &task : results)
+        if (!task.ok())
+            panic("bench campaign task '%s' failed: %s",
+                  task.name.c_str(), task.errorText.c_str());
+    avf::micro::doNotOptimize(results);
+}
+
+} // namespace
+
+AVF_MICROBENCH(engine_campaign_w1)
+{
+    b.setItems(4);
+    while (b.next())
+        runCampaignOnce(1);
+}
+
+AVF_MICROBENCH(engine_campaign_w4)
+{
+    b.setItems(4);
+    while (b.next())
+        runCampaignOnce(4);
+}
+
+AVF_MICROBENCH(engine_campaign_w8)
+{
+    b.setItems(4);
+    while (b.next())
+        runCampaignOnce(8);
+}

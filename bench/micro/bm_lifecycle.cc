@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Injection-lifecycle bookkeeping: the open / hop / close record
+ * cycle the obs::LifecycleTracker performs for every estimator
+ * injection. The hop mix (two read-carries, one OR-merge, one
+ * overwrite-kill) mirrors a typical short-lived register error.
+ */
+
+#include "micro.hh"
+
+#include "cpu/dyn_instr.hh"
+#include "obs/lifecycle.hh"
+
+namespace
+{
+
+using namespace avf;
+
+obs::LifecycleConfig
+benchConfig()
+{
+    obs::LifecycleConfig conf;
+    conf.enabled = true;
+    conf.maxRecordsPerStructure = 2048;
+    conf.windowCycles = 1000;
+    return conf;
+}
+
+} // namespace
+
+AVF_MICROBENCH(lifecycle_record_append)
+{
+    static obs::LifecycleTracker tracker(benchConfig());
+    static cpu::DynInstr instr; // hop events only read error fields
+    // REG's channel bit (structures.hh: channelOf(REG) == 1).
+    const auto reg_bit = static_cast<cpu::ErrorMask>(
+        1u << core::channelOf(core::Structure::REG));
+    Cycle now = 0;
+    while (b.next()) {
+        tracker.openRecord(core::Structure::REG, 5, -1, true, now);
+        tracker.onErrorHop(instr, reg_bit, cpu::ErrorHop::ReadCarry);
+        tracker.onErrorHop(instr, reg_bit, cpu::ErrorHop::ReadCarry);
+        tracker.onErrorHop(instr, reg_bit, cpu::ErrorHop::OrMerge);
+        tracker.onErrorHop(instr, reg_bit,
+                           cpu::ErrorHop::OverwriteKill);
+        tracker.closeRecord(core::Structure::REG, now + 40);
+        now += 50;
+    }
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The per-cycle error-bit propagation hot path, measured at three
+ * altitudes:
+ *
+ *   propagation_channel_clear  inject one register error, then the
+ *                              window-boundary channel sweep
+ *                              (Pipeline::clearErrorChannels) — the
+ *                              primitive the word-level error-plane
+ *                              work optimizes;
+ *   propagation_window_close   the same sweep after the error has
+ *                              propagated through issued
+ *                              instructions for a few cycles (ROB /
+ *                              store-queue planes dirty);
+ *   propagation_step_estims    one full pipeline cycle with the five
+ *                              online estimators attached —
+ *                              items_per_sec is simulated
+ *                              cycles/sec, the ROADMAP's end-to-end
+ *                              number.
+ *
+ * Benchmark state is function-local static: the pipeline warms up
+ * once (ROB, store queue, and caches populated) and the measured
+ * loop then exercises a steady state, the way the estimator runs
+ * online.
+ */
+
+#include "micro.hh"
+
+#include <memory>
+#include <vector>
+
+#include "core/online_estimator.hh"
+#include "cpu/pipeline.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/synthetic.hh"
+
+namespace
+{
+
+using namespace avf;
+
+struct WarmPipeline
+{
+    trace::SyntheticTraceGenerator gen;
+    cpu::Pipeline pipe;
+
+    explicit WarmPipeline(Cycle warmCycles)
+        : gen(trace::specProfile("mesa")), pipe(cpu::CpuConfig{}, gen)
+    {
+        pipe.run(warmCycles);
+    }
+};
+
+struct EstimatorRig
+{
+    trace::SyntheticTraceGenerator gen;
+    cpu::Pipeline pipe;
+    std::vector<std::unique_ptr<core::OnlineAvfEstimator>> ests;
+
+    EstimatorRig() : gen(trace::specProfile("mesa")),
+                     pipe(cpu::CpuConfig{}, gen)
+    {
+        for (int s = 0; s < core::numStructures; ++s) {
+            ests.push_back(std::make_unique<core::OnlineAvfEstimator>(
+                pipe, static_cast<core::Structure>(s)));
+            pipe.addObserver(ests.back().get());
+        }
+        pipe.run(10'000);
+    }
+};
+
+} // namespace
+
+AVF_MICROBENCH(propagation_channel_clear)
+{
+    static WarmPipeline warm(20'000);
+    while (b.next()) {
+        warm.pipe.injectRegError(5, 1);
+        warm.pipe.clearErrorChannels(1);
+        avf::micro::clobberMemory();
+    }
+}
+
+AVF_MICROBENCH(propagation_window_close)
+{
+    static WarmPipeline warm(20'000);
+    while (b.next()) {
+        // One window's worth of life for a register error: inject,
+        // let it ride the dataflow for a few cycles (reads carry it
+        // into ROB entries and the store queue), then the boundary
+        // sweep kills the channel everywhere.
+        warm.pipe.injectRegError(9, 2);
+        for (int c = 0; c < 8; ++c)
+            warm.pipe.step();
+        warm.pipe.clearErrorChannels(2);
+        avf::micro::clobberMemory();
+    }
+}
+
+AVF_MICROBENCH(propagation_step_estimators)
+{
+    static EstimatorRig rig;
+    b.setItems(1); // items/sec == simulated cycles/sec
+    while (b.next()) {
+        rig.pipe.step();
+        avf::micro::clobberMemory();
+    }
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ThreadPool dispatch overhead: the cost of pushing trivial jobs
+ * through the engine's worker pool and waiting for the batch. One
+ * iteration = one 64-job batch; items_per_sec is tasks/sec.
+ */
+
+#include "micro.hh"
+
+#include <atomic>
+
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+constexpr std::uint64_t tasksPerBatch = 64;
+
+} // namespace
+
+AVF_MICROBENCH(threadpool_dispatch_1)
+{
+    static avf::ThreadPool pool(1);
+    static std::atomic<std::uint64_t> sink{0};
+    b.setItems(tasksPerBatch);
+    while (b.next()) {
+        for (std::uint64_t t = 0; t < tasksPerBatch; ++t)
+            pool.submit([] {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+    }
+    avf::micro::doNotOptimize(sink);
+}
+
+AVF_MICROBENCH(threadpool_dispatch_4)
+{
+    static avf::ThreadPool pool(4);
+    static std::atomic<std::uint64_t> sink{0};
+    b.setItems(tasksPerBatch);
+    while (b.next()) {
+        for (std::uint64_t t = 0; t < tasksPerBatch; ++t)
+            pool.submit([] {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+    }
+    avf::micro::doNotOptimize(sink);
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * bench/micro entry point. The benchmarks self-register from the
+ * bm_*.cc translation units; runMain() handles the CLI, protocol,
+ * and the BENCH_micro.json report.
+ */
+
+#include "micro.hh"
+
+int
+main(int argc, char **argv)
+{
+    return avf::micro::runMain(argc, argv);
+}

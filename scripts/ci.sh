@@ -1,34 +1,144 @@
-#!/usr/bin/env bash
-# CI gate: tier-1 build + full test suite, the lint gate (avflint
-# repo scan against the committed baseline ratchet + avflint unit
-# tests + clang-tidy when available), and an UndefinedBehaviorSanitizer
-# smoke build of the engine tests.
+#!/bin/sh
+# CI gate, POSIX sh (runs identically under dash, bash, and busybox
+# sh — GitHub's `sh` is dash, so no bashisms and no pipefail; stages
+# avoid pipes so every nonzero exit propagates through `set -e`).
 #
-#   scripts/ci.sh [build-dir]
+#   scripts/ci.sh [--stage <name>] [build-dir]
+#
+# Stages (default: all):
+#   tier1        configure + build + full test suite
+#   lint         avflint unit tests + repo scan vs the baseline
+#                ratchet (ctest -L lint)
+#   tidy         clang-tidy over src/ and tools/ (skips when absent)
+#   ubsan        engine tests under -DAVF_SANITIZE=undefined
+#   bench-smoke  avf_micro --smoke in a Release build; writes
+#                BENCH_micro.json next to the build dir
+#   all          tier1 + lint + tidy + ubsan (bench-smoke is opt-in:
+#                its numbers are machine-dependent, so it has its own
+#                CI job that never gates on them)
 #
 # The avflint_repo test fails on any finding that is neither fixed,
 # suppressed inline with a justification, nor already recorded in
 # tools/avflint/baseline.txt — so new debt cannot land, and the
 # baseline can only shrink.
-set -euo pipefail
+set -eu
+
+usage() {
+    echo "usage: scripts/ci.sh [--stage tier1|lint|tidy|ubsan|bench-smoke|all] [build-dir]"
+}
+
+STAGE=all
+BUILD=build
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --stage)
+        if [ $# -lt 2 ]; then
+            echo "ci.sh: --stage needs an argument" >&2
+            usage >&2
+            exit 2
+        fi
+        STAGE=$2
+        shift 2
+        ;;
+      --stage=*)
+        STAGE=${1#--stage=}
+        shift
+        ;;
+      -h|--help)
+        usage
+        exit 0
+        ;;
+      -*)
+        echo "ci.sh: unknown option '$1'" >&2
+        usage >&2
+        exit 2
+        ;;
+      *)
+        BUILD=$1
+        shift
+        ;;
+    esac
+done
 
 cd "$(dirname "$0")/.."
-BUILD="${1:-build}"
 
-echo "=== tier-1: configure + build + full test suite ==="
-cmake -B "$BUILD" -S .
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" --output-on-failure -j
+# ccache when available: repeated CI configures of the same tree
+# become near-free. Harmless (empty) otherwise.
+LAUNCHER=
+if command -v ccache >/dev/null 2>&1; then
+    LAUNCHER=-DCMAKE_CXX_COMPILER_LAUNCHER=ccache
+fi
 
-echo "=== lint gate: avflint (unit tests + repo scan vs baseline) ==="
-ctest --test-dir "$BUILD" -L lint --output-on-failure
+configure_and_build() {
+    # $1 = build dir, rest = extra cmake args. $LAUNCHER is expanded
+    # unquoted on purpose: it is one word or nothing.
+    dir=$1
+    shift
+    cmake -B "$dir" -S . $LAUNCHER "$@"
+    cmake --build "$dir" -j
+}
 
-echo "=== lint gate: clang-tidy (skips when absent) ==="
-scripts/run_clang_tidy.sh "$BUILD"
+run_tier1() {
+    echo "=== tier1: configure + build + full test suite ==="
+    configure_and_build "$BUILD"
+    ctest --test-dir "$BUILD" --output-on-failure -j
+}
 
-echo "=== UBSan smoke: engine tests under -DAVF_SANITIZE=undefined ==="
-cmake -B "$BUILD-ubsan" -S . -DAVF_SANITIZE=undefined
-cmake --build "$BUILD-ubsan" -j --target avf_engine_tests
-ctest --test-dir "$BUILD-ubsan" -L engine --output-on-failure
+run_lint() {
+    echo "=== lint: avflint (unit tests + repo scan vs baseline) ==="
+    configure_and_build "$BUILD"
+    ctest --test-dir "$BUILD" -L lint --output-on-failure
+}
 
-echo "ci.sh: all gates green"
+run_tidy() {
+    echo "=== tidy: clang-tidy (skips when absent) ==="
+    if [ ! -f "$BUILD/compile_commands.json" ]; then
+        configure_and_build "$BUILD"
+    fi
+    scripts/run_clang_tidy.sh "$BUILD"
+}
+
+run_ubsan() {
+    echo "=== ubsan: engine tests under -DAVF_SANITIZE=undefined ==="
+    cmake -B "$BUILD-ubsan" -S . $LAUNCHER -DAVF_SANITIZE=undefined
+    cmake --build "$BUILD-ubsan" -j --target avf_engine_tests
+    ctest --test-dir "$BUILD-ubsan" -L engine --output-on-failure
+}
+
+run_bench_smoke() {
+    echo "=== bench-smoke: avf_micro --smoke (Release) ==="
+    configure_and_build "$BUILD-bench" -DCMAKE_BUILD_TYPE=Release
+    "$BUILD-bench/bench/micro/avf_micro" --smoke \
+        --out "$BUILD-bench/BENCH_micro.json"
+}
+
+case "$STAGE" in
+  all)
+    run_tier1
+    run_lint
+    run_tidy
+    run_ubsan
+    ;;
+  tier1|tier-1)
+    run_tier1
+    ;;
+  lint)
+    run_lint
+    ;;
+  tidy|clang-tidy)
+    run_tidy
+    ;;
+  ubsan)
+    run_ubsan
+    ;;
+  bench-smoke|bench)
+    run_bench_smoke
+    ;;
+  *)
+    echo "ci.sh: unknown stage '$STAGE'" >&2
+    usage >&2
+    exit 2
+    ;;
+esac
+
+echo "ci.sh: stage '$STAGE' green"

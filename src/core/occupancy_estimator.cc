@@ -7,7 +7,8 @@ namespace avf::core
 
 OccupancyEstimator::OccupancyEstimator(const cpu::Pipeline &pipe,
                                        Cycle intervalCycles)
-    : pipeline(pipe), intervalLen(intervalCycles)
+    : pipeline(pipe), intervalLen(intervalCycles),
+      boundaryTick(intervalCycles, intervalCycles - 1)
 {
     avf_assert(intervalLen > 0, "interval length must be positive");
 }
@@ -15,7 +16,9 @@ OccupancyEstimator::OccupancyEstimator(const cpu::Pipeline &pipe,
 void
 OccupancyEstimator::onCycle(Cycle now)
 {
-    if ((now + 1) % intervalLen != 0)
+    // Interval k covers cycles [k * len, (k+1) * len); close it at
+    // the end of its last cycle.
+    if (!boundaryTick.tick(now))
         return;
     std::uint64_t sum = pipeline.stats().iqOccupancySum;
     std::uint64_t delta = sum - lastOccupancySum;

@@ -19,6 +19,7 @@
 #include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
+#include "util/interval_ticker.hh"
 #include "util/types.hh"
 
 namespace avf::core
@@ -52,6 +53,8 @@ class OccupancyEstimator : public AvfEstimator
   private:
     const cpu::Pipeline &pipeline;
     Cycle intervalLen;
+    /** Fires on interval-closing cycles ((now + 1) % len == 0). */
+    IntervalTicker boundaryTick;
     std::uint64_t lastOccupancySum = 0;
     std::vector<double> results;
 };

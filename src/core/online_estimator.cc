@@ -5,17 +5,30 @@
 namespace avf::core
 {
 
+namespace
+{
+
+/** Validate before any member (the boundary ticker) consumes M. */
+OnlineConfig
+checked(OnlineConfig config)
+{
+    avf_assert(config.m > 0, "window length M must be positive");
+    avf_assert(config.n > 0, "sample count N must be positive");
+    return config;
+}
+
+} // namespace
+
 OnlineAvfEstimator::OnlineAvfEstimator(cpu::Pipeline &pipe,
                                        Structure structure,
                                        OnlineConfig config)
-    : pipeline(pipe), target(structure), conf(config),
+    : pipeline(pipe), target(structure), conf(checked(config)),
       channelBit(static_cast<cpu::ErrorMask>(
           1u << channelOf(structure))),
       rng(config.seed ^ static_cast<std::uint64_t>(
-          channelOf(structure)))
+          channelOf(structure))),
+      boundaryTick(config.m)
 {
-    avf_assert(conf.m > 0, "window length M must be positive");
-    avf_assert(conf.n > 0, "sample count N must be positive");
 }
 
 void
@@ -158,7 +171,7 @@ OnlineAvfEstimator::windowBoundary(Cycle now)
 void
 OnlineAvfEstimator::onCycle(Cycle now)
 {
-    if (now % conf.m == 0)
+    if (boundaryTick.tick(now))
         windowBoundary(now);
     if (!injectedThisWindow && now == pendingInjectCycle)
         inject(now);

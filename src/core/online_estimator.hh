@@ -28,6 +28,7 @@
 #include "core/structures.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
+#include "util/interval_ticker.hh"
 #include "util/random.hh"
 #include "util/types.hh"
 
@@ -135,6 +136,9 @@ class OnlineAvfEstimator : public AvfEstimator
     OnlineConfig conf;
     cpu::ErrorMask channelBit;
     Rng rng;
+    /** Fires at window boundaries (now % M == 0) without the
+     *  per-cycle division. */
+    IntervalTicker boundaryTick;
 
     Cycle windowStart = 0;
     Cycle pendingInjectCycle = 0;

@@ -11,7 +11,8 @@ namespace avf::core
 
 FeatureCollector::FeatureCollector(const cpu::Pipeline &pipe,
                                    Cycle intervalCycles)
-    : pipeline(pipe), intervalLen(intervalCycles)
+    : pipeline(pipe), intervalLen(intervalCycles),
+      boundaryTick(intervalCycles, intervalCycles - 1)
 {
     avf_assert(intervalLen > 0, "interval length must be positive");
 }
@@ -33,7 +34,9 @@ FeatureCollector::onRetire(const cpu::DynInstr &instr,
 void
 FeatureCollector::onCycle(Cycle now)
 {
-    if ((now + 1) % intervalLen != 0)
+    // Interval k covers cycles [k * len, (k+1) * len); close it at
+    // the end of its last cycle.
+    if (!boundaryTick.tick(now))
         return;
 
     const auto &stats = pipeline.stats();

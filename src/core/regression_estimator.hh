@@ -23,6 +23,7 @@
 #include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
+#include "util/interval_ticker.hh"
 #include "util/types.hh"
 
 namespace avf::core
@@ -61,6 +62,8 @@ class FeatureCollector : public cpu::PipelineObserver
   private:
     const cpu::Pipeline &pipeline;
     Cycle intervalLen;
+    /** Fires on interval-closing cycles ((now + 1) % len == 0). */
+    IntervalTicker boundaryTick;
 
     // counter snapshots at the last interval boundary
     std::uint64_t lastIqOcc = 0;

@@ -5,15 +5,28 @@
 namespace avf::core
 {
 
+namespace
+{
+
+/** Validate before any member (the boundary ticker) consumes M. */
+TlbEstimatorConfig
+checked(TlbEstimatorConfig config)
+{
+    avf_assert(config.m > 0 && config.n > 0,
+               "TLB estimator needs positive M and N");
+    avf_assert(config.channel >= 0 && config.channel < 8,
+               "channel out of the 8-bit error plane");
+    return config;
+}
+
+} // namespace
+
 TlbAvfEstimator::TlbAvfEstimator(cpu::Pipeline &pipe,
                                  TlbEstimatorConfig config)
-    : pipeline(pipe), conf(config),
-      channelBit(static_cast<cpu::ErrorMask>(1u << conf.channel))
+    : pipeline(pipe), conf(checked(config)),
+      channelBit(static_cast<cpu::ErrorMask>(1u << conf.channel)),
+      boundaryTick(config.m)
 {
-    avf_assert(conf.m > 0 && conf.n > 0,
-               "TLB estimator needs positive M and N");
-    avf_assert(conf.channel >= 0 && conf.channel < 8,
-               "channel out of the 8-bit error plane");
 }
 
 void
@@ -36,7 +49,7 @@ TlbAvfEstimator::inject()
 void
 TlbAvfEstimator::onCycle(Cycle now)
 {
-    if (now % conf.m != 0)
+    if (!boundaryTick.tick(now))
         return;
     if (injectedThisWindow) {
         ++injections;

@@ -20,6 +20,7 @@
 #include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
+#include "util/interval_ticker.hh"
 #include "util/types.hh"
 
 namespace avf::core
@@ -72,6 +73,7 @@ class TlbAvfEstimator : public AvfEstimator
     cpu::Pipeline &pipeline;
     TlbEstimatorConfig conf;
     cpu::ErrorMask channelBit;
+    IntervalTicker boundaryTick;
 
     bool injectedThisWindow = false;
     bool failureSeen = false;

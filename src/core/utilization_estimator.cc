@@ -10,7 +10,8 @@ namespace avf::core
 UtilizationEstimator::UtilizationEstimator(const cpu::Pipeline &pipe,
                                            cpu::FuClass cls,
                                            Cycle intervalCycles)
-    : pipeline(pipe), fuClass(cls), intervalLen(intervalCycles)
+    : pipeline(pipe), fuClass(cls), intervalLen(intervalCycles),
+      boundaryTick(intervalCycles, intervalCycles - 1)
 {
     avf_assert(intervalLen > 0, "interval length must be positive");
 }
@@ -20,7 +21,7 @@ UtilizationEstimator::onCycle(Cycle now)
 {
     // Interval k covers cycles [k * len, (k+1) * len); close it at
     // the end of its last cycle.
-    if ((now + 1) % intervalLen != 0)
+    if (!boundaryTick.tick(now))
         return;
     std::uint64_t busy = pipeline.stats().busyUnitCycles[
         static_cast<int>(fuClass)];

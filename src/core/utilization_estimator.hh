@@ -18,6 +18,7 @@
 #include "core/avf_estimator.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
+#include "util/interval_ticker.hh"
 #include "util/types.hh"
 
 namespace avf::core
@@ -53,6 +54,8 @@ class UtilizationEstimator : public AvfEstimator
     const cpu::Pipeline &pipeline;
     cpu::FuClass fuClass;
     Cycle intervalLen;
+    /** Fires on interval-closing cycles ((now + 1) % len == 0). */
+    IntervalTicker boundaryTick;
     std::uint64_t lastBusy = 0;
     std::vector<double> results;
 };

@@ -39,10 +39,15 @@ Pipeline::Pipeline(const CpuConfig &config, trace::TraceSource &src)
 
     int total_regs = rename.totalPhysRegs();
     regReady.assign(static_cast<std::size_t>(total_regs), 1);
-    regError.assign(static_cast<std::size_t>(total_regs), 0);
+    regError.resize(static_cast<std::size_t>(total_regs));
     regProducer.assign(static_cast<std::size_t>(total_regs),
                        invalidSeq);
     regWaiters.resize(static_cast<std::size_t>(total_regs));
+
+    // Steady-state issue traffic never exceeds the ROB; size the
+    // scheduling scratch once so the per-cycle loops do not grow it.
+    readyList.reserve(static_cast<std::size_t>(conf.robEntries));
+    leftoverScratch.reserve(static_cast<std::size_t>(conf.robEntries));
 
     storeQueue.assign(static_cast<std::size_t>(conf.storeQueueEntries),
                       SqEntry{});
@@ -118,6 +123,7 @@ Pipeline::retireStage()
             hierarchy.dataAccess(instr.in.effAddr, currentCycle,
                                  &tlb_error);
             instr.errorMask |= tlb_error;
+            errInRobSq |= tlb_error;
         }
 
         RetireInfo info;
@@ -178,7 +184,7 @@ Pipeline::completeStage()
             regReady[dest] = 1;
 #if AVF_LIFECYCLE_HOOKS
             if (hopSink) {
-                ErrorMask killed = regError[dest] &
+                ErrorMask killed = regError.get(dest) &
                     static_cast<ErrorMask>(~instr.errorMask);
                 if (killed)
                     notifyErrorHop(instr, killed,
@@ -187,7 +193,7 @@ Pipeline::completeStage()
 #endif
             // Overwrite, not OR: writing a value replaces whatever
             // error state the register carried (dead-error kill).
-            regError[dest] = instr.errorMask;
+            regError.setByte(dest, instr.errorMask);
 
             // Wake consumers blocked on this register.
             auto &waiters = regWaiters[dest];
@@ -302,7 +308,7 @@ Pipeline::issueOne(int robIdx, FuClass cls)
     for (auto phys : instr.srcPhys) {
         if (phys >= 0) {
             ErrorMask src_bits =
-                regError[static_cast<std::size_t>(phys)];
+                regError.get(static_cast<std::size_t>(phys));
             instr.errorMask |= src_bits;
 #if AVF_LIFECYCLE_HOOKS
             if (hopSink && src_bits) {
@@ -381,6 +387,10 @@ Pipeline::issueOne(int robIdx, FuClass cls)
             notifyErrorHop(instr, instr.errorMask, ErrorHop::FuTransit);
     }
 #endif
+    // The instruction now carries every channel it will hold while in
+    // the ROB (later additions — FU injections, retire-time dTLB
+    // reads — maintain the mask at their own sites).
+    errInRobSq |= instr.errorMask;
     instr.issued = true;
     instr.issueCycle = currentCycle;
     instr.completeCycle = currentCycle + static_cast<Cycle>(latency);
@@ -714,7 +724,7 @@ Pipeline::injectRegError(int physReg, ErrorMask mask)
 {
     avf_assert(physReg >= 0 && physReg < rename.totalPhysRegs(),
                "injectRegError target %d out of range", physReg);
-    regError[static_cast<std::size_t>(physReg)] |= mask;
+    regError.orByte(static_cast<std::size_t>(physReg), mask);
 }
 
 bool
@@ -731,6 +741,7 @@ Pipeline::injectIqEntryError(int globalEntry, ErrorMask mask)
         if (rob_idx < 0)
             return false; // empty entry: injection masked
         robAt(rob_idx).errorMask |= mask;
+        errInRobSq |= mask;
         return true;
     }
     panic("global IQ entry %d not covered by any queue", globalEntry);
@@ -762,6 +773,7 @@ Pipeline::injectIqFieldError(int globalEntry, int field,
         // outcome at value granularity (conservative, as in the
         // paper: any bit error makes the whole value wrong).
         instr.errorMask |= mask;
+        errInRobSq |= mask;
         return IqFieldInjection::Corrupted;
     }
     panic("global IQ entry %d not covered by any queue", globalEntry);
@@ -782,19 +794,32 @@ Pipeline::injectFuError(FuClass cls, int unit, ErrorMask mask)
             ++corrupted;
         }
     }
+    if (corrupted > 0)
+        errInRobSq |= mask;
     return corrupted;
 }
 
 void
 Pipeline::clearErrorChannels(ErrorMask mask)
 {
-    ErrorMask keep = static_cast<ErrorMask>(~mask);
-    for (auto &err : regError)
-        err &= keep;
-    for (auto &instr : rob)
-        instr.errorMask &= keep;
-    for (auto &entry : storeQueue)
-        entry.error &= keep;
+    // Register plane: word-level broadcast clear, skipped outright
+    // when the plane's live summary proves the channels clean.
+    regError.clearChannels(mask);
+
+    // ROB / store queue: per-entry masks live inside wide structs, so
+    // the sweep is strided — gate it on the conservative channel
+    // summary instead. Sweeping is idempotent and the summary only
+    // overcounts, so skipping exactly when no entry holds the
+    // channels preserves behaviour bit for bit.
+    if (errInRobSq & mask) {
+        ErrorMask keep = static_cast<ErrorMask>(~mask);
+        for (auto &instr : rob)
+            instr.errorMask &= keep;
+        for (auto &entry : storeQueue)
+            entry.error &= keep;
+        errInRobSq &= keep;
+    }
+
     hierarchy.dtlbMutable().clearErrors(mask);
 }
 
@@ -815,7 +840,7 @@ Pipeline::regErrorAt(int physReg) const
 {
     avf_assert(physReg >= 0 && physReg < rename.totalPhysRegs(),
                "regErrorAt %d out of range", physReg);
-    return regError[static_cast<std::size_t>(physReg)];
+    return regError.get(static_cast<std::size_t>(physReg));
 }
 
 bool

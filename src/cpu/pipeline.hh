@@ -32,6 +32,7 @@
 #include "cpu/rename.hh"
 #include "mem/hierarchy.hh"
 #include "trace/trace_source.hh"
+#include "util/error_plane.hh"
 #include "util/types.hh"
 
 namespace avf::cpu
@@ -286,8 +287,17 @@ class Pipeline
 
     // physical register state
     std::vector<std::uint8_t> regReady;
-    std::vector<ErrorMask> regError;
+    ErrorPlane regError;
     std::vector<InstrSeq> regProducer;
+    /**
+     * Conservative superset of the error channels present in any ROB
+     * errorMask or store-queue entry. Lets clearErrorChannels() skip
+     * the ROB and SQ sweeps when the swept channels never reached
+     * them — with one channel per estimator and one error at a time,
+     * the common case by far. Only ever overcounts: cleared solely by
+     * clearErrorChannels() after it swept the channels out.
+     */
+    ErrorMask errInRobSq = 0;
 
     // store queue (circular)
     std::vector<SqEntry> storeQueue;

@@ -28,6 +28,7 @@ Cache::Cache(CacheConfig config) : conf(std::move(config))
     tagShift = lineShift + static_cast<std::uint32_t>(
         std::countr_zero(sets));
     lines.assign(static_cast<std::size_t>(sets) * conf.ways, Line{});
+    valid = BitVector(lines.size());
 }
 
 std::uint32_t
@@ -48,11 +49,11 @@ Cache::access(Addr addr)
     std::uint64_t oldest = UINT64_MAX;
     for (std::size_t w = 0; w < conf.ways; ++w) {
         Line &line = lines[base + w];
-        if (line.valid && line.tag == tag) {
+        if (valid.test(base + w) && line.tag == tag) {
             line.lruStamp = tick;
             return true;
         }
-        if (!line.valid) {
+        if (!valid.test(base + w)) {
             victim = base + w;
             oldest = 0;
         } else if (line.lruStamp < oldest) {
@@ -64,7 +65,7 @@ Cache::access(Addr addr)
     ++statsData.misses;
     Line &line = lines[victim];
     line.tag = tag;
-    line.valid = true;
+    valid.set(victim);
     line.lruStamp = tick;
     return false;
 }
@@ -75,8 +76,7 @@ Cache::probe(Addr addr) const
     Addr tag = tagOf(addr);
     std::size_t base = static_cast<std::size_t>(setOf(addr)) * conf.ways;
     for (std::size_t w = 0; w < conf.ways; ++w) {
-        const Line &line = lines[base + w];
-        if (line.valid && line.tag == tag)
+        if (valid.test(base + w) && lines[base + w].tag == tag)
             return true;
     }
     return false;
@@ -85,8 +85,7 @@ Cache::probe(Addr addr) const
 void
 Cache::flush()
 {
-    for (auto &line : lines)
-        line.valid = false;
+    valid.clearAll();
 }
 
 } // namespace avf::mem

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/bitvector.hh"
 #include "util/types.hh"
 
 namespace avf::mem
@@ -83,7 +84,6 @@ class Cache
     struct Line
     {
         Addr tag = 0;
-        bool valid = false;
         std::uint64_t lruStamp = 0;
     };
 
@@ -95,6 +95,9 @@ class Cache
     std::uint32_t lineShift;
     std::uint32_t tagShift;
     std::vector<Line> lines; // sets * ways, row-major by set
+    /** Valid bit per line, parallel to `lines`: one word covers 64
+     *  lines, so flush() clears words instead of walking structs. */
+    BitVector valid;
     std::uint64_t tick = 0;
     CacheStats statsData;
 };

@@ -18,6 +18,7 @@ Tlb::Tlb(TlbConfig config) : conf(std::move(config))
     pageShift = static_cast<std::uint32_t>(
         std::countr_zero(conf.pageBytes));
     entries.resize(conf.entries);
+    errors.resize(conf.entries);
     index.reserve(conf.entries * 2);
 }
 
@@ -33,7 +34,7 @@ Tlb::access(Addr addr, Cycle now, std::uint8_t *errorOut)
         Entry &entry = entries[static_cast<std::size_t>(it->second)];
         entry.lruStamp = tick;
         if (errorOut)
-            *errorOut = entry.error;
+            *errorOut = errors.get(static_cast<std::size_t>(it->second));
         // The span since the previous use was vulnerable: corrupting
         // the entry anywhere in it would have corrupted this use.
         if (now > entry.lastTouch) {
@@ -72,8 +73,8 @@ Tlb::access(Addr addr, Cycle now, std::uint8_t *errorOut)
     slot.lastTouch = now;
     // Refill overwrites any injected error: this is the TLB's kill
     // discipline, analogous to pipeline.cc's destination-overwrite
-    // kill. avflint: allow(error-bit)
-    slot.error = 0;
+    // kill.
+    errors.setByte(static_cast<std::size_t>(victim), 0);
     index[page] = victim;
     return conf.missPenalty;
 }
@@ -96,16 +97,14 @@ Tlb::injectError(int slot, std::uint8_t mask)
         return false;
     // The TLB's injection (carry) helper — the sanctioned entry
     // point Pipeline::injectDtlbError routes to.
-    entry.error |= mask; // avflint: allow(error-bit)
+    errors.orByte(static_cast<std::size_t>(slot), mask);
     return true;
 }
 
 void
 Tlb::clearErrors(std::uint8_t mask)
 {
-    auto keep = static_cast<std::uint8_t>(~mask);
-    for (auto &entry : entries)
-        entry.error &= keep; // channel clear. avflint: allow(error-bit)
+    errors.clearChannels(mask);
 }
 
 double

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/error_plane.hh"
 #include "util/types.hh"
 
 namespace avf::mem
@@ -102,13 +103,20 @@ class Tlb
         Addr page = 0;
         std::uint64_t lruStamp = 0;
         Cycle lastTouch = 0;
-        std::uint8_t error = 0;
         bool valid = false;
     };
 
     TlbConfig conf;
     std::uint32_t pageShift;
     std::vector<Entry> entries;
+    /**
+     * Per-slot error bytes, parallel to `entries`. A separate
+     * word-backed plane (rather than a byte in Entry) so the
+     * channel-wide clearErrors() sweep touches 16 words instead of
+     * 128 strided structs, and skips entirely while no channel is
+     * live — the steady state between TLB-AVF experiments.
+     */
+    ErrorPlane errors;
     /** page number -> slot, for O(1) hits. */
     std::unordered_map<Addr, int> index;
     std::uint64_t tick = 0;

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A per-entry byte plane for error-bit channels, backed by 64-bit
+ * words so channel-wide operations run eight entries at a time.
+ *
+ * Two properties make the window-boundary sweep cheap:
+ *
+ *  - clearChannels() clears a channel from every entry with one
+ *    AND-NOT per word (the channel mask broadcast to all byte lanes)
+ *    instead of one read-modify-write per entry;
+ *  - the plane keeps a conservative "live" summary of every channel
+ *    that may be set anywhere, so sweeps of channels that were never
+ *    written skip the word loop entirely. With one estimator per
+ *    channel and the one-error-at-a-time rule, most sweeps hit this
+ *    fast path.
+ *
+ * The live mask is a superset, never an undercount: byte overwrites
+ * with zero do not lower it (scanning to recompute would cost what
+ * the summary saves), only clearChannels() retires bits from it.
+ */
+
+#ifndef AVF_UTIL_ERROR_PLANE_HH
+#define AVF_UTIL_ERROR_PLANE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace avf
+{
+
+/** Fixed-size-after-resize plane of per-entry error bytes. */
+class ErrorPlane
+{
+  public:
+    ErrorPlane() = default;
+
+    /** Construct with @p count entries, all clear. */
+    explicit ErrorPlane(std::size_t count) { resize(count); }
+
+    /** Resize to @p count entries, clearing every byte. */
+    void
+    resize(std::size_t count)
+    {
+        numEntries = count;
+        words.assign((count + 7) / 8, 0);
+        live = 0;
+    }
+
+    /** Number of entries held. */
+    std::size_t size() const { return numEntries; }
+
+    /** Error byte of entry @p idx. */
+    std::uint8_t
+    get(std::size_t idx) const
+    {
+        avf_assert(idx < numEntries,
+                   "error-plane index %zu out of range %zu", idx,
+                   numEntries);
+        return bytes()[idx];
+    }
+
+    /** Carry/merge: OR @p mask into entry @p idx. */
+    void
+    orByte(std::size_t idx, std::uint8_t mask)
+    {
+        avf_assert(idx < numEntries,
+                   "error-plane index %zu out of range %zu", idx,
+                   numEntries);
+        bytes()[idx] |= mask;
+        live |= mask;
+    }
+
+    /** Overwrite entry @p idx with @p mask (the kill discipline). */
+    void
+    setByte(std::size_t idx, std::uint8_t mask)
+    {
+        avf_assert(idx < numEntries,
+                   "error-plane index %zu out of range %zu", idx,
+                   numEntries);
+        bytes()[idx] = mask;
+        live |= mask;
+    }
+
+    /** Superset of the channels set anywhere in the plane. */
+    std::uint8_t liveMask() const { return live; }
+
+    /** True when some entry may carry a channel of @p mask. */
+    bool
+    maybeLive(std::uint8_t mask) const
+    {
+        return (live & mask) != 0;
+    }
+
+    /**
+     * Clear the channels of @p mask from every entry. Skips the
+     * plane entirely when the live summary proves them all clear;
+     * otherwise one AND-NOT per backing word.
+     */
+    void
+    clearChannels(std::uint8_t mask)
+    {
+        if (!maybeLive(mask))
+            return;
+        const std::uint64_t lanes =
+            std::uint64_t{0x0101010101010101u} * mask;
+        for (auto &w : words)
+            w &= ~lanes;
+        live &= static_cast<std::uint8_t>(~mask);
+    }
+
+  private:
+    std::uint8_t *
+    bytes()
+    {
+        return reinterpret_cast<std::uint8_t *>(words.data());
+    }
+
+    const std::uint8_t *
+    bytes() const
+    {
+        return reinterpret_cast<const std::uint8_t *>(words.data());
+    }
+
+    std::size_t numEntries = 0;
+    std::vector<std::uint64_t> words;
+    std::uint8_t live = 0;
+};
+
+} // namespace avf
+
+#endif // AVF_UTIL_ERROR_PLANE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Division-free periodic trigger for per-cycle observers. The
+ * estimators all ask "is `now` at my interval boundary?" every
+ * cycle; asked with `now % period` that is a 64-bit division on the
+ * hottest loop in the simulator. IntervalTicker answers the same
+ * question with a decrement and a compare by exploiting the only
+ * call pattern the pipeline produces: consecutive cycle numbers, one
+ * tick per cycle.
+ *
+ * The first tick computes the phase once (one division total), so a
+ * ticker attached mid-run stays exact.
+ */
+
+#ifndef AVF_UTIL_INTERVAL_TICKER_HH
+#define AVF_UTIL_INTERVAL_TICKER_HH
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace avf
+{
+
+/** Fires on the cycles congruent to @c phase modulo @c period. */
+class IntervalTicker
+{
+  public:
+    /**
+     * @param period interval length in cycles (> 0).
+     * @param phase residue to fire on: tick(now) is true exactly
+     *        when now % period == phase.
+     */
+    explicit IntervalTicker(Cycle period, Cycle phase = 0)
+        : interval(period)
+    {
+        avf_assert(period > 0, "ticker period must be positive");
+        residue = phase % period;
+    }
+
+    /**
+     * Advance one cycle. Must be called with consecutive values of
+     * @p now (the pipeline observer contract); only the first call
+     * may start anywhere.
+     */
+    bool
+    tick(Cycle now)
+    {
+        if (!primed) {
+            Cycle mod = now % interval;
+            remaining = mod <= residue ? residue - mod
+                                       : interval - mod + residue;
+            primed = true;
+        }
+        if (remaining == 0) {
+            remaining = interval - 1;
+            return true;
+        }
+        --remaining;
+        return false;
+    }
+
+    /** The configured period. */
+    Cycle period() const { return interval; }
+
+  private:
+    Cycle interval;
+    Cycle residue = 0;
+    Cycle remaining = 0;
+    bool primed = false;
+};
+
+} // namespace avf
+
+#endif // AVF_UTIL_INTERVAL_TICKER_HH

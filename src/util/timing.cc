@@ -1,0 +1,353 @@
+#include "util/timing.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace avf::timing
+{
+
+std::uint64_t
+steadyNowNs()
+{
+    // The perf subsystem's one sanctioned wall-clock read: values
+    // derived from it are side-channel metrics only and never reach
+    // experiment output.
+    auto now =
+        std::chrono::steady_clock::now(); // avflint: allow(determinism)
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now.time_since_epoch())
+            .count());
+}
+
+void
+Stopwatch::start()
+{
+    if (isRunning)
+        return;
+    startTick = steadyNowNs();
+    isRunning = true;
+}
+
+double
+Stopwatch::stop()
+{
+    if (!isRunning)
+        return 0.0;
+    auto lap = static_cast<double>(steadyNowNs() - startTick);
+    accumulatedNs += lap;
+    isRunning = false;
+    return lap;
+}
+
+void
+Stopwatch::reset()
+{
+    accumulatedNs = 0.0;
+    isRunning = false;
+}
+
+double
+Stopwatch::elapsedNs() const
+{
+    double total = accumulatedNs;
+    if (isRunning)
+        total += static_cast<double>(steadyNowNs() - startTick);
+    return total;
+}
+
+double
+PhaseStats::meanNs() const
+{
+    return count ? totalNs / static_cast<double>(count) : 0.0;
+}
+
+void
+PhaseStats::merge(const PhaseStats &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        minNs = other.minNs;
+        maxNs = other.maxNs;
+    } else {
+        minNs = std::min(minNs, other.minNs);
+        maxNs = std::max(maxNs, other.maxNs);
+    }
+    count += other.count;
+    totalNs += other.totalNs;
+}
+
+void
+PhaseAccumulator::add(std::string_view phase, double ns)
+{
+    for (auto &slot : slots) {
+        if (slot.name == phase) {
+            PhaseStats lap;
+            lap.count = 1;
+            lap.totalNs = ns;
+            lap.minNs = ns;
+            lap.maxNs = ns;
+            slot.merge(lap);
+            return;
+        }
+    }
+    PhaseStats fresh;
+    fresh.name = std::string(phase);
+    fresh.count = 1;
+    fresh.totalNs = ns;
+    fresh.minNs = ns;
+    fresh.maxNs = ns;
+    slots.push_back(std::move(fresh));
+}
+
+void
+PhaseAccumulator::addWatch(std::string_view phase, Stopwatch &watch)
+{
+    watch.stop();
+    add(phase, watch.elapsedNs());
+    watch.reset();
+}
+
+PhaseStats
+PhaseAccumulator::get(std::string_view phase) const
+{
+    for (const auto &slot : slots)
+        if (slot.name == phase)
+            return slot;
+    PhaseStats empty;
+    empty.name = std::string(phase);
+    return empty;
+}
+
+double
+PhaseAccumulator::totalNs() const
+{
+    double total = 0.0;
+    for (const auto &slot : slots)
+        total += slot.totalNs;
+    return total;
+}
+
+void
+PhaseAccumulator::merge(const PhaseAccumulator &other)
+{
+    for (const auto &theirs : other.slots) {
+        bool found = false;
+        for (auto &mine : slots) {
+            if (mine.name == theirs.name) {
+                mine.merge(theirs);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            slots.push_back(theirs);
+    }
+}
+
+namespace
+{
+
+/** Escape for a JSON string literal (phase names are identifiers in
+ * practice, but stay safe for arbitrary input). */
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Minimal scanner for the writeJson() output format. */
+struct JsonScanner
+{
+    std::string_view text;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos < text.size() && text[pos] == c;
+    }
+
+    bool
+    readString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\' && pos < text.size()) {
+                char esc = text[pos++];
+                switch (esc) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return false;
+                    }
+                    out += static_cast<char>(code);
+                    break;
+                  }
+                  default: out += esc;
+                }
+            } else {
+                out += c;
+            }
+        }
+        return pos < text.size() && text[pos++] == '"';
+    }
+
+    bool
+    readNumber(double &out)
+    {
+        skipSpace();
+        std::size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            return false;
+        try {
+            out = std::stod(std::string(text.substr(start,
+                                                    pos - start)));
+        } catch (...) {
+            return false;
+        }
+        return std::isfinite(out);
+    }
+
+    bool
+    readKey(const char *expect)
+    {
+        std::string key;
+        return readString(key) && key == expect && consume(':');
+    }
+};
+
+} // namespace
+
+void
+PhaseAccumulator::writeJson(std::ostream &out) const
+{
+    out << "[";
+    bool first = true;
+    for (const auto &slot : slots) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "\n  {\"name\": \"" << jsonEscape(slot.name)
+            << "\", \"count\": " << slot.count
+            << ", \"total_ns\": " << slot.totalNs
+            << ", \"min_ns\": " << slot.minNs
+            << ", \"max_ns\": " << slot.maxNs
+            << ", \"mean_ns\": " << slot.meanNs() << "}";
+    }
+    out << (slots.empty() ? "]" : "\n]");
+}
+
+bool
+PhaseAccumulator::readJson(std::string_view json)
+{
+    JsonScanner scan{json};
+    std::vector<PhaseStats> parsed;
+    if (!scan.consume('['))
+        return false;
+    if (!scan.peek(']')) {
+        do {
+            PhaseStats stats;
+            double count = 0.0;
+            if (!scan.consume('{') || !scan.readKey("name") ||
+                !scan.readString(stats.name) || !scan.consume(',') ||
+                !scan.readKey("count") || !scan.readNumber(count) ||
+                !scan.consume(',') || !scan.readKey("total_ns") ||
+                !scan.readNumber(stats.totalNs) || !scan.consume(',') ||
+                !scan.readKey("min_ns") ||
+                !scan.readNumber(stats.minNs) || !scan.consume(',') ||
+                !scan.readKey("max_ns") ||
+                !scan.readNumber(stats.maxNs) || !scan.consume(','))
+                return false;
+            double mean = 0.0;
+            if (!scan.readKey("mean_ns") || !scan.readNumber(mean) ||
+                !scan.consume('}'))
+                return false;
+            if (count < 0.0)
+                return false;
+            stats.count = static_cast<std::uint64_t>(count);
+            parsed.push_back(std::move(stats));
+        } while (scan.consume(','));
+    }
+    if (!scan.consume(']'))
+        return false;
+    slots = std::move(parsed);
+    return true;
+}
+
+double
+ratePerSec(std::uint64_t items, double elapsedNs)
+{
+    if (elapsedNs <= 0.0)
+        return 0.0;
+    return static_cast<double>(items) / (elapsedNs * 1e-9);
+}
+
+} // namespace avf::timing
