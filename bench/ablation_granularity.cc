@@ -23,6 +23,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
@@ -58,6 +59,7 @@ main()
     }
 
     auto tasks = engine.collect();
+    exportCampaignMetrics("ablation_granularity", engine, tasks);
     for (const auto &task : tasks)
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),

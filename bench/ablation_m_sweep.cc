@@ -15,6 +15,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
@@ -50,7 +51,9 @@ main()
         task_m.push_back(m);
     }
 
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("ablation_m_sweep", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

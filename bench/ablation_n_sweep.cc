@@ -16,6 +16,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/running_stats.hh"
 #include "stats/sample_size.hh"
 #include "stats/table_printer.hh"
@@ -56,7 +57,9 @@ main()
         engine.submit("N=" + std::to_string(n), conf);
     }
 
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("ablation_n_sweep", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

@@ -15,6 +15,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/error_metrics.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
@@ -50,6 +51,7 @@ main()
     }
 
     auto tasks = engine.collect();
+    exportCampaignMetrics("ablation_sampling", engine, tasks);
     for (const auto &task : tasks)
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),

@@ -14,6 +14,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/error_metrics.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
@@ -50,7 +51,9 @@ main()
         engine.submit(name, conf);
     }
 
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("ext_fpreg", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

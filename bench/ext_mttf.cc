@@ -17,6 +17,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "reliability/fit_model.hh"
 #include "reliability/mttf_tracker.hh"
 #include "stats/table_printer.hh"
@@ -64,7 +65,9 @@ main()
         engine.submit(name, conf);
     }
 
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("ext_mttf", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

@@ -139,7 +139,9 @@ main()
     }
 
     std::vector<AppResult> apps;
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("fig3_accuracy", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

@@ -16,6 +16,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
 #include "util/logging.hh"
@@ -60,7 +61,7 @@ main()
 {
     // mesa uses the paper's 100 intervals, ammp its 200; both runs
     // proceed in parallel on the engine.
-    ExperimentEngine engine;
+    ExperimentEngine engine(loadRunOptions(100));
     engine.onTaskDone([](const std::string &name, double wall_ms,
                          const RunSummary &) {
         std::fprintf(stderr, "finished %s in %.0f ms\n", name.c_str(),
@@ -74,7 +75,9 @@ main()
         conf.numIntervals = loadRunOptions(paper_intervals).intervals;
         engine.submit(name, conf);
     }
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("fig4_traces", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

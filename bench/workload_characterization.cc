@@ -18,6 +18,7 @@
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
+#include "harness/export.hh"
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic.hh"
@@ -82,7 +83,9 @@ main()
         mixes[name] = mix;
     }
 
-    for (auto &task : engine.collect()) {
+    auto tasks = engine.collect();
+    exportCampaignMetrics("workload_characterization", engine, tasks);
+    for (auto &task : tasks) {
         if (!task.ok())
             fatal("%s failed: %s", task.name.c_str(),
                   task.errorText.c_str());

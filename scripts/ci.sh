@@ -11,11 +11,15 @@
 #                ratchet (ctest -L lint)
 #   tidy         clang-tidy over src/ and tools/ (skips when absent)
 #   ubsan        engine tests under -DAVF_SANITIZE=undefined
+#   tsan         engine + obs tests under -DAVF_SANITIZE=thread (the
+#                thread pool and the metrics collect/merge path)
 #   bench-smoke  avf_micro --smoke in a Release build; writes
-#                BENCH_micro.json next to the build dir
-#   all          tier1 + lint + tidy + ubsan (bench-smoke is opt-in:
-#                its numbers are machine-dependent, so it has its own
-#                CI job that never gates on them)
+#                BENCH_micro.json next to the build dir, plus a
+#                metrics-enabled fig3_accuracy smoke run that emits
+#                and sanity-parses ci_METRICS.json / ci_TRACE.json
+#   all          tier1 + lint + tidy + ubsan + tsan (bench-smoke is
+#                opt-in: its numbers are machine-dependent, so it has
+#                its own CI job that never gates on them)
 #
 # The avflint_repo test fails on any finding that is neither fixed,
 # suppressed inline with a justification, nor already recorded in
@@ -24,7 +28,7 @@
 set -eu
 
 usage() {
-    echo "usage: scripts/ci.sh [--stage tier1|lint|tidy|ubsan|bench-smoke|all] [build-dir]"
+    echo "usage: scripts/ci.sh [--stage tier1|lint|tidy|ubsan|tsan|bench-smoke|all] [build-dir]"
 }
 
 STAGE=all
@@ -105,11 +109,29 @@ run_ubsan() {
     ctest --test-dir "$BUILD-ubsan" -L engine --output-on-failure
 }
 
+run_tsan() {
+    echo "=== tsan: engine + obs tests under -DAVF_SANITIZE=thread ==="
+    cmake -B "$BUILD-tsan" -S . $LAUNCHER -DAVF_SANITIZE=thread
+    cmake --build "$BUILD-tsan" -j \
+        --target avf_engine_tests avf_metrics_tests
+    ctest --test-dir "$BUILD-tsan" -L 'engine|obs' --output-on-failure
+}
+
 run_bench_smoke() {
     echo "=== bench-smoke: avf_micro --smoke (Release) ==="
     configure_and_build "$BUILD-bench" -DCMAKE_BUILD_TYPE=Release
     "$BUILD-bench/bench/micro/avf_micro" --smoke \
         --out "$BUILD-bench/BENCH_micro.json"
+    echo "=== bench-smoke: metrics-enabled fig3_accuracy run ==="
+    AVF_FAST=1 AVF_METRICS="$BUILD-bench/ci" \
+        "$BUILD-bench/bench/fig3_accuracy" > /dev/null
+    # The exports must at minimum be valid JSON carrying the schema
+    # tag; avf-report round-trips the metrics side properly.
+    "$BUILD-bench/tools/avf-report/avf-report" summary \
+        "$BUILD-bench/ci_METRICS.json" > /dev/null
+    "$BUILD-bench/tools/avf-report/avf-report" phases \
+        "$BUILD-bench/ci_TRACE.json" --top 3 > /dev/null
+    echo "bench-smoke: ci_METRICS.json + ci_TRACE.json round-trip ok"
 }
 
 case "$STAGE" in
@@ -118,6 +140,7 @@ case "$STAGE" in
     run_lint
     run_tidy
     run_ubsan
+    run_tsan
     ;;
   tier1|tier-1)
     run_tier1
@@ -130,6 +153,9 @@ case "$STAGE" in
     ;;
   ubsan)
     run_ubsan
+    ;;
+  tsan)
+    run_tsan
     ;;
   bench-smoke|bench)
     run_bench_smoke

@@ -141,6 +141,7 @@ OnlineAvfEstimator::windowBoundary(Cycle now)
     if (injectedThisWindow) {
         // Close the window that just ended.
         ++injections;
+        ++windowsClosed;
         if (failureSeen) {
             ++failures;
             ++lifetimeFailures;

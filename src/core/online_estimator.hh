@@ -107,6 +107,9 @@ class OnlineAvfEstimator : public AvfEstimator
     /** Total failures across all closed windows (never reset). */
     std::uint64_t totalFailures() const { return lifetimeFailures; }
 
+    /** Windows closed across all intervals (never reset). */
+    std::uint64_t totalWindowsClosed() const { return windowsClosed; }
+
     /**
      * Attach a lifecycle sink (not owned; nullptr detaches): every
      * injection opens a record there and every window close stamps
@@ -150,6 +153,7 @@ class OnlineAvfEstimator : public AvfEstimator
     std::uint64_t lifetimeInjections = 0;
     std::uint64_t lifetimeFailures = 0;
     std::uint64_t liveInjections = 0;
+    std::uint64_t windowsClosed = 0;
 
     /** Lifecycle observer, nullptr when tracing is off. */
     LifecycleSink *sink = nullptr;

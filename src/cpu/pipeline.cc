@@ -235,6 +235,7 @@ Pipeline::completeStage()
             fetchBlockedOnBranch = false;
             fetchResumeCycle = currentCycle +
                 static_cast<Cycle>(conf.redirectPenalty);
+            ++statsData.redirects;
         }
 
         for (auto *obs : observers)

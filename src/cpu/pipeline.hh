@@ -47,6 +47,8 @@ struct PipelineStats
     std::uint64_t issued = 0;
     std::uint64_t retired = 0;
     std::uint64_t fetchStallCycles = 0;
+    /** Branch mispredictions resolved (fetch redirects issued). */
+    std::uint64_t redirects = 0;
     /** Cycles each unit class had at least one op in flight, summed
      *  over the units of the class (unit-cycles). */
     std::uint64_t busyUnitCycles[static_cast<int>(

@@ -62,16 +62,42 @@ envPositiveIntStrict(const char *name, int fallback)
     return static_cast<int>(parsed);
 }
 
+/**
+ * Strict path-prefix env var: unset/empty = disabled (empty string),
+ * whitespace or control characters = fatal(). The prefix becomes a
+ * filename stem, where embedded newlines or blanks are invariably
+ * quoting accidents, not intent.
+ */
+std::string
+envPrefixStrict(const char *name)
+{
+    const char *val = std::getenv(name);
+    if (!val || !*val)
+        return {};
+    for (const char *p = val; *p; ++p) {
+        unsigned char c = static_cast<unsigned char>(*p);
+        if (c <= 0x20 || c == 0x7f)
+            fatal("%s='%s' contains whitespace or control "
+                  "characters (expected a bare path prefix)",
+                  name, val);
+    }
+    return val;
+}
+
 } // namespace
 
 RunOptions
 loadRunOptions(int paperDefaultIntervals)
 {
     RunOptions options;
+    // AVF_LOG_LEVEL is resolved lazily inside the logging sink; force
+    // it here so a junk value fails at startup like every other knob.
+    logLevel();
     options.fastMode = envFlagStrict("AVF_FAST");
     options.intervals = envPositiveIntStrict("AVF_INTERVALS",
                                              paperDefaultIntervals);
     options.lifecycle = envFlagStrict("AVF_LIFECYCLE");
+    options.metricsPrefix = envPrefixStrict("AVF_METRICS");
     if (options.fastMode)
         options.intervals = 12;
     return options;

@@ -57,10 +57,17 @@ ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
  *                      every task, report outcome digests, and export
  *                      the JSONL record stream (same boolean syntax
  *                      as AVF_FAST)
+ *   AVF_METRICS=<p>    metrics layer (obs/metrics.hh): enable
+ *                      ExperimentConfig::metrics on every task and
+ *                      write <p>_METRICS.json plus <p>_TRACE.json
+ *                      per campaign (see export.hh:
+ *                      exportCampaignMetrics). The value is a path
+ *                      prefix; whitespace/control characters are
+ *                      rejected.
  *
  * Malformed values — non-numeric, negative, or zero AVF_INTERVALS,
- * unrecognized AVF_FAST / AVF_LIFECYCLE — are rejected with fatal()
- * instead of being silently ignored. Worker-thread count has NO env
+ * unrecognized AVF_FAST / AVF_LIFECYCLE, malformed AVF_METRICS — are
+ * rejected with fatal() instead of being silently ignored. Worker-thread count has NO env
  * var by design: override RunOptions::threads in code.
  *
  * @param paperDefaultIntervals interval count when no override is

@@ -1,10 +1,10 @@
 #include "harness/engine.hh"
 
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "util/random.hh"
+#include "util/timing.hh"
 
 namespace avf::harness
 {
@@ -27,6 +27,12 @@ ExperimentEngine::threadCount() const
     return static_cast<unsigned>(pool.size());
 }
 
+ThreadPool::PoolStats
+ExperimentEngine::poolStats() const
+{
+    return pool.stats();
+}
+
 void
 ExperimentEngine::onTaskDone(ProgressFn callback)
 {
@@ -45,6 +51,10 @@ ExperimentEngine::submit(std::string name, ExperimentConfig config)
         config.profile.seed = derive.next();
         config.online.seed = derive.next();
     }
+    // A campaign-level metrics prefix opts every task in; a config
+    // that already asked for metrics keeps them either way.
+    if (!opts.metricsPrefix.empty())
+        config.metrics = true;
     return submit(std::move(name),
                   [config = std::move(config)] {
                       return detail::runExperimentDirect(config);
@@ -68,9 +78,11 @@ ExperimentEngine::submit(std::string name, TaskFn task)
 void
 ExperimentEngine::runTask(TaskResult &slot, const TaskFn &task)
 {
-    // Wall time feeds only the wallMs progress metric, never the
-    // experiment results. avflint: allow(determinism)
-    auto start = std::chrono::steady_clock::now();
+    // Wall time feeds only the wallMs progress metric and the trace
+    // side channel, never the experiment results; steadyNowNs is the
+    // sanctioned clock entry point.
+    slot.worker = ThreadPool::currentWorkerId();
+    slot.startNs = timing::steadyNowNs();
     try {
         slot.result = task();
     } catch (const std::exception &e) {
@@ -80,11 +92,9 @@ ExperimentEngine::runTask(TaskResult &slot, const TaskFn &task)
         slot.errorText = "unknown exception";
         slot.exception = std::current_exception();
     }
-    slot.wallMs = std::chrono::duration<double, std::milli>(
-                      // Wall-clock side-channel again: wallMs only.
-                      // avflint: allow(determinism)
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+    slot.endNs = timing::steadyNowNs();
+    slot.wallMs =
+        static_cast<double>(slot.endNs - slot.startNs) * 1e-6;
     if (progress) {
         std::lock_guard<std::mutex> lock(progressMutex);
         progress(slot.name, slot.wallMs,

@@ -59,6 +59,16 @@ struct RunOptions
      * byte-identical to the historical serial runExperiment() loops.
      */
     std::uint64_t seedSalt = 0;
+    /**
+     * Metrics export prefix (resolved from AVF_METRICS by
+     * loadRunOptions). Non-empty enables ExperimentConfig::metrics on
+     * every task submit() builds from these options, and benches pass
+     * it to exportCampaignMetrics() (export.hh) to write
+     * <prefix>_METRICS.json (deterministic snapshot) and
+     * <prefix>_TRACE.json (wall-clock trace_event side channel).
+     * Empty (the default) keeps the metrics layer fully disabled.
+     */
+    std::string metricsPrefix{};
 };
 
 /** Outcome of one engine task. */
@@ -78,6 +88,12 @@ struct TaskResult
     std::exception_ptr exception;
     /** Wall-clock time the task spent executing, in milliseconds. */
     double wallMs = 0.0;
+    /** Execution span ticks (timing::steadyNowNs domain) and the
+     *  pool worker that ran the task — trace side channel only,
+     *  never part of deterministic exports. */
+    std::uint64_t startNs = 0;
+    std::uint64_t endNs = 0;
+    int worker = -1;
 
     /** True when the task ran to completion. */
     bool ok() const { return errorText.empty(); }
@@ -145,6 +161,9 @@ class ExperimentEngine
 
     /** Resolved worker count (>= 1). */
     unsigned threadCount() const;
+
+    /** Pool queue/dispatch counters (trace side channel). */
+    ThreadPool::PoolStats poolStats() const;
 
     /** Tasks submitted in the current batch so far. */
     std::size_t submitted() const { return batch.size(); }

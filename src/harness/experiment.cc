@@ -66,6 +66,107 @@ ExperimentResult::occupancySeries() const
     return out;
 }
 
+namespace
+{
+
+/**
+ * Build the run's metrics snapshot from counters the simulation
+ * tracks anyway. Runs once, after the simulation — recording adds
+ * nothing to the per-cycle path, and every value is a function of
+ * (trace, seed, config), so snapshots merge byte-identically at any
+ * worker count.
+ */
+obs::MetricsSnapshot
+collectRunMetrics(
+    const ExperimentResult &result, const cpu::Pipeline &pipeline,
+    const std::vector<std::unique_ptr<core::AvfEstimator>> &estimators)
+{
+    obs::MetricsShard shard;
+
+    const auto &stats = pipeline.stats();
+    shard.inc(shard.registerCounter("cycles_total"), stats.cycles);
+    shard.inc(shard.registerCounter("instructions_fetched_total"),
+              stats.fetched);
+    shard.inc(shard.registerCounter("instructions_dispatched_total"),
+              stats.dispatched);
+    shard.inc(shard.registerCounter("instructions_issued_total"),
+              stats.issued);
+    shard.inc(shard.registerCounter("instructions_retired_total"),
+              stats.retired);
+    shard.inc(shard.registerCounter("fetch_stall_cycles_total"),
+              stats.fetchStallCycles);
+    shard.inc(shard.registerCounter("branch_redirects_total"),
+              stats.redirects);
+
+    for (int s = 0; s < core::numStructures; ++s) {
+        const auto *est = static_cast<const core::OnlineAvfEstimator *>(
+            estimators[static_cast<std::size_t>(s)].get());
+        std::string base =
+            "online_" +
+            std::string(core::structureName(
+                static_cast<Structure>(s)));
+        shard.inc(shard.registerCounter(base + "_injections_total"),
+                  est->totalInjections());
+        shard.inc(shard.registerCounter(base + "_failures_total"),
+                  est->totalFailures());
+        shard.inc(shard.registerCounter(base + "_windows_closed_total"),
+                  est->totalWindowsClosed());
+        shard.inc(
+            shard.registerCounter(base + "_live_injections_total"),
+            est->totalLiveInjections());
+    }
+
+    if (result.lifecycle.enabled) {
+        shard.inc(shard.registerCounter("lifecycle_records_total"),
+                  result.summary.lifecycleRecords);
+        shard.inc(shard.registerCounter("lifecycle_failures_total"),
+                  result.summary.lifecycleFailures);
+        shard.inc(shard.registerCounter("lifecycle_killed_total"),
+                  result.summary.lifecycleKilled);
+        shard.inc(shard.registerCounter("lifecycle_expired_total"),
+                  result.summary.lifecycleExpired);
+    }
+
+    shard.set(shard.registerGauge("ipc"), result.summary.ipc);
+    shard.set(shard.registerGauge("branch_accuracy"),
+              result.summary.branchAccuracy);
+    shard.set(shard.registerGauge("l1d_miss_rate"),
+              result.summary.l1dMissRate);
+    shard.set(shard.registerGauge("l2_miss_rate"),
+              result.summary.l2MissRate);
+    shard.set(shard.registerGauge("dtlb_miss_rate"),
+              result.summary.dtlbMissRate);
+
+    for (int s = 0; s < core::numStructures; ++s) {
+        auto structure = static_cast<Structure>(s);
+        std::string name(core::structureName(structure));
+        auto hist = shard.registerHistogram(
+            "online_" + name + "_avf_hist", 0.0, 1.0, 20);
+        auto online = shard.registerSeries("online_" + name + "_avf");
+        auto softarch =
+            shard.registerSeries("softarch_" + name + "_avf");
+        for (const auto &row : result.intervals) {
+            double avf = row.online[static_cast<std::size_t>(s)];
+            shard.observe(hist, avf);
+            shard.push(online, avf);
+            shard.push(softarch,
+                       row.softarch[static_cast<std::size_t>(s)]);
+        }
+    }
+    auto util_fxu = shard.registerSeries("utilization_fxu");
+    auto util_fpu = shard.registerSeries("utilization_fpu");
+    auto occ_iq = shard.registerSeries("occupancy_iq");
+    for (const auto &row : result.intervals) {
+        shard.push(util_fxu, row.utilization[0]);
+        shard.push(util_fpu, row.utilization[1]);
+        shard.push(occ_iq, row.occupancy);
+    }
+
+    return shard.snapshot();
+}
+
+} // namespace
+
 namespace detail
 {
 
@@ -227,6 +328,9 @@ runExperimentDirect(const ExperimentConfig &config)
         result.summary.lifecycleExpired =
             result.lifecycle.totalWithOutcome(obs::Outcome::Expired);
     }
+    if (config.metrics)
+        result.metrics = collectRunMetrics(result, pipeline,
+                                           estimators);
     return result;
 }
 

@@ -24,6 +24,7 @@
 #include "core/structures.hh"
 #include "cpu/config.hh"
 #include "obs/lifecycle.hh"
+#include "obs/metrics.hh"
 #include "trace/workload_profile.hh"
 #include "util/types.hh"
 
@@ -53,6 +54,15 @@ struct ExperimentConfig
      * estimates are byte-identical either way.
      */
     obs::LifecycleConfig lifecycle;
+    /**
+     * Populate ExperimentResult::metrics (obs/metrics.hh) from the
+     * estimator roster, pipeline, and lifecycle counters after the
+     * run. Filled post-run from state the simulation tracks anyway,
+     * so the hot path is untouched and results are byte-identical
+     * either way. ExperimentEngine::submit turns this on
+     * automatically when RunOptions::metricsPrefix is set.
+     */
+    bool metrics = false;
 };
 
 /** One estimation interval's worth of results. */
@@ -103,6 +113,14 @@ struct ExperimentResult
      * configured without tracing; see ExperimentConfig::lifecycle).
      */
     obs::LifecycleSummary lifecycle;
+    /**
+     * Metrics snapshot (enabled == false when the run was configured
+     * without ExperimentConfig::metrics). Deterministic by
+     * construction: every value is a function of (trace, seed,
+     * config), so campaign METRICS.json exports are byte-identical
+     * across worker counts.
+     */
+    obs::MetricsSnapshot metrics;
 
     /** Extract one per-interval series. */
     std::vector<double> onlineSeries(core::Structure s) const;

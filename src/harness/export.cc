@@ -1,10 +1,16 @@
 #include "harness/export.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "core/structures.hh"
 #include "obs/lifecycle.hh"
+#include "obs/trace_export.hh"
+#include "stats/histogram.hh"
 #include "util/logging.hh"
+#include "util/timing.hh"
 
 namespace avf::harness
 {
@@ -234,6 +240,132 @@ writeLifecycleJsonl(const ExperimentResult &result,
     }
     if (std::fclose(file) != 0)
         fatal("error closing '%s'", path.c_str());
+}
+
+void
+writeMetricsJson(const std::string &path, const std::string &campaign,
+                 const std::vector<TaskResult> &tasks)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+
+    out << "{\n  \"schema\": \"" << obs::metricsSchemaVersion
+        << "\",\n  \"campaign\": \"" << jsonEscape(campaign)
+        << "\",\n  \"tasks\": [\n";
+    obs::MetricsSnapshot totals;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto &task = tasks[i];
+        out << "    {\"name\": \"" << jsonEscape(task.name)
+            << "\", \"index\": " << task.index << ", \"ok\": "
+            << (task.ok() ? "true" : "false") << ", \"metrics\": ";
+        task.result.metrics.writeJson(out, 4);
+        out << "}" << (i + 1 == tasks.size() ? "" : ",") << "\n";
+        if (task.ok())
+            totals.mergeTotals(task.result.metrics);
+    }
+    out << "  ],\n  \"totals\": ";
+    totals.writeJson(out, 2);
+    out << "\n}\n";
+
+    out.close();
+    if (!out)
+        fatal("error closing '%s'", path.c_str());
+}
+
+void
+writeTraceJson(const std::string &path, const std::string &campaign,
+               const ExperimentEngine &engine,
+               const std::vector<TaskResult> &tasks)
+{
+    obs::TraceWriter trace;
+    trace.setProcessName(campaign);
+
+    const unsigned workers = engine.threadCount();
+    for (unsigned w = 0; w < workers; ++w)
+        trace.setThreadName(w, "worker " + std::to_string(w));
+    const std::uint32_t phaseLane = workers;
+    trace.setThreadName(phaseLane, "phases (aggregate)");
+
+    // Per-task spans on their worker's lane, and a per-task-name
+    // phase accumulator feeding the aggregate lane.
+    timing::PhaseAccumulator phases;
+    std::uint64_t campaignStartNs = 0;
+    double maxWallMs = 0.0;
+    for (const auto &task : tasks) {
+        if (task.endNs <= task.startNs)
+            continue;
+        if (campaignStartNs == 0 || task.startNs < campaignStartNs)
+            campaignStartNs = task.startNs;
+        maxWallMs = std::max(maxWallMs, task.wallMs);
+        obs::TraceSpan span;
+        span.name = task.name;
+        span.category = "task";
+        span.beginNs = task.startNs;
+        span.durNs = task.endNs - task.startNs;
+        span.tid = task.worker >= 0
+            ? static_cast<std::uint32_t>(task.worker)
+            : phaseLane;
+        span.args = {
+            {"index", static_cast<double>(task.index)},
+            {"ok", task.ok() ? 1.0 : 0.0},
+            {"wall_ms", task.wallMs},
+        };
+        trace.addSpan(std::move(span));
+        phases.add(task.name, static_cast<double>(task.endNs -
+                                                  task.startNs));
+    }
+    trace.addPhases(phases, phaseLane, campaignStartNs);
+
+    const auto pool = engine.poolStats();
+    std::ostringstream poolJson;
+    poolJson << "{\"workers\": " << workers << ", \"submitted\": "
+             << pool.submitted << ", \"executed\": " << pool.executed
+             << ", \"max_queue_depth\": " << pool.maxQueueDepth
+             << "}";
+    trace.addOtherData("thread_pool", poolJson.str());
+
+    // Task-latency histogram (milliseconds, uniform buckets sized to
+    // the slowest task). Wall-clock data: trace side channel only.
+    stats::Histogram latency(0.0, maxWallMs > 0 ? maxWallMs * 1.001
+                                                : 1.0, 20);
+    for (const auto &task : tasks)
+        latency.add(task.wallMs);
+    const auto snap = latency.snapshot();
+    std::ostringstream latencyJson;
+    latencyJson << "{\"unit\": \"ms\", \"lo\": " << snap.lo
+                << ", \"hi\": " << snap.hi << ", \"bins\": [";
+    for (std::size_t b = 0; b < snap.bins.size(); ++b)
+        latencyJson << (b ? ", " : "") << snap.bins[b];
+    latencyJson << "], \"underflow\": " << snap.underflow
+                << ", \"overflow\": " << snap.overflow << "}";
+    trace.addOtherData("task_latency_ms", latencyJson.str());
+
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    trace.writeJson(out);
+    out.close();
+    if (!out)
+        fatal("error closing '%s'", path.c_str());
+}
+
+bool
+exportCampaignMetrics(const std::string &campaign,
+                      const ExperimentEngine &engine,
+                      const std::vector<TaskResult> &tasks)
+{
+    const std::string &prefix = engine.options().metricsPrefix;
+    if (prefix.empty())
+        return false;
+    const std::string metricsPath = prefix + "_METRICS.json";
+    const std::string tracePath = prefix + "_TRACE.json";
+    writeMetricsJson(metricsPath, campaign, tasks);
+    writeTraceJson(tracePath, campaign, engine, tasks);
+    // stderr, not stdout: campaign stdout is byte-compared.
+    inform("metrics: wrote %s and %s", metricsPath.c_str(),
+           tracePath.c_str());
+    return true;
 }
 
 void

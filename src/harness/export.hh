@@ -10,7 +10,9 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "harness/engine.hh"
 #include "harness/experiment.hh"
 
 namespace avf::harness
@@ -60,6 +62,43 @@ void writeLifecycleJsonl(const ExperimentResult &result,
 void writeGnuplotScript(const std::string &csvPath,
                         const std::string &scriptPath,
                         const std::string &title);
+
+/**
+ * Write a campaign's metrics snapshots as one `avf-metrics-v1` JSON
+ * document: a "tasks" array (one entry per TaskResult, submission
+ * order, each with its MetricsSnapshot) plus a "totals" object
+ * folding every task's counters and histograms. Deterministic by
+ * construction — snapshots contain no wall-clock data — so the bytes
+ * are identical at any worker count. fatal() on I/O errors.
+ */
+void writeMetricsJson(const std::string &path,
+                      const std::string &campaign,
+                      const std::vector<TaskResult> &tasks);
+
+/**
+ * Write the campaign's wall-clock story as Chrome/Perfetto
+ * trace_event JSON (obs/trace_export.hh): one "X" span per task on
+ * its worker's lane, a synthetic per-task-phase lane built from a
+ * util/timing PhaseAccumulator, and pool/task-latency summaries
+ * under "otherData". Everything here is timing-dependent — this file
+ * is never byte-compared. fatal() on I/O errors.
+ */
+void writeTraceJson(const std::string &path,
+                    const std::string &campaign,
+                    const ExperimentEngine &engine,
+                    const std::vector<TaskResult> &tasks);
+
+/**
+ * The one-liner benches call after collect(): when the engine was
+ * built with a RunOptions::metricsPrefix (AVF_METRICS), write
+ * <prefix>_METRICS.json and <prefix>_TRACE.json for this campaign
+ * and report the paths on stderr.
+ *
+ * @return true when files were written, false when metrics are off.
+ */
+bool exportCampaignMetrics(const std::string &campaign,
+                           const ExperimentEngine &engine,
+                           const std::vector<TaskResult> &tasks);
 
 } // namespace avf::harness
 

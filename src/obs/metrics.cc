@@ -1,0 +1,234 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace avf::obs
+{
+
+namespace
+{
+
+/** Fixed-format double for byte-stable JSON. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string
+pad(int indent)
+{
+    return std::string(static_cast<std::size_t>(indent), ' ');
+}
+
+void
+writeHistogramJson(std::ostream &out,
+                   const stats::HistogramSnapshot &hist)
+{
+    out << "{\"lo\": " << fmtDouble(hist.lo)
+        << ", \"hi\": " << fmtDouble(hist.hi) << ", \"bins\": [";
+    for (std::size_t b = 0; b < hist.bins.size(); ++b)
+        out << (b ? ", " : "") << hist.bins[b];
+    out << "], \"underflow\": " << hist.underflow
+        << ", \"overflow\": " << hist.overflow
+        << ", \"total\": " << hist.total << "}";
+}
+
+} // namespace
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty() || name.front() < 'a' || name.front() > 'z')
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(std::string_view name) const
+{
+    for (const auto &[n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+const std::vector<double> *
+MetricsSnapshot::findSeries(std::string_view name) const
+{
+    for (const auto &[n, v] : series)
+        if (n == name)
+            return &v;
+    return nullptr;
+}
+
+void
+MetricsSnapshot::mergeTotals(const MetricsSnapshot &other)
+{
+    enabled = enabled || other.enabled;
+    for (const auto &[name, value] : other.counters) {
+        bool found = false;
+        for (auto &[mine, total] : counters) {
+            if (mine == name) {
+                total = saturatingAdd(total, value);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            counters.emplace_back(name, value);
+    }
+    for (const auto &[name, hist] : other.histograms) {
+        bool found = false;
+        for (auto &[mine, total] : histograms) {
+            if (mine != name)
+                continue;
+            avf_assert(total.bins.size() == hist.bins.size() &&
+                           total.lo == hist.lo && total.hi == hist.hi,
+                       "histogram '%s' merged across mismatched "
+                       "shapes", name.c_str());
+            for (std::size_t b = 0; b < hist.bins.size(); ++b)
+                total.bins[b] =
+                    saturatingAdd(total.bins[b], hist.bins[b]);
+            total.underflow =
+                saturatingAdd(total.underflow, hist.underflow);
+            total.overflow =
+                saturatingAdd(total.overflow, hist.overflow);
+            total.total = saturatingAdd(total.total, hist.total);
+            found = true;
+            break;
+        }
+        if (!found)
+            histograms.emplace_back(name, hist);
+    }
+    // Gauges and series deliberately not folded; see header.
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &out, int indent) const
+{
+    const std::string p0 = pad(indent);
+    const std::string p1 = pad(indent + 2);
+    const std::string p2 = pad(indent + 4);
+
+    out << "{\n" << p1 << "\"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i)
+        out << (i ? ", " : "") << "\"" << counters[i].first
+            << "\": " << counters[i].second;
+    out << "},\n" << p1 << "\"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i)
+        out << (i ? ", " : "") << "\"" << gauges[i].first
+            << "\": " << fmtDouble(gauges[i].second);
+    out << "},\n" << p1 << "\"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        out << (i ? ",\n" : "\n") << p2 << "\""
+            << histograms[i].first << "\": ";
+        writeHistogramJson(out, histograms[i].second);
+    }
+    out << (histograms.empty() ? "" : "\n" + p1) << "},\n"
+        << p1 << "\"series\": {";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        out << (i ? ",\n" : "\n") << p2 << "\"" << series[i].first
+            << "\": [";
+        const auto &values = series[i].second;
+        for (std::size_t k = 0; k < values.size(); ++k)
+            out << (k ? ", " : "") << fmtDouble(values[k]);
+        out << "]";
+    }
+    out << (series.empty() ? "" : "\n" + p1) << "}\n" << p0 << "}";
+}
+
+void
+MetricsShard::claimName(const std::string &name)
+{
+    avf_assert(validMetricName(name),
+               "metric name '%s' is not snake_case", name.c_str());
+    avf_assert(names.insert(name).second,
+               "metric '%s' registered twice", name.c_str());
+}
+
+MetricsShard::Id
+MetricsShard::registerCounter(std::string name)
+{
+    claimName(name);
+    counters.emplace_back(std::move(name), 0);
+    return static_cast<Id>(counters.size() - 1);
+}
+
+MetricsShard::Id
+MetricsShard::registerGauge(std::string name)
+{
+    claimName(name);
+    gauges.emplace_back(std::move(name), 0.0);
+    return static_cast<Id>(gauges.size() - 1);
+}
+
+MetricsShard::Id
+MetricsShard::registerHistogram(std::string name, double lo, double hi,
+                                std::size_t bins)
+{
+    claimName(name);
+    hists.emplace_back(std::move(name),
+                       stats::Histogram(lo, hi, bins));
+    return static_cast<Id>(hists.size() - 1);
+}
+
+MetricsShard::Id
+MetricsShard::registerSeries(std::string name)
+{
+    claimName(name);
+    seriesData.emplace_back(std::move(name), std::vector<double>{});
+    return static_cast<Id>(seriesData.size() - 1);
+}
+
+void
+MetricsShard::inc(Id counter, std::uint64_t delta)
+{
+    auto &value = counters[counter].second;
+    value = saturatingAdd(value, delta);
+}
+
+void
+MetricsShard::set(Id gauge, double value)
+{
+    gauges[gauge].second = value;
+}
+
+void
+MetricsShard::observe(Id histogram, double value)
+{
+    hists[histogram].second.add(value);
+}
+
+void
+MetricsShard::push(Id series, double value)
+{
+    seriesData[series].second.push_back(value);
+}
+
+MetricsSnapshot
+MetricsShard::snapshot() const
+{
+    MetricsSnapshot out;
+    out.enabled = true;
+    out.counters = counters;
+    out.gauges = gauges;
+    out.histograms.reserve(hists.size());
+    for (const auto &[name, hist] : hists)
+        out.histograms.emplace_back(name, hist.snapshot());
+    out.series = seriesData;
+    return out;
+}
+
+} // namespace avf::obs

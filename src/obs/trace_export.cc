@@ -1,0 +1,171 @@
+#include "obs/trace_export.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "util/timing.hh"
+
+namespace avf::obs
+{
+
+namespace
+{
+
+/** JSON string escape (local copy; obs cannot depend on harness). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Microseconds with sub-µs precision, as trace_event expects. */
+std::string
+usec(double ns)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", ns / 1000.0);
+    return buf;
+}
+
+} // namespace
+
+void
+TraceWriter::setProcessName(std::string name)
+{
+    processName = std::move(name);
+}
+
+void
+TraceWriter::setThreadName(std::uint32_t tid, std::string name)
+{
+    for (auto &[id, label] : threadNames) {
+        if (id == tid) {
+            label = std::move(name);
+            return;
+        }
+    }
+    threadNames.emplace_back(tid, std::move(name));
+}
+
+void
+TraceWriter::addSpan(TraceSpan span)
+{
+    spans.push_back(std::move(span));
+}
+
+void
+TraceWriter::addOtherData(std::string key, std::string jsonValue)
+{
+    otherData.emplace_back(std::move(key), std::move(jsonValue));
+}
+
+void
+TraceWriter::addPhases(const timing::PhaseAccumulator &phases,
+                       std::uint32_t tid, std::uint64_t baseNs)
+{
+    std::uint64_t cursor = baseNs;
+    for (const auto &phase : phases.phases()) {
+        TraceSpan span;
+        span.name = phase.name;
+        span.category = "phase";
+        span.beginNs = cursor;
+        span.durNs = static_cast<std::uint64_t>(phase.totalNs);
+        span.tid = tid;
+        span.args = {
+            {"count", static_cast<double>(phase.count)},
+            {"mean_ns", phase.meanNs()},
+            {"min_ns", phase.minNs},
+            {"max_ns", phase.maxNs},
+        };
+        spans.push_back(std::move(span));
+        cursor += span.durNs;
+    }
+}
+
+void
+TraceWriter::writeJson(std::ostream &out) const
+{
+    // Rebase so the earliest span lands at ts=0: steady-clock ticks
+    // are huge raw numbers Perfetto would render as absolute time.
+    std::uint64_t base = 0;
+    if (!spans.empty()) {
+        base = spans.front().beginNs;
+        for (const auto &span : spans)
+            base = std::min(base, span.beginNs);
+    }
+
+    out << "{\n  \"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out << ",\n";
+        first = false;
+    };
+
+    sep();
+    out << "    {\"name\": \"process_name\", \"ph\": \"M\", "
+           "\"pid\": 1, \"tid\": 0, \"args\": {\"name\": \""
+        << escape(processName) << "\"}}";
+    for (const auto &[tid, label] : threadNames) {
+        sep();
+        out << "    {\"name\": \"thread_name\", \"ph\": \"M\", "
+               "\"pid\": 1, \"tid\": " << tid
+            << ", \"args\": {\"name\": \"" << escape(label)
+            << "\"}}";
+    }
+    for (const auto &span : spans) {
+        sep();
+        out << "    {\"name\": \"" << escape(span.name)
+            << "\", \"cat\": \""
+            << escape(span.category.empty() ? "avf" : span.category)
+            << "\", \"ph\": \"X\", \"ts\": "
+            << usec(static_cast<double>(span.beginNs - base))
+            << ", \"dur\": " << usec(static_cast<double>(span.durNs))
+            << ", \"pid\": 1, \"tid\": " << span.tid;
+        if (!span.args.empty()) {
+            out << ", \"args\": {";
+            for (std::size_t i = 0; i < span.args.size(); ++i) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              span.args[i].second);
+                out << (i ? ", " : "") << "\""
+                    << escape(span.args[i].first) << "\": " << buf;
+            }
+            out << "}";
+        }
+        out << "}";
+    }
+    out << "\n  ],\n";
+    if (!otherData.empty()) {
+        out << "  \"otherData\": {";
+        for (std::size_t i = 0; i < otherData.size(); ++i)
+            out << (i ? ", " : "") << "\"" << escape(otherData[i].first)
+                << "\": " << otherData[i].second;
+        out << "},\n";
+    }
+    out << "  \"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+} // namespace avf::obs

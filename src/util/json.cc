@@ -1,0 +1,335 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace avf::json
+{
+
+namespace
+{
+
+/** Parser state: cursor over the input plus the first error. */
+struct Parser
+{
+    std::string_view in;
+    std::size_t pos = 0;
+    std::string error;
+    /** Nesting guard: malformed deeply-nested input must fail
+     *  cleanly instead of exhausting the stack. */
+    int depth = 0;
+    static constexpr int maxDepth = 128;
+
+    bool fail(const std::string &message)
+    {
+        if (error.empty())
+            error = "offset " + std::to_string(pos) + ": " + message;
+        return false;
+    }
+
+    bool done() const { return pos >= in.size(); }
+    char peek() const { return done() ? '\0' : in[pos]; }
+
+    void
+    skipWs()
+    {
+        while (!done() && (in[pos] == ' ' || in[pos] == '\t' ||
+                           in[pos] == '\n' || in[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (peek() != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (in.compare(pos, word.size(), word) != 0)
+            return fail("invalid literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool parseValue(Value &out);
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (!done()) {
+            char c = in[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (done())
+                    break;
+                char esc = in[pos++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > in.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        char h = in[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad hex digit in \\u escape");
+                    }
+                    // UTF-8 encode (surrogate pairs are passed through
+                    // as two 3-byte sequences; the exporters only emit
+                    // \u00XX control escapes, so this is ample).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    return fail("unknown escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("malformed number");
+        // RFC 8259: no leading zeros ("01" is two tokens, an error).
+        if (peek() == '0' && pos + 1 < in.size() &&
+            std::isdigit(static_cast<unsigned char>(in[pos + 1])))
+            return fail("leading zero in number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+        bool integral = true;
+        if (peek() == '.') {
+            integral = false;
+            ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit required after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            integral = false;
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit required in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos;
+        }
+        std::string token(in.substr(start, pos - start));
+        if (integral && token[0] != '-') {
+            char *end = nullptr;
+            unsigned long long u = std::strtoull(token.c_str(), &end,
+                                                 10);
+            if (end && *end == '\0') {
+                out.kind = Value::Kind::Uint;
+                out.uintValue = u;
+                out.number = static_cast<double>(u);
+                return true;
+            }
+        }
+        out.kind = Value::Kind::Double;
+        out.number = std::strtod(token.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++pos; // '['
+        out.kind = Value::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            Value item;
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++pos; // '{'
+        out.kind = Value::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            Value member;
+            if (!parseValue(member))
+                return false;
+            out.members.emplace_back(std::move(key),
+                                     std::move(member));
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+};
+
+bool
+Parser::parseValue(Value &out)
+{
+    if (++depth > maxDepth)
+        return fail("nesting too deep");
+    skipWs();
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = parseObject(out); break;
+      case '[': ok = parseArray(out); break;
+      case '"':
+        out.kind = Value::Kind::String;
+        ok = parseString(out.text);
+        break;
+      case 't':
+        out.kind = Value::Kind::Bool;
+        out.boolean = true;
+        ok = literal("true");
+        break;
+      case 'f':
+        out.kind = Value::Kind::Bool;
+        out.boolean = false;
+        ok = literal("false");
+        break;
+      case 'n':
+        out.kind = Value::Kind::Null;
+        ok = literal("null");
+        break;
+      case '\0':
+        ok = fail("unexpected end of input");
+        break;
+      default:
+        ok = parseNumber(out);
+        break;
+    }
+    --depth;
+    return ok;
+}
+
+} // namespace
+
+double
+Value::asDouble() const
+{
+    if (kind == Kind::Uint)
+        return static_cast<double>(uintValue);
+    if (kind == Kind::Double)
+        return number;
+    return 0.0;
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    if (kind == Kind::Uint)
+        return uintValue;
+    if (kind == Kind::Double && number >= 0 &&
+        std::floor(number) == number)
+        return static_cast<std::uint64_t>(number);
+    return 0;
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const Value *
+Value::find(std::string_view key, Kind k) const
+{
+    const Value *v = find(key);
+    return (v && v->kind == k) ? v : nullptr;
+}
+
+bool
+parse(std::string_view input, Value &out, std::string &error)
+{
+    Parser p{input, 0, {}, 0};
+    out = Value{};
+    if (!p.parseValue(out)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (!p.done()) {
+        p.fail("trailing garbage after document");
+        error = p.error;
+        return false;
+    }
+    error.clear();
+    return true;
+}
+
+} // namespace avf::json

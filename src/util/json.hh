@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser. The repo
+ * *writes* JSON with hand-rolled fprintf emitters (export.cc,
+ * obs/metrics.cc) so their byte layout stays deterministic; this is
+ * the matching *read* side, used by tools/avf-report and the tests
+ * that round-trip the exporters. It parses strict RFC 8259 JSON into
+ * an ordered document tree — object keys keep file order, so reports
+ * iterate deterministically — and reports the first error with its
+ * byte offset instead of guessing.
+ *
+ * Deliberately small: no streaming, no writer (the emitters own the
+ * byte layout), no number preservation beyond double + a lossless
+ * uint64 fast path for counters.
+ */
+
+#ifndef AVF_UTIL_JSON_HH
+#define AVF_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace avf::json
+{
+
+/** One JSON value; a tagged union over the seven RFC 8259 kinds
+ *  (integers get their own tag so 64-bit counters survive). */
+class Value
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        /** Number that parsed exactly as an unsigned 64-bit integer. */
+        Uint,
+        /** Any other number. */
+        Double,
+        String,
+        Array,
+        Object
+    };
+
+    /** Object member list; keeps source order. */
+    using Members = std::vector<std::pair<std::string, Value>>;
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::uint64_t uintValue = 0;
+    double number = 0.0;
+    std::string text;
+    std::vector<Value> items; ///< Array elements
+    Members members;          ///< Object members
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind == Kind::Uint || kind == Kind::Double;
+    }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Numeric value as double (Uint converts; else 0). */
+    double asDouble() const;
+
+    /** Numeric value as uint64 (Double truncates if exact; else 0). */
+    std::uint64_t asUint() const;
+
+    /**
+     * Object member lookup, first match; nullptr when absent or when
+     * this value is not an object.
+     */
+    const Value *find(std::string_view key) const;
+
+    /** find() that also requires the member to be kind @p k. */
+    const Value *find(std::string_view key, Kind k) const;
+};
+
+/**
+ * Parse @p input as one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error).
+ *
+ * @param input the JSON text.
+ * @param out receives the document on success; unspecified on error.
+ * @param error receives "offset N: message" on failure.
+ * @return true on success.
+ */
+bool parse(std::string_view input, Value &out, std::string &error);
+
+} // namespace avf::json
+
+#endif // AVF_UTIL_JSON_HH

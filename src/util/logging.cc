@@ -1,7 +1,10 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace avf
 {
@@ -9,14 +12,86 @@ namespace avf
 namespace
 {
 
-bool quietFlag = false;
+/** Serializes sink writes only — never held while resolving the
+ *  level, because resolution can fatal() back into the sink. */
+std::mutex sinkMutex;
 
-void
-vreport(const char *tag, const char *fmt, va_list args)
+/** Resolved threshold; -1 until AVF_LOG_LEVEL has been consulted. */
+std::atomic<int> currentLevel{-1};
+
+/**
+ * Resolve AVF_LOG_LEVEL once, strictly: unset/empty means Info, any
+ * other value must be one of the four level names. Runs outside
+ * sinkMutex so the fatal() path for a junk value can emit.
+ */
+int
+loadLevelFromEnv()
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    const char *val = std::getenv("AVF_LOG_LEVEL");
+    if (!val || !*val)
+        return static_cast<int>(LogLevel::Info);
+    return static_cast<int>(parseLogLevel(val));
+}
+
+int
+resolvedLevel()
+{
+    int level = currentLevel.load(std::memory_order_relaxed);
+    if (level >= 0)
+        return level;
+    const int fromEnv = loadLevelFromEnv();
+    // Racing resolvers compute the same value; only a concurrent
+    // setLogLevel() can differ, and it wins — never clobber it.
+    if (currentLevel.compare_exchange_strong(
+            level, fromEnv, std::memory_order_relaxed))
+        return fromEnv;
+    return level;
+}
+
+/**
+ * The single sink: takes a fully-assembled "tag: message" line and
+ * hands it to the stream in one write, under the lock — worker
+ * threads can never interleave mid-line.
+ */
+void
+emitRaw(std::string text)
+{
+    text += '\n';
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    (void)std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+/** Render a printf-style message into a std::string. */
+std::string
+vformat(const char *fmt, va_list args)
+{
+    va_list measure;
+    va_copy(measure, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+    va_end(measure);
+    if (needed < 0)
+        needed = 0;
+    std::string text(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(text.data(), static_cast<std::size_t>(needed) + 1,
+                   fmt, args);
+    return text;
+}
+
+/** Assemble and emit one "tag: message" line. */
+void
+vemitLine(const char *tag, const char *fmt, va_list args)
+{
+    emitRaw(std::string(tag) + ": " + vformat(fmt, args));
+}
+
+/** Severity-filtered emission for warn/inform/debugLog. */
+void
+vreport(LogLevel level, const char *tag, const char *fmt,
+        va_list args)
+{
+    if (static_cast<int>(level) < resolvedLevel())
+        return;
+    vemitLine(tag, fmt, args);
 }
 
 } // namespace
@@ -26,7 +101,7 @@ panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    vemitLine("panic", fmt, args);
     va_end(args);
     std::abort();
 }
@@ -36,7 +111,7 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    vemitLine("fatal", fmt, args);
     va_end(args);
     std::exit(1);
 }
@@ -44,22 +119,27 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
-        return;
     va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    vreport(LogLevel::Warn, "warn", fmt, args);
     va_end(args);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
-        return;
     va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    vreport(LogLevel::Info, "info", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(LogLevel::Debug, "debug", fmt, args);
     va_end(args);
 }
 
@@ -67,34 +147,64 @@ void
 panicAt(const char *file, int line, const char *cond, const char *fmt,
         ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ",
-                 cond, file, line);
+    char where[512];
+    std::snprintf(where, sizeof(where),
+                  "assertion '%s' failed at %s:%d:", cond, file,
+                  line);
+    // Two lines would risk interleaving; fold location and message
+    // into one panic line.
+    std::string full = std::string(where) + " " + fmt;
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    vemitLine("panic", full.c_str(), args);
     va_end(args);
-    std::fprintf(stderr, "\n");
     std::abort();
 }
 
 void
 panicAt(const char *file, int line, const char *cond)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d\n",
-                 cond, file, line);
-    std::abort();
+    panicAt(file, line, cond, "%s", "invariant violated");
+}
+
+LogLevel
+parseLogLevel(const char *name)
+{
+    if (std::strcmp(name, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(name, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(name, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(name, "error") == 0)
+        return LogLevel::Error;
+    fatal("'%s' is not a log level (use debug|info|warn|error)",
+          name);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel.store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(resolvedLevel());
 }
 
 void
 setQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    setLogLevel(quiet ? LogLevel::Error : LogLevel::Info);
 }
 
 bool
 isQuiet()
 {
-    return quietFlag;
+    return logLevel() > LogLevel::Warn;
 }
 
 } // namespace avf

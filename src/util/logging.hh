@@ -2,7 +2,17 @@
  * @file
  * Error and status reporting in the gem5 spirit: panic() for internal
  * invariant violations (aborts), fatal() for user/configuration errors
- * (clean exit), warn()/inform() for status messages.
+ * (clean exit), warn()/inform()/debugLog() for status messages.
+ *
+ * Every message goes through one severity-filtered sink that formats
+ * the whole line before a single atomic write, so concurrent worker
+ * threads (the experiment engine's pool, metrics/trace emission)
+ * never interleave mid-line. The threshold comes from setLogLevel()
+ * or, lazily on first use, the AVF_LOG_LEVEL environment variable
+ * (debug|info|warn|error, strict-validated like the RunOptions env
+ * knobs — junk is a fatal() config error, not a silent default).
+ * panic()/fatal() ignore the threshold: a message you are about to
+ * die with is never the one to drop.
  */
 
 #ifndef AVF_UTIL_LOGGING_HH
@@ -13,6 +23,15 @@
 
 namespace avf
 {
+
+/** Message severities, in increasing order of importance. */
+enum class LogLevel : int
+{
+    Debug = 0, ///< debugLog(): developer diagnostics, off by default
+    Info = 1,  ///< inform(): normal operating status
+    Warn = 2,  ///< warn(): suspicious but survivable
+    Error = 3  ///< panic()/fatal() (never filtered)
+};
 
 /**
  * Report an internal simulator bug and abort. Use only for conditions
@@ -36,7 +55,31 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report normal operating status to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Globally silence warn()/inform() (used by tests and benches). */
+/** Developer diagnostics; emitted only at LogLevel::Debug. */
+void debugLog(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Parse a level name as AVF_LOG_LEVEL does: exactly one of
+ * debug|info|warn|error; anything else is a fatal() config error.
+ */
+LogLevel parseLogLevel(const char *name);
+
+/**
+ * Set the severity threshold: messages below @p level are dropped.
+ * Overrides whatever AVF_LOG_LEVEL resolved to.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current severity threshold (resolving AVF_LOG_LEVEL on first
+ *  use). */
+LogLevel logLevel();
+
+/**
+ * Globally silence warn()/inform() (used by tests and benches).
+ * Equivalent to setLogLevel(LogLevel::Error); setQuiet(false)
+ * restores LogLevel::Info.
+ */
 void setQuiet(bool quiet);
 
 /** @return true if warn()/inform() are currently silenced. */

@@ -14,8 +14,10 @@
 #ifndef AVF_UTIL_THREAD_POOL_HH
 #define AVF_UTIL_THREAD_POOL_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -30,6 +32,19 @@ class ThreadPool
 {
   public:
     /**
+     * Queue/dispatch observability counters, snapshotted under the
+     * pool lock. Wall-clock/scheduling-dependent by nature — they
+     * belong in the trace side channel (obs/trace_export.hh), never
+     * in deterministic exports.
+     */
+    struct PoolStats
+    {
+        std::uint64_t submitted = 0; ///< jobs ever enqueued
+        std::uint64_t executed = 0;  ///< jobs finished
+        std::uint64_t maxQueueDepth = 0; ///< peak queue length seen
+    };
+
+    /**
      * @param threads worker count; 0 resolves to
      *        std::thread::hardware_concurrency() (minimum 1).
      */
@@ -41,7 +56,10 @@ class ThreadPool
             threads = 1;
         workers.reserve(threads);
         for (unsigned i = 0; i < threads; ++i)
-            workers.emplace_back([this] { workerLoop(); });
+            workers.emplace_back([this, i] {
+                workerIndex = static_cast<int>(i);
+                workerLoop();
+            });
     }
 
     ThreadPool(const ThreadPool &) = delete;
@@ -61,12 +79,31 @@ class ThreadPool
     /** Number of worker threads. */
     std::size_t size() const { return workers.size(); }
 
+    /**
+     * Index of the calling pool worker (0-based), or -1 when the
+     * caller is not a pool worker thread. Lets task instrumentation
+     * attribute work to a trace lane without threading an id through
+     * every job closure.
+     */
+    static int currentWorkerId() { return workerIndex; }
+
+    /** Snapshot the observability counters. */
+    PoolStats stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return statsData;
+    }
+
     /** Enqueue a job; runs on some worker, FIFO dispatch order. */
     void submit(std::function<void()> job)
     {
         {
             std::lock_guard<std::mutex> lock(mutex);
             queue.push_back(std::move(job));
+            ++statsData.submitted;
+            statsData.maxQueueDepth =
+                std::max<std::uint64_t>(statsData.maxQueueDepth,
+                                        queue.size());
         }
         wakeWorkers.notify_one();
     }
@@ -95,18 +132,23 @@ class ThreadPool
             job();
             lock.lock();
             --running;
+            ++statsData.executed;
             if (queue.empty() && running == 0)
                 idle.notify_all();
         }
     }
 
-    std::mutex mutex;
+    /** This thread's pool index; -1 on non-pool threads. */
+    static inline thread_local int workerIndex = -1;
+
+    mutable std::mutex mutex;
     std::condition_variable wakeWorkers;
     std::condition_variable idle;
     std::deque<std::function<void()>> queue;
     std::vector<std::thread> workers;
     unsigned running = 0;
     bool stopping = false;
+    PoolStats statsData;
 };
 
 } // namespace avf

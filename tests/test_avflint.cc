@@ -370,6 +370,99 @@ TEST(AvflintNakedAssert, FlagsAssertButNotAvfAssert)
 }
 
 // ---------------------------------------------------------------- //
+// metric-name-discipline                                            //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintMetricNames, FlagsNonSnakeCaseLiterals)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "void setup(MetricsShard &s) {\n"
+                 "    s.registerCounter(\"CyclesTotal\");\n"
+                 "    s.registerGauge(\"ipc-rate\");\n"
+                 "    s.registerSeries(\"_leading\");\n"
+                 "    s.registerCounter(\"cycles_total\");\n"
+                 "}\n"),
+        "metric-name-discipline");
+    ASSERT_EQ(findings.size(), 3u);
+    EXPECT_NE(findings[0].message.find("CyclesTotal"),
+              std::string::npos);
+    EXPECT_NE(findings[1].message.find("ipc-rate"), std::string::npos);
+    EXPECT_NE(findings[2].message.find("_leading"), std::string::npos);
+}
+
+TEST(AvflintMetricNames, FlagsDuplicateRegistrationInOneFile)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "void a(MetricsShard &s) {\n"
+                 "    s.registerCounter(\"cycles_total\");\n"
+                 "}\n"
+                 "void b(MetricsShard &s) {\n"
+                 "    s.registerCounter(\"cycles_total\");\n"
+                 "}\n"),
+        "metric-name-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 5);
+    EXPECT_NE(findings[0].message.find("line 2"), std::string::npos);
+}
+
+TEST(AvflintMetricNames, DynamicNamesAreExempt)
+{
+    // Concatenated names register a family; the runtime registry
+    // validates the spelling of each instance.
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "void setup(MetricsShard &s, std::string n) {\n"
+                 "    s.registerCounter(\"online_\" + n + \"_total\");\n"
+                 "    s.registerCounter(\"online_\" + n + \"_total\");\n"
+                 "    s.registerCounter(n);\n"
+                 "}\n"),
+        "metric-name-discipline")
+                    .empty());
+}
+
+TEST(AvflintMetricNames, FlagsRegistrationInHotPaths)
+{
+    // Inside a step() definition body.
+    auto inStep = withId(
+        lintText("src/foo.cc",
+                 "void Pipeline::step() {\n"
+                 "    shard.registerCounter(\"cycles_total\");\n"
+                 "}\n"),
+        "metric-name-discipline");
+    ASSERT_EQ(inStep.size(), 1u);
+    EXPECT_NE(inStep[0].message.find("hot path"), std::string::npos);
+
+    // Inside a lambda hooked through an onCycle() callback argument.
+    auto inHook = withId(
+        lintText("src/foo.cc",
+                 "void setup(Tracker &t, MetricsShard &s) {\n"
+                 "    t.onCycle([&] {\n"
+                 "        s.registerGauge(\"occupancy\");\n"
+                 "    });\n"
+                 "}\n"),
+        "metric-name-discipline");
+    ASSERT_EQ(inHook.size(), 1u);
+    EXPECT_NE(inHook[0].message.find("hot path"), std::string::npos);
+}
+
+TEST(AvflintMetricNames, SetupRegistrationAndStepCallsAreClean)
+{
+    // Registration at setup plus a plain step() call near it — the
+    // call's empty argument list must not poison the whole function.
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "void run(Pipeline &p, MetricsShard &s) {\n"
+                 "    auto id = s.registerCounter(\"cycles_total\");\n"
+                 "    for (int i = 0; i < n; ++i) p.step();\n"
+                 "    s.inc(id, n);\n"
+                 "}\n"),
+        "metric-name-discipline")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
 // Suppressions end-to-end                                           //
 // ---------------------------------------------------------------- //
 

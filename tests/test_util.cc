@@ -18,7 +18,13 @@ namespace
 {
 
 using avf::BitVector;
+using avf::isQuiet;
+using avf::LogLevel;
+using avf::logLevel;
+using avf::parseLogLevel;
 using avf::Rng;
+using avf::setLogLevel;
+using avf::setQuiet;
 
 // avf_assert accepts a bare condition, a plain message, and a
 // printf-style message — all pedantic-clean via __VA_OPT__.
@@ -39,6 +45,35 @@ TEST(LoggingDeathTest, AvfAssertFormatsMessage)
 {
     EXPECT_DEATH(avf_assert(false, "value was %d", 41),
                  "value was 41");
+}
+
+TEST(Logging, LevelsMapOntoQuietSwitch)
+{
+    setLogLevel(LogLevel::Error);
+    EXPECT_TRUE(isQuiet());
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_FALSE(isQuiet());
+    setQuiet(false); // restore the suite default
+}
+
+TEST(Logging, ParsesEveryLevelName)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("error"), LogLevel::Error);
+}
+
+TEST(LoggingDeathTest, RejectsJunkLogLevel)
+{
+    // AVF_LOG_LEVEL goes through the same parser: junk is a fatal
+    // config error, not a silent default.
+    EXPECT_DEATH(parseLogLevel("verbose"), "not a log level");
+    EXPECT_DEATH(parseLogLevel("INFO"), "not a log level");
 }
 
 TEST(Rng, DeterministicForSameSeed)

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * avf-report: render the observability exports back into terminal
+ * reports. Reads `avf-metrics-v1` METRICS.json snapshots, trace_event
+ * TRACE.json files, and injection-lifecycle JSONL streams.
+ *
+ * Commands:
+ *   summary METRICS.json           per-(task, series) convergence
+ *   convergence METRICS.json [--task NAME] [--series NAME]
+ *                                  full per-interval table with the
+ *                                  0.5/sqrt(N) bound flags
+ *   phases TRACE.json [--top N]    top-N phase costs
+ *   diff OLD.json NEW.json         campaign counter diff
+ *   lifecycle FILE.jsonl           lifecycle outcome summary
+ *
+ * Exit status: 0 = report printed, 1 = usage error, 2 = unreadable
+ * or malformed input.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "report.hh"
+
+namespace
+{
+
+using namespace avf;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: avf-report <command> [args]\n"
+        "  summary METRICS.json\n"
+        "  convergence METRICS.json [--task NAME] [--series NAME]\n"
+        "  phases TRACE.json [--top N]\n"
+        "  diff OLD_METRICS.json NEW_METRICS.json\n"
+        "  lifecycle FILE.jsonl\n");
+    return 1;
+}
+
+/** Load + validate one METRICS.json; exits 2 on failure. */
+bool
+loadOrComplain(const std::string &path, json::Value &doc)
+{
+    std::string text, error;
+    if (!report::readFile(path, text, error)) {
+        std::fprintf(stderr, "avf-report: %s\n", error.c_str());
+        return false;
+    }
+    if (!report::loadMetricsDoc(text, doc, error)) {
+        std::fprintf(stderr, "avf-report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    if (command == "summary") {
+        if (argc != 3)
+            return usage();
+        json::Value doc;
+        if (!loadOrComplain(argv[2], doc))
+            return 2;
+        report::printSummary(std::cout, doc);
+        return 0;
+    }
+
+    if (command == "convergence") {
+        if (argc < 3)
+            return usage();
+        std::string task, series = "online_iq_avf";
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--task") == 0 && i + 1 < argc)
+                task = argv[++i];
+            else if (std::strcmp(argv[i], "--series") == 0 &&
+                     i + 1 < argc)
+                series = argv[++i];
+            else
+                return usage();
+        }
+        json::Value doc;
+        if (!loadOrComplain(argv[2], doc))
+            return 2;
+        return report::printConvergence(std::cout, doc, task, series)
+            ? 0 : 2;
+    }
+
+    if (command == "phases") {
+        if (argc < 3)
+            return usage();
+        std::size_t top = 10;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc)
+                top = static_cast<std::size_t>(
+                    std::stoul(argv[++i]));
+            else
+                return usage();
+        }
+        std::string text, error;
+        if (!report::readFile(argv[2], text, error)) {
+            std::fprintf(stderr, "avf-report: %s\n", error.c_str());
+            return 2;
+        }
+        json::Value doc;
+        if (!json::parse(text, doc, error)) {
+            std::fprintf(stderr, "avf-report: %s: not valid JSON: "
+                         "%s\n", argv[2], error.c_str());
+            return 2;
+        }
+        return report::printPhases(std::cout, doc, top) ? 0 : 2;
+    }
+
+    if (command == "diff") {
+        if (argc != 4)
+            return usage();
+        json::Value before, after;
+        if (!loadOrComplain(argv[2], before) ||
+            !loadOrComplain(argv[3], after))
+            return 2;
+        report::printDiff(std::cout, before, after);
+        return 0;
+    }
+
+    if (command == "lifecycle") {
+        if (argc != 3)
+            return usage();
+        std::string text, error;
+        if (!report::readFile(argv[2], text, error)) {
+            std::fprintf(stderr, "avf-report: %s\n", error.c_str());
+            return 2;
+        }
+        if (!report::printLifecycle(std::cout, text, error)) {
+            std::fprintf(stderr, "avf-report: %s: %s\n", argv[2],
+                         error.c_str());
+            return 2;
+        }
+        return 0;
+    }
+
+    return usage();
+}

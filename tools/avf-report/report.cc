@@ -1,0 +1,418 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace avf::report
+{
+
+namespace
+{
+
+/** Printf-style line straight into an ostream. */
+template <typename... Args>
+void
+line(std::ostream &out, const char *fmt, Args... args)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out << buf;
+}
+
+/** The four fixed sections every metrics object must carry. */
+constexpr const char *metricsSections[] = {"counters", "gauges",
+                                           "histograms", "series"};
+
+bool
+validMetricsObject(const json::Value &metrics, std::string &error,
+                   const std::string &where)
+{
+    if (!metrics.isObject()) {
+        error = where + ": \"metrics\" is not an object";
+        return false;
+    }
+    for (const char *section : metricsSections) {
+        if (!metrics.find(section, json::Value::Kind::Object)) {
+            error = where + ": missing \"" + section + "\" section";
+            return false;
+        }
+    }
+    return true;
+}
+
+const json::Value *
+findTask(const json::Value &doc, const std::string &taskName)
+{
+    const auto *tasks = doc.find("tasks", json::Value::Kind::Array);
+    if (!tasks || tasks->items.empty())
+        return nullptr;
+    if (taskName.empty())
+        return &tasks->items.front();
+    for (const auto &task : tasks->items) {
+        const auto *name = task.find("name",
+                                     json::Value::Kind::String);
+        if (name && name->text == taskName)
+            return &task;
+    }
+    return nullptr;
+}
+
+/** "online_iq_avf" -> "online_iq_injections_total". */
+std::string
+injectionsCounterFor(const std::string &series)
+{
+    const std::string suffix = "_avf";
+    if (series.size() > suffix.size() &&
+        series.compare(series.size() - suffix.size(), suffix.size(),
+                       suffix) == 0)
+        return series.substr(0, series.size() - suffix.size()) +
+               "_injections_total";
+    return series + "_injections_total";
+}
+
+} // namespace
+
+bool
+readFile(const std::string &path, std::string &out,
+         std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open '" + path + "'";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) {
+        error = "error reading '" + path + "'";
+        return false;
+    }
+    out = buf.str();
+    return true;
+}
+
+bool
+loadMetricsDoc(const std::string &text, json::Value &doc,
+               std::string &error)
+{
+    if (!json::parse(text, doc, error)) {
+        error = "not valid JSON: " + error;
+        return false;
+    }
+    if (!doc.isObject()) {
+        error = "document is not a JSON object";
+        return false;
+    }
+    const auto *schema = doc.find("schema", json::Value::Kind::String);
+    if (!schema) {
+        error = "missing \"schema\" string";
+        return false;
+    }
+    if (schema->text != obs::metricsSchemaVersion) {
+        error = "unsupported schema '" + schema->text +
+                "' (expected '" +
+                std::string(obs::metricsSchemaVersion) + "')";
+        return false;
+    }
+    const auto *tasks = doc.find("tasks", json::Value::Kind::Array);
+    if (!tasks) {
+        error = "missing \"tasks\" array";
+        return false;
+    }
+    for (std::size_t i = 0; i < tasks->items.size(); ++i) {
+        const auto &task = tasks->items[i];
+        const std::string where = "task " + std::to_string(i);
+        if (!task.isObject()) {
+            error = where + ": not an object";
+            return false;
+        }
+        if (!task.find("name", json::Value::Kind::String)) {
+            error = where + ": missing \"name\"";
+            return false;
+        }
+        const auto *metrics = task.find("metrics");
+        if (!metrics) {
+            error = where + ": missing \"metrics\"";
+            return false;
+        }
+        if (!validMetricsObject(*metrics, error, where))
+            return false;
+    }
+    const auto *totals = doc.find("totals");
+    if (!totals) {
+        error = "missing \"totals\" object";
+        return false;
+    }
+    if (!validMetricsObject(*totals, error, "totals"))
+        return false;
+    return true;
+}
+
+bool
+convergenceRows(const json::Value &doc, const std::string &taskName,
+                const std::string &series,
+                std::vector<ConvergenceRow> &rows, std::string &error)
+{
+    rows.clear();
+    const auto *task = findTask(doc, taskName);
+    if (!task) {
+        error = taskName.empty()
+            ? std::string("document has no tasks")
+            : "no task named '" + taskName + "'";
+        return false;
+    }
+    const auto *metrics = task->find("metrics");
+    const auto *all = metrics
+        ? metrics->find("series", json::Value::Kind::Object)
+        : nullptr;
+    const auto *values = all
+        ? all->find(series, json::Value::Kind::Array)
+        : nullptr;
+    if (!values) {
+        error = "no series '" + series + "' in task";
+        return false;
+    }
+    if (values->items.empty()) {
+        error = "series '" + series + "' is empty";
+        return false;
+    }
+
+    const auto *counters = metrics->find("counters",
+                                         json::Value::Kind::Object);
+    const std::string counterName = injectionsCounterFor(series);
+    const auto *injections = counters
+        ? counters->find(counterName)
+        : nullptr;
+    if (!injections || !injections->isNumber()) {
+        error = "no counter '" + counterName +
+                "' to recover N from";
+        return false;
+    }
+    const double n = injections->asDouble() /
+        static_cast<double>(values->items.size());
+    if (n <= 0.0) {
+        error = "counter '" + counterName + "' is zero";
+        return false;
+    }
+    // The paper's accuracy result (Section 3.4): the estimate's
+    // standard deviation is bounded by 0.5/sqrt(N) regardless of the
+    // true AVF.
+    const double bound = 0.5 / std::sqrt(n);
+
+    double sum = 0.0;
+    for (std::size_t k = 0; k < values->items.size(); ++k) {
+        ConvergenceRow row;
+        row.interval = k;
+        row.avf = values->items[k].asDouble();
+        sum += row.avf;
+        row.runningMean = sum / static_cast<double>(k + 1);
+        row.bound = bound;
+        row.flagged = std::fabs(row.avf - row.runningMean) > bound;
+        rows.push_back(row);
+    }
+    return true;
+}
+
+bool
+printConvergence(std::ostream &out, const json::Value &doc,
+                 const std::string &taskName,
+                 const std::string &series)
+{
+    std::vector<ConvergenceRow> rows;
+    std::string error;
+    if (!convergenceRows(doc, taskName, series, rows, error)) {
+        out << "convergence: " << error << "\n";
+        return false;
+    }
+    const auto *task = findTask(doc, taskName);
+    const auto *name = task->find("name", json::Value::Kind::String);
+    line(out, "convergence of %s for task '%s' (bound +-%.4f)\n",
+         series.c_str(), name->text.c_str(), rows.front().bound);
+    line(out, "%8s  %8s  %8s  %s\n", "interval", "avf", "running",
+         "flag");
+    std::size_t flagged = 0;
+    for (const auto &row : rows) {
+        line(out, "%8zu  %8.4f  %8.4f  %s\n", row.interval, row.avf,
+             row.runningMean, row.flagged ? "OUT" : "");
+        flagged += row.flagged ? 1u : 0u;
+    }
+    line(out,
+         "%zu intervals, final AVF %.4f +- %.4f, %zu outside the "
+         "0.5/sqrt(N) bound\n",
+         rows.size(), rows.back().runningMean, rows.back().bound,
+         flagged);
+    return true;
+}
+
+void
+printSummary(std::ostream &out, const json::Value &doc)
+{
+    const auto *campaign = doc.find("campaign",
+                                    json::Value::Kind::String);
+    if (campaign)
+        line(out, "campaign: %s\n", campaign->text.c_str());
+    line(out, "%-16s %-20s %9s %8s %8s %8s\n", "task", "series",
+         "intervals", "avf", "bound", "outside");
+
+    const auto *tasks = doc.find("tasks", json::Value::Kind::Array);
+    for (const auto &task : tasks->items) {
+        const auto *name = task.find("name",
+                                     json::Value::Kind::String);
+        const auto *metrics = task.find("metrics");
+        const auto *all = metrics
+            ? metrics->find("series", json::Value::Kind::Object)
+            : nullptr;
+        if (!name || !all)
+            continue;
+        for (const auto &[seriesName, unused] : all->members) {
+            if (seriesName.rfind("online_", 0) != 0)
+                continue;
+            std::vector<ConvergenceRow> rows;
+            std::string error;
+            if (!convergenceRows(doc, name->text, seriesName, rows,
+                                 error))
+                continue;
+            std::size_t flagged = 0;
+            for (const auto &row : rows)
+                flagged += row.flagged ? 1u : 0u;
+            line(out, "%-16s %-20s %9zu %8.4f %8.4f %8zu\n",
+                 name->text.c_str(), seriesName.c_str(), rows.size(),
+                 rows.back().runningMean, rows.back().bound, flagged);
+        }
+    }
+}
+
+bool
+printPhases(std::ostream &out, const json::Value &traceDoc,
+            std::size_t topN)
+{
+    const auto *events = traceDoc.find("traceEvents",
+                                       json::Value::Kind::Array);
+    if (!events) {
+        out << "phases: no traceEvents array (not a trace_event "
+               "file?)\n";
+        return false;
+    }
+    // Aggregate "X" (complete) events by name.
+    std::vector<std::pair<std::string, std::pair<double, std::uint64_t>>>
+        totals;
+    for (const auto &event : events->items) {
+        const auto *ph = event.find("ph", json::Value::Kind::String);
+        const auto *name = event.find("name",
+                                      json::Value::Kind::String);
+        const auto *dur = event.find("dur");
+        if (!ph || ph->text != "X" || !name || !dur ||
+            !dur->isNumber())
+            continue;
+        bool found = false;
+        for (auto &[n, agg] : totals) {
+            if (n == name->text) {
+                agg.first += dur->asDouble();
+                ++agg.second;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            totals.emplace_back(name->text,
+                                std::make_pair(dur->asDouble(),
+                                               std::uint64_t{1}));
+    }
+    std::stable_sort(totals.begin(), totals.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.first > b.second.first;
+                     });
+    line(out, "%-28s %10s %8s\n", "phase", "total_ms", "count");
+    for (std::size_t i = 0; i < totals.size() && i < topN; ++i)
+        line(out, "%-28s %10.3f %8llu\n", totals[i].first.c_str(),
+             totals[i].second.first / 1000.0,
+             static_cast<unsigned long long>(totals[i].second.second));
+    return true;
+}
+
+void
+printDiff(std::ostream &out, const json::Value &before,
+          const json::Value &after)
+{
+    const auto *ca = before.find("totals")->find(
+        "counters", json::Value::Kind::Object);
+    const auto *cb = after.find("totals")->find(
+        "counters", json::Value::Kind::Object);
+    line(out, "%-36s %14s %14s %14s\n", "counter", "before", "after",
+         "delta");
+    auto row = [&](const std::string &name, double a, double b) {
+        line(out, "%-36s %14.0f %14.0f %+14.0f\n", name.c_str(), a, b,
+             b - a);
+    };
+    for (const auto &[name, value] : ca->members) {
+        const auto *other = cb->find(name);
+        row(name, value.asDouble(),
+            other && other->isNumber() ? other->asDouble() : 0.0);
+    }
+    for (const auto &[name, value] : cb->members)
+        if (!ca->find(name))
+            row(name, 0.0, value.asDouble());
+}
+
+bool
+printLifecycle(std::ostream &out, const std::string &jsonl,
+               std::string &error)
+{
+    struct Agg
+    {
+        std::uint64_t records = 0;
+        std::map<std::string, std::uint64_t> outcomes;
+    };
+    std::map<std::string, Agg> perStructure;
+
+    std::size_t lineNo = 0;
+    std::istringstream in(jsonl);
+    std::string text;
+    while (std::getline(in, text)) {
+        ++lineNo;
+        if (text.empty())
+            continue;
+        json::Value rec;
+        std::string parseError;
+        if (!json::parse(text, rec, parseError)) {
+            error = "line " + std::to_string(lineNo) + ": " +
+                    parseError;
+            return false;
+        }
+        const auto *structure = rec.find("structure",
+                                         json::Value::Kind::String);
+        const auto *outcome = rec.find("outcome",
+                                       json::Value::Kind::String);
+        if (!structure || !outcome) {
+            error = "line " + std::to_string(lineNo) +
+                    ": record lacks structure/outcome";
+            return false;
+        }
+        auto &agg = perStructure[structure->text];
+        ++agg.records;
+        ++agg.outcomes[outcome->text];
+    }
+
+    line(out, "%-10s %8s  %s\n", "structure", "records", "outcomes");
+    for (const auto &[structure, agg] : perStructure) {
+        std::string outcomes;
+        for (const auto &[outcome, count] : agg.outcomes) {
+            if (!outcomes.empty())
+                outcomes += ", ";
+            outcomes += outcome + "=" + std::to_string(count);
+        }
+        line(out, "%-10s %8llu  %s\n", structure.c_str(),
+             static_cast<unsigned long long>(agg.records),
+             outcomes.c_str());
+    }
+    return true;
+}
+
+} // namespace avf::report

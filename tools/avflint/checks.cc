@@ -371,6 +371,123 @@ checkNakedAssert(const SourceFile &src, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- //
+// metric-name-discipline: registry names must be snake_case,        //
+// registered once per file, and never from per-cycle hot paths.     //
+// ---------------------------------------------------------------- //
+
+/** The exported-name contract from obs/metrics: [a-z][a-z0-9_]*. */
+bool
+isSnakeCase(std::string_view name)
+{
+    if (name.empty() || name[0] < 'a' || name[0] > 'z')
+        return false;
+    for (char c : name)
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '_'))
+            return false;
+    return true;
+}
+
+void
+checkMetricNames(const SourceFile &src, std::vector<Finding> &out)
+{
+    static const std::set<std::string_view> registrars = {
+        "registerCounter", "registerGauge", "registerHistogram",
+        "registerSeries"};
+    // Per-cycle execution contexts: registration inside one of these
+    // turns a one-time setup cost into a per-cycle string lookup.
+    static const std::set<std::string_view> hotFuncs = {
+        "onCycle", "onRetire", "onErrorHop", "step"};
+
+    // Pass 1: token spans that execute per cycle — the argument list
+    // of any call to a hot-named function (covers callbacks hooked
+    // via lambdas) and, for a definition, its body braces.
+    std::vector<std::pair<std::size_t, std::size_t>> hotSpans;
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        if (src.tokens[i].kind != TokKind::Identifier ||
+            hotFuncs.count(src.tokens[i].text) == 0 ||
+            !at(src, i + 1).is("("))
+            continue;
+        int depth = 0;
+        std::size_t close = i + 1;
+        for (; close < src.tokens.size(); ++close) {
+            if (at(src, close).is("("))
+                ++depth;
+            else if (at(src, close).is(")") && --depth == 0)
+                break;
+        }
+        hotSpans.emplace_back(i + 1, close);
+        // A definition: `)` then optional qualifiers, then `{`.
+        std::size_t j = close + 1;
+        while (at(src, j).isIdent("const") ||
+               at(src, j).isIdent("noexcept") ||
+               at(src, j).isIdent("override") ||
+               at(src, j).isIdent("final"))
+            ++j;
+        if (!at(src, j).is("{"))
+            continue;
+        int braces = 0;
+        std::size_t end = j;
+        for (; end < src.tokens.size(); ++end) {
+            if (at(src, end).is("{"))
+                ++braces;
+            else if (at(src, end).is("}") && --braces == 0)
+                break;
+        }
+        hotSpans.emplace_back(j, end);
+    }
+    auto inHotSpan = [&](std::size_t i) {
+        for (const auto &[lo, hi] : hotSpans)
+            if (i > lo && i < hi)
+                return true;
+        return false;
+    };
+
+    // Pass 2: the register* call sites.
+    std::map<std::string, int> firstSeen;
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier ||
+            registrars.count(tok.text) == 0 || !at(src, i + 1).is("("))
+            continue;
+        // The declarations/definitions in obs/metrics take
+        // `std::string name`, not a literal — only call sites with
+        // an argument list reach the checks below meaningfully.
+        if (inHotSpan(i))
+            out.push_back(
+                {src.path, tok.line, "metric-name-discipline",
+                 "'" + tok.text + "' called from a per-cycle hot "
+                 "path (onCycle/onRetire/onErrorHop/step); register "
+                 "metrics once at setup and record through the Id"});
+        const Token &arg = at(src, i + 2);
+        if (arg.kind != TokKind::String || arg.text.size() < 2 ||
+            arg.text.front() != '"' || arg.text.back() != '"')
+            continue; // dynamic or raw-string name: not checkable
+        std::string name = arg.text.substr(1, arg.text.size() - 2);
+        if (!isSnakeCase(name)) {
+            out.push_back(
+                {src.path, tok.line, "metric-name-discipline",
+                 "metric name '" + name + "' is not snake_case; "
+                 "exported names must match [a-z][a-z0-9_]*"});
+            continue;
+        }
+        // Only a complete literal name (next token closes the call
+        // or separates arguments) counts for the once-per-file rule;
+        // `"prefix_" + var` registers a family, not one name.
+        const Token &next = at(src, i + 3);
+        if (!next.is(")") && !next.is(","))
+            continue;
+        auto [it, inserted] = firstSeen.emplace(name, tok.line);
+        if (!inserted)
+            out.push_back(
+                {src.path, tok.line, "metric-name-discipline",
+                 "metric '" + name + "' already registered in this "
+                 "file (line " + std::to_string(it->second) +
+                 "); a name maps to one instrument"});
+    }
+}
+
 } // namespace
 
 std::string
@@ -404,6 +521,9 @@ checkRegistry()
          checkIncludeGuard},
         {"naked-assert", "assert() where avf_assert is required",
          checkNakedAssert},
+        {"metric-name-discipline",
+         "metric names snake_case, registered once, off hot paths",
+         checkMetricNames},
     };
     return registry;
 }

@@ -25,6 +25,15 @@
  *                 or #pragma once.
  *   naked-assert  assert() where avf_assert (on in release builds)
  *                 is required.
+ *   metric-name-discipline
+ *                 literal names passed to the obs/metrics register*
+ *                 calls must be snake_case ([a-z][a-z0-9_]*) and
+ *                 registered at most once per file, and no register*
+ *                 call may appear inside a per-cycle hot path
+ *                 (onCycle/onRetire/onErrorHop/step bodies or
+ *                 callback arguments). Dynamic (non-literal) names
+ *                 are exempt from the spelling and once-only rules —
+ *                 the runtime registry validates those.
  */
 
 #ifndef AVF_TOOLS_AVFLINT_CHECKS_HH
