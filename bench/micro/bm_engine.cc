@@ -10,6 +10,7 @@
 
 #include "micro.hh"
 
+#include "harness/config_loader.hh"
 #include "harness/engine.hh"
 #include "harness/experiment.hh"
 #include "trace/spec_profiles.hh"
@@ -26,6 +27,9 @@ runCampaignOnce(unsigned threads)
 {
     RunOptions options;
     options.threads = threads;
+    // AVF_LANES picks the injection parallelism (default 64), so the
+    // bench-smoke job can compare serial vs lane-parallel campaigns.
+    options.lanes = lanesFromEnv();
     ExperimentEngine engine(options);
     for (const char *name : {"mesa", "bzip2", "swim", "ammp"}) {
         ExperimentConfig conf;

@@ -37,13 +37,17 @@ AVF_MICROBENCH(lifecycle_record_append)
         1u << core::channelOf(core::Structure::REG));
     Cycle now = 0;
     while (b.next()) {
-        tracker.openRecord(core::Structure::REG, 5, -1, true, now);
+        tracker.openRecord(core::Structure::REG,
+                           core::channelOf(core::Structure::REG), 5,
+                           -1, true, now);
         tracker.onErrorHop(instr, reg_bit, cpu::ErrorHop::ReadCarry);
         tracker.onErrorHop(instr, reg_bit, cpu::ErrorHop::ReadCarry);
         tracker.onErrorHop(instr, reg_bit, cpu::ErrorHop::OrMerge);
         tracker.onErrorHop(instr, reg_bit,
                            cpu::ErrorHop::OverwriteKill);
-        tracker.closeRecord(core::Structure::REG, now + 40);
+        tracker.closeRecord(core::Structure::REG,
+                            core::channelOf(core::Structure::REG),
+                            now + 40);
         now += 50;
     }
 }

@@ -75,7 +75,8 @@ AVF_MICROBENCH(propagation_channel_clear)
 {
     static WarmPipeline warm(20'000);
     while (b.next()) {
-        warm.pipe.injectRegError(5, 1);
+        // Benchmarks the raw primitive itself, not campaign logic.
+        warm.pipe.injectRegError(5, 1); // avflint: allow(injection-port-discipline)
         warm.pipe.clearErrorChannels(1);
         avf::micro::clobberMemory();
     }
@@ -89,6 +90,7 @@ AVF_MICROBENCH(propagation_window_close)
         // let it ride the dataflow for a few cycles (reads carry it
         // into ROB entries and the store queue), then the boundary
         // sweep kills the channel everywhere.
+        // avflint: allow(injection-port-discipline) -- raw-primitive bench
         warm.pipe.injectRegError(9, 2);
         for (int c = 0; c < 8; ++c)
             warm.pipe.step();

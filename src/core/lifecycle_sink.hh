@@ -27,6 +27,9 @@ class LifecycleSink
      * An injection just fired.
      *
      * @param s structure injected into.
+     * @param lane injection lane (error-plane bit) carrying the tag;
+     *        lane-parallel estimators keep several windows of one
+     *        structure open at once, distinguished only by this.
      * @param entry entry index (register, IQ entry, unit) targeted.
      * @param field field within the entry (field-granular IQ mode),
      *        -1 for whole-entry injections.
@@ -35,15 +38,15 @@ class LifecycleSink
      *        live: their liveness is not observable at inject time).
      * @param now injection cycle.
      */
-    virtual void openRecord(Structure s, int entry, int field,
-                            bool live, Cycle now) = 0;
+    virtual void openRecord(Structure s, LaneId lane, int entry,
+                            int field, bool live, Cycle now) = 0;
 
     /**
-     * The window that the open injection belonged to just closed; the
-     * sink stamps the final outcome from what it observed (failure
-     * retirement, overwrite kill, or expiry at @p now).
+     * The window that the open injection on @p lane belonged to just
+     * closed; the sink stamps the final outcome from what it observed
+     * (failure retirement, overwrite kill, or expiry at @p now).
      */
-    virtual void closeRecord(Structure s, Cycle now) = 0;
+    virtual void closeRecord(Structure s, LaneId lane, Cycle now) = 0;
 };
 
 } // namespace avf::core

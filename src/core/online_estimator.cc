@@ -14,6 +14,10 @@ checked(OnlineConfig config)
 {
     avf_assert(config.m > 0, "window length M must be positive");
     avf_assert(config.n > 0, "sample count N must be positive");
+    avf_assert(config.lanes >= 0 &&
+                   config.lanes <= numErrorChannels,
+               "lane count %d outside 0..%d", config.lanes,
+               numErrorChannels);
     return config;
 }
 
@@ -21,22 +25,46 @@ checked(OnlineConfig config)
 
 OnlineAvfEstimator::OnlineAvfEstimator(cpu::Pipeline &pipe,
                                        Structure structure,
-                                       OnlineConfig config)
+                                       OnlineConfig config,
+                                       InjectionPort *sharedPort)
     : pipeline(pipe), target(structure), conf(checked(config)),
-      channelBit(static_cast<cpu::ErrorMask>(
-          1u << channelOf(structure))),
       rng(config.seed ^ static_cast<std::uint64_t>(
           channelOf(structure))),
       boundaryTick(config.m)
 {
+    const int lanes = conf.lanes > 0 ? conf.lanes : 1;
+    std::vector<LaneId> reserved;
+    if (sharedPort) {
+        portPtr = sharedPort;
+        reserved = portPtr->reserveLanes(lanes);
+    } else {
+        // Private port: pin the first lane to the legacy channel bit
+        // so directly-constructed estimators of distinct structures
+        // land on disjoint lanes, exactly as the per-channel design
+        // did. (The private port is not on the observer list; this
+        // estimator forwards its own onRetire to it.)
+        ownedPort = std::make_unique<InjectionPort>(pipe);
+        portPtr = ownedPort.get();
+        portPtr->reserveLane(channelOf(structure));
+        reserved.push_back(channelOf(structure));
+        for (int i = 1; i < lanes; ++i)
+            reserved.push_back(portPtr->reserveLane());
+    }
+    slots.resize(reserved.size());
+    for (std::size_t i = 0; i < reserved.size(); ++i) {
+        slots[i].lane = reserved[i];
+        myLanes |= laneBit(reserved[i]);
+    }
 }
 
 void
-OnlineAvfEstimator::onRetire(const cpu::DynInstr &,
+OnlineAvfEstimator::onRetire(const cpu::DynInstr &instr,
                              const cpu::RetireInfo &info)
 {
-    if ((info.failureMask & channelBit) && injectedThisWindow)
-        failureSeen = true;
+    // A shared port sits on the pipeline's observer list itself; a
+    // private one sees retirements only through its owner.
+    if (ownedPort)
+        ownedPort->onRetire(instr, info);
 }
 
 std::string
@@ -53,120 +81,109 @@ OnlineAvfEstimator::partialAvf() const
                       : 0.0;
 }
 
-void
-OnlineAvfEstimator::inject(Cycle now)
+Site
+OnlineAvfEstimator::nextSite()
 {
-    injectedThisWindow = true;
-    ++lifetimeInjections;
-
-    // Lifecycle bookkeeping: where the injection landed and whether
-    // the target was live (occupied/busy) at injection time.
-    int entry = cursor;
-    int field = -1;
-    bool live = false;
+    Site site;
+    site.structure = target;
+    site.entry = cursor;
 
     switch (target) {
-      case Structure::REG: {
-        int regs = pipeline.numIntPhysRegs();
-        pipeline.injectRegError(cursor, channelBit);
-        live = true; // liveness of a register is not observable
-        ++liveInjections;
-        cursor = (cursor + 1) % regs;
+      case Structure::REG:
+        cursor = (cursor + 1) % pipeline.numIntPhysRegs();
         break;
-      }
-      case Structure::FREG: {
-        int base = pipeline.numIntPhysRegs();
-        int regs = pipeline.config().fpPhysRegs;
-        pipeline.injectRegError(base + cursor, channelBit);
-        live = true;
-        ++liveInjections;
-        cursor = (cursor + 1) % regs;
+      case Structure::FREG:
+        cursor = (cursor + 1) % pipeline.config().fpPhysRegs;
         break;
-      }
-      case Structure::IQ: {
+      case Structure::IQ:
         if (conf.fieldGranularIq) {
             int fields = cpu::Pipeline::iqFieldsPerEntry;
-            int slots = pipeline.totalIqEntries() * fields;
-            entry = cursor / fields;
-            field = cursor % fields;
-            auto outcome = pipeline.injectIqFieldError(
-                entry, field, channelBit);
-            if (outcome ==
-                cpu::Pipeline::IqFieldInjection::Corrupted) {
-                live = true;
-                ++liveInjections;
-            }
-            cursor = (cursor + 1) % slots;
+            int slot_count = pipeline.totalIqEntries() * fields;
+            site.entry = cursor / fields;
+            site.field = cursor % fields;
+            cursor = (cursor + 1) % slot_count;
         } else {
-            int entries = pipeline.totalIqEntries();
-            if (pipeline.injectIqEntryError(cursor, channelBit)) {
-                live = true;
-                ++liveInjections;
-            }
-            cursor = (cursor + 1) % entries;
+            cursor = (cursor + 1) % pipeline.totalIqEntries();
         }
         break;
-      }
-      case Structure::FXU: {
-        int num_units = pipeline.config().numFxu;
-        if (pipeline.injectFuError(cpu::FuClass::Fxu, cursor,
-                                   channelBit) > 0) {
-            live = true;
-            ++liveInjections;
-        }
-        cursor = (cursor + 1) % num_units;
+      case Structure::FXU:
+        cursor = (cursor + 1) % pipeline.config().numFxu;
         break;
-      }
-      case Structure::FPU: {
-        int num_units = pipeline.config().numFpu;
-        if (pipeline.injectFuError(cpu::FuClass::Fpu, cursor,
-                                   channelBit) > 0) {
-            live = true;
-            ++liveInjections;
-        }
-        cursor = (cursor + 1) % num_units;
+      case Structure::FPU:
+        cursor = (cursor + 1) % pipeline.config().numFpu;
         break;
-      }
       default:
         panic("estimator bound to invalid structure");
     }
+    return site;
+}
 
+void
+OnlineAvfEstimator::openWindow(LaneSlot &slot, Cycle now)
+{
+    Site site = nextSite();
+    slot.handle = portPtr->open(slot.lane, site, now);
+    slot.open = true;
+    ++lifetimeInjections;
+
+    bool live = slot.handle.inject == InjectOutcome::Occupied;
+    if (live)
+        ++liveInjections;
     if (sink)
-        sink->openRecord(target, entry, field, live, now);
+        sink->openRecord(target, slot.lane, site.entry, site.field,
+                         live, now);
 }
 
 void
 OnlineAvfEstimator::windowBoundary(Cycle now)
 {
-    if (injectedThisWindow) {
-        // Close the window that just ended.
+    // Close phase: every window opened at the previous boundary ends
+    // here, in lane order. The Nth close finishes the interval.
+    for (auto &slot : slots) {
+        slot.scheduled = false;
+        if (!slot.open)
+            continue;
+        Outcome outcome = portPtr->closed(slot.handle);
+        slot.open = false;
         ++injections;
         ++windowsClosed;
-        if (failureSeen) {
+        if (outcome.failed) {
             ++failures;
             ++lifetimeFailures;
         }
-        failureSeen = false;
         if (sink)
-            sink->closeRecord(target, now);
+            sink->closeRecord(target, slot.lane, now);
         if (injections == conf.n) {
             results.push_back(static_cast<double>(failures) /
                               static_cast<double>(conf.n));
             injections = 0;
             failures = 0;
+            openedThisInterval = 0;
         }
     }
+    scheduledCount = 0;
 
-    // One error at a time: wipe the channel before re-injecting.
-    pipeline.clearErrorChannels(channelBit);
-    injectedThisWindow = false;
-    windowStart = now;
+    // One error at a time per lane: one batched sweep retires every
+    // lane's bits before the next windows open.
+    portPtr->clearLanes(myLanes);
 
-    if (conf.randomizeInjectionTiming) {
-        pendingInjectCycle = now + rng.below(conf.m);
-    } else {
-        pendingInjectCycle = now;
+    // Open phase: saturate the lanes, capped so an interval closes on
+    // exactly N windows (the cap only binds on the last boundary of
+    // an interval when lanes does not divide N).
+    auto want = static_cast<std::uint32_t>(slots.size());
+    std::uint32_t room = conf.n - openedThisInterval;
+    std::uint32_t opening = want < room ? want : room;
+    for (std::uint32_t i = 0; i < opening; ++i) {
+        LaneSlot &slot = slots[i];
+        if (conf.randomizeInjectionTiming) {
+            slot.scheduled = true;
+            slot.injectAt = now + rng.below(conf.m);
+            ++scheduledCount;
+        } else {
+            openWindow(slot, now);
+        }
     }
+    openedThisInterval += opening;
 }
 
 void
@@ -174,8 +191,15 @@ OnlineAvfEstimator::onCycle(Cycle now)
 {
     if (boundaryTick.tick(now))
         windowBoundary(now);
-    if (!injectedThisWindow && now == pendingInjectCycle)
-        inject(now);
+    if (scheduledCount) {
+        for (auto &slot : slots) {
+            if (!slot.scheduled || now != slot.injectAt)
+                continue;
+            slot.scheduled = false;
+            --scheduledCount;
+            openWindow(slot, now);
+        }
+    }
 }
 
 } // namespace avf::core

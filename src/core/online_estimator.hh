@@ -1,19 +1,28 @@
 /**
  * @file
- * The paper's contribution: Algorithm 1, the online AVF estimator.
+ * The paper's contribution: Algorithm 1, the online AVF estimator —
+ * lane-parallel over the InjectionPort.
  *
- * Every M cycles the estimator clears its error-bit channel, picks the
- * next injection target in its structure (round-robin across entries
- * for storage structures, across units for logic structures — the
- * paper's hardware-friendly approximation of random sampling), and
- * sets the target's error bit. Program execution propagates the bit;
- * if a retiring load, store, or branch carries it before the window
- * closes, the injection counts as a failure. After N windows,
+ * Every M cycles the estimator closes its open injection windows,
+ * sweeps its lanes clean, picks the next injection targets in its
+ * structure (round-robin across entries for storage structures,
+ * across units for logic structures — the paper's hardware-friendly
+ * approximation of random sampling), and opens up to `lanes` new
+ * tagged windows through the port. Program execution propagates each
+ * lane's bit independently; a window whose bit reaches a retiring
+ * load, store, or branch before the boundary counts as a failure.
+ * After N windows,
  *
  *     AVF ~= failureCount / N,
  *
- * and a new estimation interval begins. With M = N = 1000 an estimate
- * is produced every one million cycles, matching the paper's setup.
+ * and a new estimation interval begins. With one lane (the default
+ * for directly-constructed estimators) the behavior is exactly the
+ * paper's serial Algorithm 1: one injection per M-cycle window, one
+ * estimate per M*N cycles. With L lanes, L windows run concurrently
+ * per boundary and an estimate needs only ceil(N/L) boundaries —
+ * the flips do not interact (FastFlip's composability argument), so
+ * the estimate is the same statistic over the same failure test,
+ * sampled at a compressed wall-clock cost.
  */
 
 #ifndef AVF_CORE_ONLINE_ESTIMATOR_HH
@@ -23,7 +32,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/avf_estimator.hh"
+#include "core/injection_port.hh"
 #include "core/lifecycle_sink.hh"
 #include "core/structures.hh"
 #include "cpu/observer.hh"
@@ -59,6 +71,15 @@ struct OnlineConfig
     bool fieldGranularIq = false;
     /** Seed for the randomized-timing mode. */
     std::uint64_t seed = 12345;
+    /**
+     * Concurrent injection windows (error-plane bit lanes) this
+     * estimator keeps saturated. 0 means "inherit": the engine fills
+     * it from RunOptions::lanes (AVF_LANES); a directly-constructed
+     * estimator treats it as 1, the paper's serial Algorithm 1.
+     * lanes = 1 reproduces serial behavior exactly; lanes = L closes
+     * an N-injection interval in ceil(N/L) boundaries.
+     */
+    int lanes = 0;
 };
 
 /**
@@ -74,10 +95,19 @@ class OnlineAvfEstimator : public AvfEstimator
      * @param pipe pipeline to instrument (attach is the caller's job:
      *        pipe.addObserver(&estimator)).
      * @param structure which structure to estimate.
-     * @param config M/N and sampling options.
+     * @param config M/N, lane count, and sampling options.
+     * @param sharedPort injection port to draw lanes from. Several
+     *        estimators on one pipeline share one port (the harness
+     *        wires this; the port must be attached as an observer
+     *        before the estimators). nullptr makes the estimator own
+     *        a private port whose first lane is pinned to the legacy
+     *        channel bit channelOf(structure) — so directly
+     *        constructed estimators of distinct structures coexist
+     *        exactly as the per-channel design did.
      */
     OnlineAvfEstimator(cpu::Pipeline &pipe, Structure structure,
-                       OnlineConfig config = OnlineConfig{});
+                       OnlineConfig config = OnlineConfig{},
+                       InjectionPort *sharedPort = nullptr);
 
     void onRetire(const cpu::DynInstr &instr,
                   const cpu::RetireInfo &info) override;
@@ -127,26 +157,63 @@ class OnlineAvfEstimator : public AvfEstimator
     /** AVF over the windows completed so far in the open interval. */
     double partialAvf() const override;
 
-  private:
-    /** Clear the channel and fire the next injection. */
-    void inject(Cycle now);
+    /** Resolved concurrent-window count (config.lanes, 0 -> 1). */
+    int laneCount() const
+    {
+        return static_cast<int>(slots.size());
+    }
 
-    /** Close the current window, then open the next one. */
+    /** The port this estimator injects through. */
+    const InjectionPort &port() const { return *portPtr; }
+
+    /** Window boundaries needed to close one N-injection interval. */
+    std::uint32_t
+    boundariesPerEstimate() const
+    {
+        auto lanes = static_cast<std::uint32_t>(slots.size());
+        return (conf.n + lanes - 1) / lanes;
+    }
+
+  private:
+    /** One concurrent injection window. */
+    struct LaneSlot
+    {
+        LaneId lane = -1;
+        WindowHandle handle;
+        bool open = false;
+        /** Randomized timing: injection pending within the window. */
+        bool scheduled = false;
+        Cycle injectAt = 0;
+    };
+
+    /** Advance the round-robin cursor; the next injection target. */
+    Site nextSite();
+
+    /** Fire one injection through the port on slot @p slot. */
+    void openWindow(LaneSlot &slot, Cycle now);
+
+    /** Close every open window, sweep lanes, open the next batch. */
     void windowBoundary(Cycle now);
 
     cpu::Pipeline &pipeline;
     Structure target;
     OnlineConfig conf;
-    cpu::ErrorMask channelBit;
     Rng rng;
     /** Fires at window boundaries (now % M == 0) without the
      *  per-cycle division. */
     IntervalTicker boundaryTick;
 
-    Cycle windowStart = 0;
-    Cycle pendingInjectCycle = 0;
-    bool injectedThisWindow = false;
-    bool failureSeen = false;
+    /** Port injected through; ownedPort when privately constructed. */
+    InjectionPort *portPtr = nullptr;
+    std::unique_ptr<InjectionPort> ownedPort;
+    /** This estimator's windows, one per reserved lane, lane order. */
+    std::vector<LaneSlot> slots;
+    /** Union bit mask of the reserved lanes (boundary sweeps). */
+    ErrorMask myLanes = 0;
+    /** Slots with a pending randomized-timing injection. */
+    int scheduledCount = 0;
+    /** Windows opened since the current interval began. */
+    std::uint32_t openedThisInterval = 0;
 
     std::uint32_t injections = 0;
     std::uint32_t failures = 0;

@@ -9,56 +9,66 @@ PropagationProbe::PropagationProbe(cpu::Pipeline &pipe,
                                    Structure structure,
                                    ProbeConfig config)
     : pipeline(pipe), target(structure), conf(config),
-      channelBit(static_cast<cpu::ErrorMask>(1u << channelOf(structure)))
+      port(std::make_unique<InjectionPort>(pipe)),
+      lane(channelOf(structure))
 {
     avf_assert(conf.maxWait > 0, "probe maxWait must be positive");
+    port->reserveLane(lane);
 }
 
-void
-PropagationProbe::inject(Cycle now)
+Site
+PropagationProbe::nextSite()
 {
-    pipeline.clearErrorChannels(channelBit);
-    active = true;
-    injectCycle = now;
-    ++injectionsFired;
+    Site site;
+    site.structure = target;
+    site.entry = cursor;
 
     switch (target) {
       case Structure::REG:
-        pipeline.injectRegError(cursor, channelBit);
         cursor = (cursor + 1) % pipeline.numIntPhysRegs();
         break;
       case Structure::FREG:
-        pipeline.injectRegError(pipeline.numIntPhysRegs() + cursor,
-                                channelBit);
         cursor = (cursor + 1) % pipeline.config().fpPhysRegs;
         break;
       case Structure::IQ:
-        pipeline.injectIqEntryError(cursor, channelBit);
         cursor = (cursor + 1) % pipeline.totalIqEntries();
         break;
       case Structure::FXU:
-        pipeline.injectFuError(cpu::FuClass::Fxu, cursor, channelBit);
         cursor = (cursor + 1) % pipeline.config().numFxu;
         break;
       case Structure::FPU:
-        pipeline.injectFuError(cpu::FuClass::Fpu, cursor, channelBit);
         cursor = (cursor + 1) % pipeline.config().numFpu;
         break;
       default:
         panic("probe bound to invalid structure");
     }
+    return site;
 }
 
 void
-PropagationProbe::onRetire(const cpu::DynInstr &,
+PropagationProbe::inject(Cycle now)
+{
+    port->clearLanes(laneBit(lane));
+    handle = port->open(lane, nextSite(), now);
+    windowOpen = true;
+    injectCycle = now;
+    ++injectionsFired;
+}
+
+void
+PropagationProbe::onRetire(const cpu::DynInstr &instr,
                            const cpu::RetireInfo &info)
 {
-    if (!active || !(info.failureMask & channelBit))
+    // The private port is not on the observer list; it sees
+    // retirements only through its owner.
+    port->onRetire(instr, info);
+    if (!windowOpen || !port->failureSeen(handle))
         return;
+    Outcome outcome = port->closed(handle);
+    windowOpen = false;
     samples.push_back(static_cast<double>(
-        pipeline.now() - injectCycle));
-    active = false;
-    pipeline.clearErrorChannels(channelBit);
+        outcome.failCycle - outcome.openedAt));
+    port->clearLanes(laneBit(lane));
 }
 
 void
@@ -66,13 +76,14 @@ PropagationProbe::onCycle(Cycle now)
 {
     if (finished())
         return;
-    if (active && now - injectCycle >= conf.maxWait) {
+    if (windowOpen && now - injectCycle >= conf.maxWait) {
         // The injected error never surfaced: masked.
         ++masked;
-        active = false;
-        pipeline.clearErrorChannels(channelBit);
+        port->closed(handle);
+        windowOpen = false;
+        port->clearLanes(laneBit(lane));
     }
-    if (!active)
+    if (!windowOpen)
         inject(now);
 }
 

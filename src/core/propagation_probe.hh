@@ -5,14 +5,18 @@
  * takes to reach a failure point (or give up after a cap), clear, and
  * repeat. Unlike the estimator, the probe waits indefinitely (up to
  * the cap) rather than a fixed window, because its purpose is to
- * characterize the distribution that a good M must cover.
+ * characterize the distribution that a good M must cover. Injections
+ * go through the InjectionPort API on a single private lane pinned to
+ * the structure's legacy channel bit.
  */
 
 #ifndef AVF_CORE_PROPAGATION_PROBE_HH
 #define AVF_CORE_PROPAGATION_PROBE_HH
 
+#include <memory>
 #include <vector>
 
+#include "core/injection_port.hh"
 #include "core/structures.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
@@ -59,14 +63,17 @@ class PropagationProbe : public cpu::PipelineObserver
     bool finished() const { return samples.size() >= conf.targetSamples; }
 
   private:
+    Site nextSite();
     void inject(Cycle now);
 
     cpu::Pipeline &pipeline;
     Structure target;
     ProbeConfig conf;
-    cpu::ErrorMask channelBit;
 
-    bool active = false;
+    std::unique_ptr<InjectionPort> port;
+    LaneId lane;
+    WindowHandle handle;
+    bool windowOpen = false;
     Cycle injectCycle = 0;
     int cursor = 0;
     std::uint64_t masked = 0;

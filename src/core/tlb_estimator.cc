@@ -14,36 +14,37 @@ checked(TlbEstimatorConfig config)
 {
     avf_assert(config.m > 0 && config.n > 0,
                "TLB estimator needs positive M and N");
-    avf_assert(config.channel >= 0 && config.channel < 8,
-               "channel out of the 8-bit error plane");
+    avf_assert(config.channel >= 0 &&
+                   config.channel < numErrorChannels,
+               "channel out of the %d-lane error plane",
+               numErrorChannels);
     return config;
 }
 
 } // namespace
 
 TlbAvfEstimator::TlbAvfEstimator(cpu::Pipeline &pipe,
-                                 TlbEstimatorConfig config)
-    : pipeline(pipe), conf(checked(config)),
-      channelBit(static_cast<cpu::ErrorMask>(1u << conf.channel)),
-      boundaryTick(config.m)
+                                 TlbEstimatorConfig config,
+                                 InjectionPort *sharedPort)
+    : pipeline(pipe), conf(checked(config)), boundaryTick(config.m)
 {
+    if (sharedPort) {
+        portPtr = sharedPort;
+        lane = portPtr->reserveLane();
+    } else {
+        ownedPort = std::make_unique<InjectionPort>(pipe);
+        portPtr = ownedPort.get();
+        portPtr->reserveLane(conf.channel);
+        lane = conf.channel;
+    }
 }
 
 void
-TlbAvfEstimator::onRetire(const cpu::DynInstr &,
+TlbAvfEstimator::onRetire(const cpu::DynInstr &instr,
                           const cpu::RetireInfo &info)
 {
-    if ((info.failureMask & channelBit) && injectedThisWindow)
-        failureSeen = true;
-}
-
-void
-TlbAvfEstimator::inject()
-{
-    injectedThisWindow = true;
-    ++lifetimeInjections;
-    pipeline.injectDtlbError(cursor, channelBit);
-    cursor = (cursor + 1) % pipeline.numDtlbSlots();
+    if (ownedPort)
+        ownedPort->onRetire(instr, info);
 }
 
 void
@@ -51,11 +52,12 @@ TlbAvfEstimator::onCycle(Cycle now)
 {
     if (!boundaryTick.tick(now))
         return;
-    if (injectedThisWindow) {
+    if (windowOpen) {
+        Outcome outcome = portPtr->closed(handle);
+        windowOpen = false;
         ++injections;
-        if (failureSeen)
+        if (outcome.failed)
             ++failures;
-        failureSeen = false;
         if (injections == conf.n) {
             results.push_back(static_cast<double>(failures) /
                               static_cast<double>(conf.n));
@@ -63,9 +65,15 @@ TlbAvfEstimator::onCycle(Cycle now)
             failures = 0;
         }
     }
-    pipeline.clearErrorChannels(channelBit);
-    injectedThisWindow = false;
-    inject();
+    portPtr->clearLanes(laneBit(lane));
+
+    Site site;
+    site.kind = Site::Kind::Dtlb;
+    site.entry = cursor;
+    cursor = (cursor + 1) % pipeline.numDtlbSlots();
+    handle = portPtr->open(lane, site, now);
+    windowOpen = true;
+    ++lifetimeInjections;
 }
 
 std::string

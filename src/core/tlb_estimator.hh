@@ -7,17 +7,20 @@
  * directly). The machinery is Algorithm 1 verbatim: round-robin
  * injections into TLB entry slots, a wait window of M cycles, and
  * failure when a load or store retires having used the corrupted
- * translation.
+ * translation. Injections go through the shared InjectionPort API
+ * (Site::Kind::Dtlb sites) on a single reserved lane.
  */
 
 #ifndef AVF_CORE_TLB_ESTIMATOR_HH
 #define AVF_CORE_TLB_ESTIMATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/avf_estimator.hh"
+#include "core/injection_port.hh"
 #include "cpu/observer.hh"
 #include "cpu/pipeline.hh"
 #include "util/interval_ticker.hh"
@@ -33,8 +36,8 @@ struct TlbEstimatorConfig
     Cycle m = 100'000;
     /** Injections per estimate. */
     std::uint32_t n = 100;
-    /** Error-bit channel to use (keep clear of the four paper
-     *  structures and FREG). */
+    /** Injection lane to reserve (keep clear of the four paper
+     *  structures and FREG, which pin lanes 0..4). */
     int channel = 6;
 };
 
@@ -42,8 +45,14 @@ struct TlbEstimatorConfig
 class TlbAvfEstimator : public AvfEstimator
 {
   public:
+    /**
+     * @param sharedPort port to reserve the injection lane from;
+     *        nullptr makes the estimator own a private port (it then
+     *        forwards its own onRetire to it).
+     */
     TlbAvfEstimator(cpu::Pipeline &pipe,
-                    TlbEstimatorConfig config = TlbEstimatorConfig{});
+                    TlbEstimatorConfig config = TlbEstimatorConfig{},
+                    InjectionPort *sharedPort = nullptr);
 
     void onRetire(const cpu::DynInstr &instr,
                   const cpu::RetireInfo &info) override;
@@ -68,15 +77,15 @@ class TlbAvfEstimator : public AvfEstimator
     std::uint64_t totalInjections() const { return lifetimeInjections; }
 
   private:
-    void inject();
-
     cpu::Pipeline &pipeline;
     TlbEstimatorConfig conf;
-    cpu::ErrorMask channelBit;
     IntervalTicker boundaryTick;
 
-    bool injectedThisWindow = false;
-    bool failureSeen = false;
+    InjectionPort *portPtr = nullptr;
+    std::unique_ptr<InjectionPort> ownedPort;
+    LaneId lane = -1;
+    WindowHandle handle;
+    bool windowOpen = false;
     std::uint32_t injections = 0;
     std::uint32_t failures = 0;
     std::uint64_t lifetimeInjections = 0;

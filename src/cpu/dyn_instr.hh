@@ -22,15 +22,17 @@ namespace avf::cpu
 {
 
 /**
- * Error-bit channels. Each channel is an independent one-error-at-a-
- * time estimation (the paper runs one structure at a time; running
- * the four structures as four independent bit-planes is equivalent
- * and lets a single simulation estimate all of them).
+ * Error-bit channels. Each channel (bit lane) is an independent
+ * one-error-at-a-time estimation (the paper runs one structure at a
+ * time; running many structures and many concurrent windows as
+ * independent bit-planes is equivalent and lets a single simulation
+ * estimate all of them). The mask type itself lives in util/types.hh
+ * because the memory hierarchy's TLB error plane speaks it too.
  */
-using ErrorMask = std::uint8_t;
+using avf::ErrorMask;
 
 /** Maximum number of concurrent estimation channels. */
-inline constexpr int numErrorChannels = 8;
+using avf::numErrorChannels;
 
 /** One in-flight instruction (lives in the ROB). */
 struct DynInstr

@@ -119,7 +119,7 @@ Pipeline::retireStage()
         if (instr.in.op == OpClass::Store) {
             // The committing store uses a dTLB translation; a
             // corrupted entry corrupts the store.
-            std::uint8_t tlb_error = 0;
+            ErrorMask tlb_error = 0;
             hierarchy.dataAccess(instr.in.effAddr, currentCycle,
                                  &tlb_error);
             instr.errorMask |= tlb_error;
@@ -193,7 +193,7 @@ Pipeline::completeStage()
 #endif
             // Overwrite, not OR: writing a value replaces whatever
             // error state the register carried (dead-error kill).
-            regError.setByte(dest, instr.errorMask);
+            regError.setMask(dest, instr.errorMask);
 
             // Wake consumers blocked on this register.
             auto &waiters = regWaiters[dest];
@@ -363,7 +363,7 @@ Pipeline::issueOne(int robIdx, FuClass cls)
         // The cache access happens at issue; the dTLB entry that
         // translates the access carries its own error bits, which
         // ride into the loaded value.
-        std::uint8_t tlb_error = 0;
+        ErrorMask tlb_error = 0;
         latency = conf.agenLatency + static_cast<int>(
             hierarchy.dataAccess(instr.in.effAddr, currentCycle,
                                  &tlb_error));
@@ -725,7 +725,7 @@ Pipeline::injectRegError(int physReg, ErrorMask mask)
 {
     avf_assert(physReg >= 0 && physReg < rename.totalPhysRegs(),
                "injectRegError target %d out of range", physReg);
-    regError.orByte(static_cast<std::size_t>(physReg), mask);
+    regError.orMask(static_cast<std::size_t>(physReg), mask);
 }
 
 bool
@@ -824,7 +824,7 @@ Pipeline::clearErrorChannels(ErrorMask mask)
     hierarchy.dtlbMutable().clearErrors(mask);
 }
 
-bool
+InjectOutcome
 Pipeline::injectDtlbError(int slot, ErrorMask mask)
 {
     return hierarchy.dtlbMutable().injectError(slot, mask);

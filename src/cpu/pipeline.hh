@@ -165,9 +165,12 @@ class Pipeline
     /**
      * Inject an error into dTLB entry slot @p slot (the TLB-AVF
      * extension experiment; see bench/ext_tlb_avf).
-     * @return true if the slot held a valid translation.
+     * @return the typed Tlb::injectError outcome: Rejected (slot out
+     *         of range, nothing written), Opened (no valid
+     *         translation, trivially masked) or Occupied (bits landed
+     *         on a live translation).
      */
-    bool injectDtlbError(int slot, ErrorMask mask);
+    InjectOutcome injectDtlbError(int slot, ErrorMask mask);
 
     /** dTLB entry slots available for injection. */
     int numDtlbSlots() const;

@@ -86,6 +86,16 @@ envPrefixStrict(const char *name)
 
 } // namespace
 
+int
+lanesFromEnv()
+{
+    int lanes = envPositiveIntStrict("AVF_LANES", 64);
+    if (lanes > 64)
+        fatal("AVF_LANES=%d exceeds the 64-bit error plane (1..64)",
+              lanes);
+    return lanes;
+}
+
 RunOptions
 loadRunOptions(int paperDefaultIntervals)
 {
@@ -96,6 +106,7 @@ loadRunOptions(int paperDefaultIntervals)
     options.fastMode = envFlagStrict("AVF_FAST");
     options.intervals = envPositiveIntStrict("AVF_INTERVALS",
                                              paperDefaultIntervals);
+    options.lanes = lanesFromEnv();
     options.lifecycle = envFlagStrict("AVF_LIFECYCLE");
     options.metricsPrefix = envPrefixStrict("AVF_METRICS");
     if (options.fastMode)

@@ -49,6 +49,11 @@ ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
  * contract; the environment variables are documented fallbacks:
  *
  *   AVF_INTERVALS=<n>  interval count (must be a positive integer)
+ *   AVF_LANES=<n>      concurrent injection windows per estimator
+ *                      (1..64; default 64). 1 = the paper's serial
+ *                      Algorithm 1, byte-identical to historical
+ *                      campaign output; 64 saturates the error-plane
+ *                      word (see core/injection_port.hh)
  *   AVF_FAST=1         smoke mode: shrink intervals to 12 (wins over
  *                      AVF_INTERVALS; accepts 1/true/yes/on and
  *                      0/false/no/off)
@@ -74,6 +79,13 @@ ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
  *        present (the paper uses 100-200 depending on the figure).
  */
 RunOptions loadRunOptions(int paperDefaultIntervals = 100);
+
+/**
+ * Resolve AVF_LANES alone (1..64, default 64; fatal() outside that
+ * range or non-numeric) — for benches that build RunOptions by hand
+ * instead of through loadRunOptions().
+ */
+int lanesFromEnv();
 
 } // namespace avf::harness
 

@@ -55,6 +55,10 @@ ExperimentEngine::submit(std::string name, ExperimentConfig config)
     // that already asked for metrics keeps them either way.
     if (!opts.metricsPrefix.empty())
         config.metrics = true;
+    // lanes=0 means "inherit the campaign's lane count"; a config
+    // with an explicit lane count keeps it.
+    if (config.online.lanes == 0)
+        config.online.lanes = opts.lanes;
     return submit(std::move(name),
                   [config = std::move(config)] {
                       return detail::runExperimentDirect(config);

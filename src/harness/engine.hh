@@ -47,6 +47,16 @@ struct RunOptions
     /** Smoke-run mode: loadRunOptions() shrinks intervals to 12. */
     bool fastMode = false;
     /**
+     * Concurrent injection windows per estimator (error-plane bit
+     * lanes; AVF_LANES, 1..64). submit() copies this into any task
+     * whose ExperimentConfig::online.lanes is 0 ("inherit"). 1 runs
+     * the paper's serial Algorithm 1 exactly — campaign stdout at
+     * lanes=1 is byte-identical to the historical serial runs; the
+     * default 64 compresses each N-injection estimation interval to
+     * ceil(N/lanes) window boundaries.
+     */
+    int lanes = 64;
+    /**
      * Enable injection-lifecycle tracing (ExperimentConfig::lifecycle)
      * on every task the bench builds from these options.
      */

@@ -127,6 +127,11 @@ collectRunMetrics(
                   result.summary.lifecycleExpired);
     }
 
+    shard.set(shard.registerGauge("injection_lanes"),
+              static_cast<double>(
+                  static_cast<const core::OnlineAvfEstimator *>(
+                      estimators[0].get())
+                      ->laneCount()));
     shard.set(shard.registerGauge("ipc"), result.summary.ipc);
     shard.set(shard.registerGauge("branch_accuracy"),
               result.summary.branchAccuracy);
@@ -179,12 +184,42 @@ runExperimentDirect(const ExperimentConfig &config)
     if (config.online.m == 0 || config.online.n == 0)
         throw std::invalid_argument(
             "experiment: online M and N must be positive");
+    if (config.online.lanes < 0 ||
+        config.online.lanes > numErrorChannels)
+        throw std::invalid_argument(
+            "experiment: online lanes out of 0..64");
 
-    const Cycle interval_len = config.online.m *
-        static_cast<Cycle>(config.online.n);
+    // Fair-share lane split: the five online estimators divide the
+    // 64-lane error plane, each getting min(requested, 64/5 = 12)
+    // lanes. With L lanes per estimator an N-injection estimation
+    // interval closes in ceil(N/L) window boundaries, so the interval
+    // length every fixed-period observer (utilization, occupancy,
+    // SoftArch reference) must march to compresses accordingly.
+    // lanes <= 1 keeps the historical serial interval exactly.
+    const int requested = config.online.lanes > 0
+                              ? config.online.lanes
+                              : 1;
+    const int per_est = std::max(
+        1, std::min(requested,
+                    numErrorChannels / core::numStructures));
+    const auto boundaries = static_cast<Cycle>(
+        (config.online.n + static_cast<std::uint32_t>(per_est) - 1) /
+        static_cast<std::uint32_t>(per_est));
+    const Cycle interval_len = config.online.m * boundaries;
 
     trace::SyntheticTraceGenerator generator(config.profile);
     cpu::Pipeline pipeline(config.cpu, generator);
+
+    // One InjectionPort serves every estimator of the run; it must
+    // observe retirements before the estimators poll window state, so
+    // it is the first observer attached. Reservation happens in
+    // estimator construction order (structure order), which at
+    // lanes=1 maps each estimator to exactly its legacy channel bit.
+    core::InjectionPort port(pipeline);
+    pipeline.addObserver(&port);
+
+    core::OnlineConfig online_conf = config.online;
+    online_conf.lanes = per_est;
 
     // The estimator roster, iterated generically below: online
     // estimators first (one per structure, slot = structure index),
@@ -193,7 +228,8 @@ runExperimentDirect(const ExperimentConfig &config)
     for (int s = 0; s < core::numStructures; ++s)
         estimators.push_back(
             std::make_unique<core::OnlineAvfEstimator>(
-                pipeline, static_cast<Structure>(s), config.online));
+                pipeline, static_cast<Structure>(s), online_conf,
+                &port));
     const std::size_t util_fxu_slot = estimators.size();
     estimators.push_back(std::make_unique<core::UtilizationEstimator>(
         pipeline, cpu::FuClass::Fxu, interval_len));
@@ -205,9 +241,19 @@ runExperimentDirect(const ExperimentConfig &config)
 
     // SoftArch reference (attached between the online estimators and
     // the counter baselines, matching the historical observer order).
+    // Lane-compressed intervals can be shorter than the configured
+    // ACE lookahead, which would make the reference's tail dominate
+    // the run again and forfeit the compression. Clamp it to one
+    // interval — but only in lane-parallel runs: serial (lanes=1)
+    // campaigns keep the configured lookahead untouched so their
+    // output stays byte-identical to the historical runs.
+    Cycle eff_lookahead = config.lookahead;
+    if (per_est > 1)
+        eff_lookahead = std::min(eff_lookahead, interval_len);
+
     softarch::SoftArchConfig sa_conf;
     sa_conf.intervalCycles = interval_len;
-    sa_conf.lookahead = config.lookahead;
+    sa_conf.lookahead = eff_lookahead;
     sa_conf.fieldGranularIq = config.online.fieldGranularIq;
     softarch::AceAnalyzer reference(pipeline, sa_conf);
 
@@ -244,7 +290,7 @@ runExperimentDirect(const ExperimentConfig &config)
     // (plus one spare window so every boundary event fires).
     const Cycle total = interval_len *
         static_cast<Cycle>(config.numIntervals) +
-        config.lookahead + config.online.m;
+        eff_lookahead + config.online.m;
     pipeline.run(total);
     reference.finalizeAll(static_cast<std::size_t>(
         config.numIntervals - 1));

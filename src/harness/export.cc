@@ -217,12 +217,13 @@ writeLifecycleJsonl(const ExperimentResult &result,
             std::fprintf(
                 file,
                 "{\"benchmark\": \"%s\", \"structure\": \"%.*s\", "
+                "\"lane\": %d, "
                 "\"entry\": %d, \"field\": %d, \"live\": %s, "
                 "\"inject_cycle\": %llu, \"close_cycle\": %llu, "
                 "\"outcome_cycle\": %llu, \"outcome\": \"%.*s\", "
                 "\"latency\": %llu, \"hops\": {",
                 bench.c_str(), static_cast<int>(name.size()),
-                name.data(), rec.entry, rec.field,
+                name.data(), rec.lane, rec.entry, rec.field,
                 rec.live ? "true" : "false",
                 static_cast<unsigned long long>(rec.injectCycle),
                 static_cast<unsigned long long>(rec.closeCycle),

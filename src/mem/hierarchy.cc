@@ -10,7 +10,7 @@ MemoryHierarchy::MemoryHierarchy(MemConfig config)
 
 std::uint32_t
 MemoryHierarchy::dataAccess(Addr addr, Cycle now,
-                            std::uint8_t *tlbError)
+                            ErrorMask *tlbError)
 {
     ++statsData.dataAccesses;
     std::uint32_t latency = dataTlb.access(addr, now, tlbError);

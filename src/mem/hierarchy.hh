@@ -58,7 +58,7 @@ class MemoryHierarchy
      * @return total latency in cycles, including any TLB penalty.
      */
     std::uint32_t dataAccess(Addr addr, Cycle now = 0,
-                             std::uint8_t *tlbError = nullptr);
+                             ErrorMask *tlbError = nullptr);
 
     /**
      * Instruction-side access (one fetch line).

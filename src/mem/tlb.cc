@@ -23,7 +23,7 @@ Tlb::Tlb(TlbConfig config) : conf(std::move(config))
 }
 
 std::uint32_t
-Tlb::access(Addr addr, Cycle now, std::uint8_t *errorOut)
+Tlb::access(Addr addr, Cycle now, ErrorMask *errorOut)
 {
     ++statsData.accesses;
     ++tick;
@@ -74,7 +74,7 @@ Tlb::access(Addr addr, Cycle now, std::uint8_t *errorOut)
     // Refill overwrites any injected error: this is the TLB's kill
     // discipline, analogous to pipeline.cc's destination-overwrite
     // kill.
-    errors.setByte(static_cast<std::size_t>(victim), 0);
+    errors.setMask(static_cast<std::size_t>(victim), 0);
     index[page] = victim;
     return conf.missPenalty;
 }
@@ -87,22 +87,22 @@ Tlb::flush()
     index.clear();
 }
 
-bool
-Tlb::injectError(int slot, std::uint8_t mask)
+InjectOutcome
+Tlb::injectError(int slot, ErrorMask mask)
 {
-    avf_assert(slot >= 0 && slot < numSlots(),
-               "tlb injection slot %d out of range", slot);
+    if (slot < 0 || slot >= numSlots())
+        return InjectOutcome::Rejected;
     Entry &entry = entries[static_cast<std::size_t>(slot)];
     if (!entry.valid)
-        return false;
+        return InjectOutcome::Opened;
     // The TLB's injection (carry) helper — the sanctioned entry
     // point Pipeline::injectDtlbError routes to.
-    errors.orByte(static_cast<std::size_t>(slot), mask);
-    return true;
+    errors.orMask(static_cast<std::size_t>(slot), mask);
+    return InjectOutcome::Occupied;
 }
 
 void
-Tlb::clearErrors(std::uint8_t mask)
+Tlb::clearErrors(ErrorMask mask)
 {
     errors.clearChannels(mask);
 }

@@ -65,7 +65,7 @@ class Tlb
      * @return extra latency in cycles (0 on hit).
      */
     std::uint32_t access(Addr addr, Cycle now = 0,
-                         std::uint8_t *errorOut = nullptr);
+                         ErrorMask *errorOut = nullptr);
 
     /** Accumulated statistics. */
     const TlbStats &stats() const { return statsData; }
@@ -80,12 +80,17 @@ class Tlb
 
     /**
      * Inject error bits into entry slot @p slot.
-     * @return true if the slot held a valid translation.
+     *
+     * @return InjectOutcome::Rejected when @p slot is out of range
+     *         (nothing written), Opened when the slot holds no valid
+     *         translation (the injection is trivially masked),
+     *         Occupied when the bits landed on a live translation.
+     *         The old bool return conflated the first two.
      */
-    bool injectError(int slot, std::uint8_t mask);
+    InjectOutcome injectError(int slot, ErrorMask mask);
 
     /** Clear the given channels from every entry. */
-    void clearErrors(std::uint8_t mask);
+    void clearErrors(ErrorMask mask);
 
     /** Number of entry slots (valid or not). */
     int numSlots() const { return static_cast<int>(entries.size()); }
@@ -110,11 +115,12 @@ class Tlb
     std::uint32_t pageShift;
     std::vector<Entry> entries;
     /**
-     * Per-slot error bytes, parallel to `entries`. A separate
-     * word-backed plane (rather than a byte in Entry) so the
-     * channel-wide clearErrors() sweep touches 16 words instead of
-     * 128 strided structs, and skips entirely while no channel is
-     * live — the steady state between TLB-AVF experiments.
+     * Per-slot error masks, parallel to `entries`. A separate
+     * word-backed plane (rather than a mask in Entry) so the
+     * channel-wide clearErrors() sweep runs one AND-NOT per slot
+     * over a dense array instead of strided structs, and skips
+     * entirely while no channel is live — the steady state between
+     * TLB-AVF experiments.
      */
     ErrorPlane errors;
     /** page number -> slot, for O(1) hits. */

@@ -1,5 +1,6 @@
 #include "obs/lifecycle.hh"
 
+#include <bit>
 #include <numeric>
 
 #include "core/online_estimator.hh"
@@ -89,6 +90,15 @@ LifecycleTracker::LifecycleTracker(LifecycleConfig config)
         perStructure.emplace_back(conf);
 }
 
+LifecycleTracker::OpenWindow &
+LifecycleTracker::windowAt(LaneId lane)
+{
+    avf_assert(lane >= 0 && lane < numErrorChannels,
+               "lifecycle lane %d outside the %d-lane error plane",
+               lane, numErrorChannels);
+    return openWindows[static_cast<std::size_t>(lane)];
+}
+
 LifecycleTracker::PerStructure &
 LifecycleTracker::stateOf(Structure s)
 {
@@ -101,45 +111,68 @@ LifecycleTracker::stateOf(Structure s) const
     return perStructure[static_cast<std::size_t>(s)];
 }
 
-void
-LifecycleTracker::openRecord(Structure s, int entry, int field,
-                             bool live, Cycle now)
+std::uint64_t
+LifecycleTracker::openCountOf(Structure s) const
 {
-    PerStructure &state = stateOf(s);
-    avf_assert(!state.open,
-               "lifecycle record for %s opened twice (one error at a "
-               "time)", std::string(structureName(s)).c_str());
-    state.open = true;
-    state.failed = false;
-    state.sawKill = false;
-    state.rec = LifecycleRecord{};
-    state.rec.structure = s;
-    state.rec.entry = entry;
-    state.rec.field = field;
-    state.rec.live = live;
-    state.rec.injectCycle = now;
+    std::uint64_t n = 0;
+    ErrorMask mask = openLaneMask;
+    while (mask) {
+        auto lane = static_cast<std::size_t>(std::countr_zero(mask));
+        mask &= mask - 1;
+        if (openWindows[lane].rec.structure == s)
+            ++n;
+    }
+    return n;
 }
 
 void
-LifecycleTracker::closeRecord(Structure s, Cycle now)
+LifecycleTracker::openRecord(Structure s, LaneId lane, int entry,
+                             int field, bool live, Cycle now)
 {
-    PerStructure &state = stateOf(s);
-    avf_assert(state.open, "lifecycle close without an open record");
-    state.open = false;
+    OpenWindow &win = windowAt(lane);
+    avf_assert(!(openLaneMask & laneBit(lane)),
+               "lifecycle record for %s lane %d opened twice (one "
+               "window at a time per lane)",
+               std::string(structureName(s)).c_str(), lane);
+    openLaneMask |= laneBit(lane);
+    win.failed = false;
+    win.sawKill = false;
+    win.rec = LifecycleRecord{};
+    win.rec.structure = s;
+    win.rec.lane = lane;
+    win.rec.entry = entry;
+    win.rec.field = field;
+    win.rec.live = live;
+    win.rec.injectCycle = now;
+}
 
-    LifecycleRecord &rec = state.rec;
+void
+LifecycleTracker::closeRecord(Structure s, LaneId lane, Cycle now)
+{
+    OpenWindow &win = windowAt(lane);
+    avf_assert(openLaneMask & laneBit(lane),
+               "lifecycle close without an open record on lane %d",
+               lane);
+    avf_assert(win.rec.structure == s,
+               "lifecycle close of lane %d by %s, opened by %s", lane,
+               std::string(structureName(s)).c_str(),
+               std::string(structureName(win.rec.structure)).c_str());
+    openLaneMask &= ~laneBit(lane);
+
+    LifecycleRecord &rec = win.rec;
     rec.closeCycle = now;
-    if (state.failed) {
-        rec.outcome = state.failureKind;
-        rec.outcomeCycle = state.failCycle;
-    } else if (state.sawKill) {
+    if (win.failed) {
+        rec.outcome = win.failureKind;
+        rec.outcomeCycle = win.failCycle;
+    } else if (win.sawKill) {
         rec.outcome = Outcome::Killed;
-        rec.outcomeCycle = state.killCycle;
+        rec.outcomeCycle = win.killCycle;
     } else {
         rec.outcome = Outcome::Expired;
         rec.outcomeCycle = now;
     }
 
+    PerStructure &state = stateOf(s);
     ++state.closed;
     if (rec.live)
         ++state.live;
@@ -163,27 +196,25 @@ void
 LifecycleTracker::onRetire(const cpu::DynInstr &instr,
                            const cpu::RetireInfo &info)
 {
-    if (!info.failureMask)
-        return;
-    for (auto &state : perStructure) {
-        if (!state.open || state.failed)
+    ErrorMask hit = info.failureMask & openLaneMask;
+    while (hit) {
+        auto lane = static_cast<std::size_t>(std::countr_zero(hit));
+        hit &= hit - 1;
+        OpenWindow &win = openWindows[lane];
+        if (win.failed)
             continue;
-        auto bit = static_cast<cpu::ErrorMask>(
-            1u << channelOf(state.rec.structure));
-        if (!(info.failureMask & bit))
-            continue;
-        state.failed = true;
-        state.failCycle = instr.retireCycle;
+        win.failed = true;
+        win.failCycle = instr.retireCycle;
         switch (instr.in.op) {
           case trace::OpClass::Store:
-            state.failureKind = Outcome::FailureStore;
+            win.failureKind = Outcome::FailureStore;
             break;
           case trace::OpClass::Load:
-            state.failureKind = Outcome::FailureLoad;
+            win.failureKind = Outcome::FailureLoad;
             break;
           default:
             // isFailurePoint() admits only loads, stores, branches.
-            state.failureKind = Outcome::FailureBranch;
+            win.failureKind = Outcome::FailureBranch;
             break;
         }
     }
@@ -193,17 +224,15 @@ void
 LifecycleTracker::onErrorHop(const cpu::DynInstr &instr,
                              cpu::ErrorMask bits, cpu::ErrorHop hop)
 {
-    for (auto &state : perStructure) {
-        if (!state.open)
-            continue;
-        auto bit = static_cast<cpu::ErrorMask>(
-            1u << channelOf(state.rec.structure));
-        if (!(bits & bit))
-            continue;
-        ++state.rec.hops[static_cast<std::size_t>(hop)];
-        if (hop == cpu::ErrorHop::OverwriteKill && !state.sawKill) {
-            state.sawKill = true;
-            state.killCycle = instr.completeCycle;
+    ErrorMask hit = bits & openLaneMask;
+    while (hit) {
+        auto lane = static_cast<std::size_t>(std::countr_zero(hit));
+        hit &= hit - 1;
+        OpenWindow &win = openWindows[lane];
+        ++win.rec.hops[static_cast<std::size_t>(hop)];
+        if (hop == cpu::ErrorHop::OverwriteKill && !win.sawKill) {
+            win.sawKill = true;
+            win.killCycle = instr.completeCycle;
         }
     }
 }
@@ -218,7 +247,7 @@ LifecycleTracker::summary() const
             perStructure[static_cast<std::size_t>(s)];
         auto &dst = out.structures[static_cast<std::size_t>(s)];
         dst.closed = state.closed;
-        dst.openAtEnd = state.open ? 1 : 0;
+        dst.openAtEnd = openCountOf(static_cast<Structure>(s));
         dst.live = state.live;
         dst.dropped = state.dropped;
         dst.outcomes = state.outcomes;
@@ -242,7 +271,7 @@ LifecycleTracker::reconcile(const core::OnlineAvfEstimator &est) const
     const PerStructure &state = stateOf(est.structure());
     std::string name(structureName(est.structure()));
 
-    std::uint64_t tracked = state.closed + (state.open ? 1 : 0);
+    std::uint64_t tracked = state.closed + openCountOf(est.structure());
     if (tracked != est.totalInjections()) {
         return "lifecycle reconciliation failed for " + name + ": " +
                std::to_string(tracked) + " records vs " +

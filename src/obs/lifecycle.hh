@@ -2,11 +2,19 @@
  * @file
  * Injection-lifecycle observability: records *why* every online-
  * estimator injection counted the way it did. Each injection opens a
- * lifecycle record (structure, entry/field, cycle, liveness); pipeline
- * error-hop events (read-carry, OR-merge, FU transit, overwrite-kill)
- * accumulate on the open record; the window close stamps the outcome
- * (failure at a store/load/branch, killed by overwrite, or expired at
- * M) and the latency from injection to outcome.
+ * lifecycle record (structure, lane, entry/field, cycle, liveness);
+ * pipeline error-hop events (read-carry, OR-merge, FU transit,
+ * overwrite-kill) accumulate on the open record; the window close
+ * stamps the outcome (failure at a store/load/branch, killed by
+ * overwrite, or expired at M) and the latency from injection to
+ * outcome.
+ *
+ * Open records are keyed by injection lane — the error-plane bit the
+ * InjectionPort tagged the injection with — because lane-parallel
+ * estimators keep up to 64 windows of one structure open at once.
+ * Aggregates stay per structure: the lane is a transport tag, not a
+ * population of its own (though the JSONL export and avf-report keep
+ * it on every record so per-lane behavior can be audited).
  *
  * The tracker aggregates everything into per-structure outcome
  * counters and latency / hop-count histograms, retains a capped set of
@@ -51,7 +59,7 @@ namespace avf::obs
 /**
  * Final outcome of one injection's lifecycle. Failure outcomes split
  * by the failure point that carried the error bit out (Section 3.2's
- * taxonomy); Killed means at least one overwrite-kill of the channel
+ * taxonomy); Killed means at least one overwrite-kill of the lane
  * bit was observed and no failure surfaced; Expired means the window
  * closed with neither observed.
  */
@@ -108,6 +116,8 @@ struct LifecycleRecord
 {
     /** Structure injected into. */
     core::Structure structure = core::Structure::IQ;
+    /** Injection lane (error-plane bit) the window ran on. */
+    LaneId lane = -1;
     /** Entry index (register / IQ entry / unit) targeted. */
     int entry = -1;
     /** Field within the entry (field-granular IQ), -1 whole-entry. */
@@ -140,7 +150,7 @@ struct StructureLifecycleSummary
 {
     /** Records closed (outcome stamped). */
     std::uint64_t closed = 0;
-    /** Record still open when the run ended (0 or 1). */
+    /** Records still open when the run ended (one per open lane). */
     std::uint64_t openAtEnd = 0;
     /** Closed records whose injection hit a live target. */
     std::uint64_t live = 0;
@@ -185,9 +195,9 @@ struct LifecycleSummary
  * (pipe.addObserver), enable hop events
  * (pipe.setHopSink(&tracker)), and hand it to each online
  * estimator as its LifecycleSink (est.setLifecycleSink(&tracker)).
- * One tracker serves every estimator of one pipeline: records are
- * keyed by structure, mirroring the one-error-at-a-time rule per
- * channel.
+ * One tracker serves every estimator of one pipeline: open records
+ * are keyed by injection lane (the one-window-at-a-time rule per
+ * lane), aggregates by structure.
  */
 class LifecycleTracker : public cpu::PipelineObserver,
                          public core::LifecycleSink
@@ -196,9 +206,9 @@ class LifecycleTracker : public cpu::PipelineObserver,
     explicit LifecycleTracker(LifecycleConfig config = LifecycleConfig{});
 
     // ---- core::LifecycleSink ----
-    void openRecord(core::Structure s, int entry, int field, bool live,
-                    Cycle now) override;
-    void closeRecord(core::Structure s, Cycle now) override;
+    void openRecord(core::Structure s, LaneId lane, int entry,
+                    int field, bool live, Cycle now) override;
+    void closeRecord(core::Structure s, LaneId lane, Cycle now) override;
 
     // ---- cpu::PipelineObserver ----
     void onRetire(const cpu::DynInstr &instr,
@@ -222,18 +232,21 @@ class LifecycleTracker : public cpu::PipelineObserver,
     const LifecycleConfig &config() const { return conf; }
 
   private:
-    /** Per-structure open-record state plus aggregates. */
-    struct PerStructure
+    /** One open injection window, keyed by its lane. */
+    struct OpenWindow
     {
-        explicit PerStructure(const LifecycleConfig &conf);
-
-        bool open = false;
         bool failed = false;
         bool sawKill = false;
         Cycle failCycle = 0;
         Cycle killCycle = 0;
         Outcome failureKind = Outcome::Expired;
         LifecycleRecord rec;
+    };
+
+    /** Per-structure aggregates over closed records. */
+    struct PerStructure
+    {
+        explicit PerStructure(const LifecycleConfig &conf);
 
         std::uint64_t closed = 0;
         std::uint64_t live = 0;
@@ -246,10 +259,16 @@ class LifecycleTracker : public cpu::PipelineObserver,
         std::vector<LifecycleRecord> records;
     };
 
+    OpenWindow &windowAt(LaneId lane);
     PerStructure &stateOf(core::Structure s);
     const PerStructure &stateOf(core::Structure s) const;
+    /** Open lanes whose record belongs to @p s. */
+    std::uint64_t openCountOf(core::Structure s) const;
 
     LifecycleConfig conf;
+    std::array<OpenWindow, numErrorChannels> openWindows{};
+    /** Bit set per lane with an open record (fast retire/hop skip). */
+    ErrorMask openLaneMask = 0;
     std::vector<PerStructure> perStructure;
 };
 

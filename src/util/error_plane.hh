@@ -1,22 +1,29 @@
 /**
  * @file
- * A per-entry byte plane for error-bit channels, backed by 64-bit
- * words so channel-wide operations run eight entries at a time.
+ * A per-entry word plane for error-bit channels: every entry carries
+ * one 64-bit ErrorMask word, one bit per injection lane, so the
+ * propagation data path moves 64 independent tagged campaigns per
+ * load/OR/store.
  *
  * Two properties make the window-boundary sweep cheap:
  *
- *  - clearChannels() clears a channel from every entry with one
- *    AND-NOT per word (the channel mask broadcast to all byte lanes)
- *    instead of one read-modify-write per entry;
- *  - the plane keeps a conservative "live" summary of every channel
- *    that may be set anywhere, so sweeps of channels that were never
- *    written skip the word loop entirely. With one estimator per
- *    channel and the one-error-at-a-time rule, most sweeps hit this
- *    fast path.
+ *  - clearChannels() clears a set of lanes from every entry with one
+ *    AND-NOT per entry word — and because lanes close in batches at a
+ *    shared window boundary, one sweep retires up to 64 windows;
+ *  - the plane keeps a conservative "live" summary of every lane that
+ *    may be set anywhere, so sweeps of lanes that were never written
+ *    skip the loop entirely. With the one-error-at-a-time-per-lane
+ *    rule, most sweeps of idle lanes hit this fast path.
  *
- * The live mask is a superset, never an undercount: byte overwrites
- * with zero do not lower it (scanning to recompute would cost what
- * the summary saves), only clearChannels() retires bits from it.
+ * The live mask is a superset, never an undercount: overwrites with
+ * zero do not lower it (scanning to recompute would cost what the
+ * summary saves); only clearChannels() retires bits from it.
+ *
+ * Lane independence invariant: no ErrorPlane operation mixes bits
+ * across lane positions — get/or/set/clear are all bitwise-parallel —
+ * so the state of lane k after any operation sequence equals the
+ * state of a one-lane plane fed the same sequence masked to bit k.
+ * The lane-vs-serial equivalence tests (ctest -L lanes) pin this.
  */
 
 #ifndef AVF_UTIL_ERROR_PLANE_HH
@@ -26,11 +33,12 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/types.hh"
 
 namespace avf
 {
 
-/** Fixed-size-after-resize plane of per-entry error bytes. */
+/** Fixed-size-after-resize plane of per-entry error-mask words. */
 class ErrorPlane
 {
   public:
@@ -39,93 +47,79 @@ class ErrorPlane
     /** Construct with @p count entries, all clear. */
     explicit ErrorPlane(std::size_t count) { resize(count); }
 
-    /** Resize to @p count entries, clearing every byte. */
+    /** Resize to @p count entries, clearing every word. */
     void
     resize(std::size_t count)
     {
         numEntries = count;
-        words.assign((count + 7) / 8, 0);
+        words.assign(count, 0);
         live = 0;
     }
 
     /** Number of entries held. */
     std::size_t size() const { return numEntries; }
 
-    /** Error byte of entry @p idx. */
-    std::uint8_t
+    /** Error mask of entry @p idx. */
+    ErrorMask
     get(std::size_t idx) const
     {
         avf_assert(idx < numEntries,
                    "error-plane index %zu out of range %zu", idx,
                    numEntries);
-        return bytes()[idx];
+        return words[idx];
     }
 
     /** Carry/merge: OR @p mask into entry @p idx. */
     void
-    orByte(std::size_t idx, std::uint8_t mask)
+    orMask(std::size_t idx, ErrorMask mask)
     {
         avf_assert(idx < numEntries,
                    "error-plane index %zu out of range %zu", idx,
                    numEntries);
-        bytes()[idx] |= mask;
+        words[idx] |= mask;
         live |= mask;
     }
 
     /** Overwrite entry @p idx with @p mask (the kill discipline). */
     void
-    setByte(std::size_t idx, std::uint8_t mask)
+    setMask(std::size_t idx, ErrorMask mask)
     {
         avf_assert(idx < numEntries,
                    "error-plane index %zu out of range %zu", idx,
                    numEntries);
-        bytes()[idx] = mask;
+        words[idx] = mask;
         live |= mask;
     }
 
-    /** Superset of the channels set anywhere in the plane. */
-    std::uint8_t liveMask() const { return live; }
+    /** Superset of the lanes set anywhere in the plane. */
+    ErrorMask liveMask() const { return live; }
 
-    /** True when some entry may carry a channel of @p mask. */
+    /** True when some entry may carry a lane of @p mask. */
     bool
-    maybeLive(std::uint8_t mask) const
+    maybeLive(ErrorMask mask) const
     {
         return (live & mask) != 0;
     }
 
     /**
-     * Clear the channels of @p mask from every entry. Skips the
-     * plane entirely when the live summary proves them all clear;
-     * otherwise one AND-NOT per backing word.
+     * Clear the lanes of @p mask from every entry. Skips the plane
+     * entirely when the live summary proves them all clear;
+     * otherwise one AND-NOT per entry word.
      */
     void
-    clearChannels(std::uint8_t mask)
+    clearChannels(ErrorMask mask)
     {
         if (!maybeLive(mask))
             return;
-        const std::uint64_t lanes =
-            std::uint64_t{0x0101010101010101u} * mask;
         for (auto &w : words)
-            w &= ~lanes;
-        live &= static_cast<std::uint8_t>(~mask);
+            w &= ~mask;
+        live &= ~mask;
     }
 
   private:
-    std::uint8_t *
-    bytes()
-    {
-        return reinterpret_cast<std::uint8_t *>(words.data());
-    }
-
-    const std::uint8_t *
-    bytes() const
-    {
-        return reinterpret_cast<const std::uint8_t *>(words.data());
-    }
-
     std::size_t numEntries = 0;
-    std::vector<std::uint64_t> words;
-    std::uint8_t live = 0;
+    std::vector<ErrorMask> words;
+    ErrorMask live = 0;
 };
 
 } // namespace avf

@@ -34,6 +34,49 @@ inline constexpr InstrSeq invalidSeq =
 /** Sentinel cycle meaning "never happened / not yet". */
 inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
 
+/**
+ * Error-bit channels. One bit per concurrently-tracked injection
+ * lane: every lane is an independent one-error-at-a-time estimation
+ * riding the same word-level propagation (OR at issue, overwrite at
+ * complete, failure-point test at retire), so 64 tagged campaigns
+ * advance per plane word. Lives here rather than in cpu/ because the
+ * memory hierarchy (TLB error plane) speaks the same mask type.
+ */
+using ErrorMask = std::uint64_t;
+
+/** Maximum number of concurrent estimation channels (bit lanes). */
+inline constexpr int numErrorChannels = 64;
+
+/** Lane index into an ErrorMask, 0..numErrorChannels-1. */
+using LaneId = int;
+
+/** The bit a lane occupies in every ErrorMask word. */
+constexpr ErrorMask
+laneBit(LaneId lane)
+{
+    return ErrorMask{1} << lane;
+}
+
+/**
+ * Typed result of an injection request. Replaces the bare bool whose
+ * `false` conflated "slot out of range" with "slot empty": callers
+ * that used to drop the distinction now have to spell out which
+ * rejection they tolerate.
+ */
+enum class InjectOutcome
+{
+    Rejected, ///< invalid target (out of range): nothing was written
+    Occupied, ///< bit landed on a live/occupied target
+    Opened,   ///< bit landed on an empty target (trivially maskable)
+};
+
+/** True when the injection wrote a bit (occupied or empty target). */
+constexpr bool
+injected(InjectOutcome o)
+{
+    return o != InjectOutcome::Rejected;
+}
+
 } // namespace avf
 
 #endif // AVF_UTIL_TYPES_HH

@@ -166,6 +166,85 @@ TEST(AvflintErrorBit, SuppressionCommentIsHonored)
 }
 
 // ---------------------------------------------------------------- //
+// injection-port-discipline                                         //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintInjectionPort, FlagsRawInjectionsOutsideThePort)
+{
+    auto findings = withId(
+        lintText("src/harness/foo.cc",
+                 "void f() { pipe.injectRegError(5, mask); }\n"),
+        "injection-port-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("injectRegError"),
+              std::string::npos);
+    EXPECT_NE(findings[0].message.find("InjectionPort::open"),
+              std::string::npos);
+
+    EXPECT_EQ(withId(lintText("bench/foo.cc",
+                              "void f() { tlb->injectError(0, 0x4); }\n"),
+                     "injection-port-discipline")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintInjectionPort, FlagsDirectErrorPlaneWrites)
+{
+    auto findings = withId(
+        lintText("src/core/my_estimator.cc",
+                 "void f() { plane.orMask(3, laneBit(7)); }\n"),
+        "injection-port-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_NE(findings[0].message.find("orMask"), std::string::npos);
+
+    EXPECT_EQ(withId(lintText("src/obs/foo.cc",
+                              "void f() { plane->setMask(i, 0); }\n"),
+                     "injection-port-discipline")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintInjectionPort, AllowsSanctionedFilesAndDeclarations)
+{
+    const char *call = "void f() { pipe.injectRegError(5, mask); }\n";
+    EXPECT_TRUE(withId(lintText("src/core/injection_port.cc", call),
+                       "injection-port-discipline")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("src/cpu/pipeline.cc", call),
+                       "injection-port-discipline")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("src/mem/tlb.cc", call),
+                       "injection-port-discipline")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("tests/test_errorbits.cc", call),
+                       "injection-port-discipline")
+                    .empty());
+    // Declarations (return type precedes the name) are not calls.
+    EXPECT_TRUE(
+        withId(lintText("src/harness/foo.hh",
+                        "InjectOutcome injectError(int s, ErrorMask m);\n"),
+               "injection-port-discipline")
+            .empty());
+    // Port-mediated campaigns are the sanctioned idiom.
+    EXPECT_TRUE(
+        withId(lintText("src/harness/foo.cc",
+                        "auto h = port.open(lane, site, now);\n"),
+               "injection-port-discipline")
+            .empty());
+}
+
+TEST(AvflintInjectionPort, SuppressionCommentIsHonored)
+{
+    EXPECT_TRUE(
+        withId(lintText(
+                   "bench/foo.cc",
+                   "// avflint: allow(injection-port-discipline)\n"
+                   "pipe.injectRegError(5, 1);\n"),
+               "injection-port-discipline")
+            .empty());
+}
+
+// ---------------------------------------------------------------- //
 // determinism                                                       //
 // ---------------------------------------------------------------- //
 

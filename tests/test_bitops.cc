@@ -2,11 +2,10 @@
  * @file
  * Equivalence tests for the word-level fast paths the error-bit
  * propagation optimization leans on: BitVector's bulk operations
- * against a per-bit reference, ErrorPlane against a per-byte
+ * against a per-bit reference, ErrorPlane against a per-entry
  * reference, and IntervalTicker against the modulo check it
- * replaces. Sizes deliberately straddle the 64-bit word and 8-byte
- * lane boundaries (non-multiples included) so tail-word handling is
- * covered.
+ * replaces. Sizes deliberately straddle the 64-bit word boundary
+ * (non-multiples included) so tail-word handling is covered.
  */
 
 #include <gtest/gtest.h>
@@ -25,8 +24,10 @@ namespace
 
 using avf::BitVector;
 using avf::Cycle;
+using avf::ErrorMask;
 using avf::ErrorPlane;
 using avf::IntervalTicker;
+using avf::laneBit;
 using avf::Rng;
 
 constexpr std::size_t kSizes[] = {1, 7, 63, 64, 65, 100, 128, 129, 412};
@@ -122,33 +123,33 @@ TEST(BitVectorWordOps, ForEachSetVisitsExactlyTheSetBits)
     }
 }
 
-TEST(ErrorPlane, MatchesPerByteReferenceAcrossLaneBoundaries)
+TEST(ErrorPlane, MatchesPerEntryReferenceUnderRandomOps)
 {
     Rng rng(424242);
-    // Sizes straddling the 8-entries-per-word packing, including the
-    // real register-file size (412).
+    // Assorted sizes, including the real register-file size (412).
     for (std::size_t size : {std::size_t{1}, std::size_t{7},
                              std::size_t{8}, std::size_t{13},
                              std::size_t{412}}) {
         ErrorPlane plane(size);
-        std::vector<std::uint8_t> ref(size, 0);
+        std::vector<ErrorMask> ref(size, 0);
 
         for (int step = 0; step < 2000; ++step) {
             auto idx = static_cast<std::size_t>(rng.below(size));
-            auto mask = static_cast<std::uint8_t>(rng.below(256));
+            // Random 64-bit mask with bits in both word halves.
+            ErrorMask mask = rng.next();
             switch (rng.below(4)) {
               case 0:
-                plane.orByte(idx, mask);
+                plane.orMask(idx, mask);
                 ref[idx] |= mask;
                 break;
               case 1:
-                plane.setByte(idx, mask);
+                plane.setMask(idx, mask);
                 ref[idx] = mask;
                 break;
               case 2:
                 plane.clearChannels(mask);
-                for (auto &byte : ref)
-                    byte &= static_cast<std::uint8_t>(~mask);
+                for (auto &word : ref)
+                    word &= ~mask;
                 break;
               default:
                 EXPECT_EQ(plane.get(idx), ref[idx]);
@@ -163,45 +164,52 @@ TEST(ErrorPlane, MatchesPerByteReferenceAcrossLaneBoundaries)
 TEST(ErrorPlane, LiveMaskIsAConservativeSuperset)
 {
     ErrorPlane plane(16);
-    EXPECT_EQ(plane.liveMask(), 0);
-    EXPECT_FALSE(plane.maybeLive(0xff));
+    EXPECT_EQ(plane.liveMask(), 0u);
+    EXPECT_FALSE(plane.maybeLive(~ErrorMask{0}));
 
-    plane.orByte(3, 0x05);
-    EXPECT_EQ(plane.liveMask(), 0x05);
+    plane.orMask(3, 0x05);
+    EXPECT_EQ(plane.liveMask(), 0x05u);
     EXPECT_TRUE(plane.maybeLive(0x01));
     EXPECT_FALSE(plane.maybeLive(0x02));
+
+    // The high lanes participate like the low ones.
+    plane.orMask(7, laneBit(63));
+    EXPECT_TRUE(plane.maybeLive(laneBit(63)));
+    EXPECT_FALSE(plane.maybeLive(laneBit(62)));
 
     // Overwriting the only carrier with zero may NOT lower the
     // summary (it is a superset, recomputing would defeat the
     // optimization) — but must never undercount.
-    plane.setByte(3, 0x00);
+    plane.setMask(3, 0x00);
     EXPECT_TRUE(plane.maybeLive(0x05));
-    EXPECT_EQ(plane.get(3), 0x00);
+    EXPECT_EQ(plane.get(3), 0x00u);
 
     // Only clearChannels retires bits from the summary.
     plane.clearChannels(0x01);
     EXPECT_FALSE(plane.maybeLive(0x01));
     EXPECT_TRUE(plane.maybeLive(0x04));
-    plane.clearChannels(0xff);
-    EXPECT_EQ(plane.liveMask(), 0);
+    plane.clearChannels(~ErrorMask{0});
+    EXPECT_EQ(plane.liveMask(), 0u);
 
-    // resize() clears bytes and summary alike.
-    plane.orByte(0, 0x80);
+    // resize() clears entries and summary alike.
+    plane.orMask(0, laneBit(55));
     plane.resize(16);
-    EXPECT_EQ(plane.liveMask(), 0);
-    EXPECT_EQ(plane.get(0), 0x00);
+    EXPECT_EQ(plane.liveMask(), 0u);
+    EXPECT_EQ(plane.get(0), 0x00u);
 }
 
 TEST(ErrorPlane, ClearChannelsTouchesOnlyTheMaskedChannels)
 {
     ErrorPlane plane(9);
     for (std::size_t i = 0; i < 9; ++i)
-        plane.setByte(i, static_cast<std::uint8_t>(0x11 * (i % 3)));
+        plane.setMask(i, ErrorMask{0x1111'1111'1111'1111} * (i % 3));
 
-    plane.clearChannels(0x10);
+    plane.clearChannels(laneBit(4) | laneBit(60));
     for (std::size_t i = 0; i < 9; ++i)
         EXPECT_EQ(plane.get(i),
-                  (0x11 * (i % 3)) & ~0x10) << "entry " << i;
+                  (ErrorMask{0x1111'1111'1111'1111} * (i % 3)) &
+                      ~(laneBit(4) | laneBit(60)))
+            << "entry " << i;
 }
 
 TEST(IntervalTicker, MatchesModuloReferenceFromCycleZero)

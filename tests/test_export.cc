@@ -296,6 +296,7 @@ TEST(LifecycleExport, JsonlAndSummaryBlockFromRealRun)
         EXPECT_EQ(line.back(), '}');
         EXPECT_NE(line.find("\"benchmark\": \"bzip2\""),
                   std::string::npos);
+        EXPECT_NE(line.find("\"lane\": "), std::string::npos);
         EXPECT_NE(line.find("\"outcome\": \""), std::string::npos);
         EXPECT_NE(line.find("\"hops\": {\"read_carry\": "),
                   std::string::npos);

@@ -34,12 +34,12 @@ using namespace avf::testutil;
 TEST(TlbErrorBits, InjectedErrorRidesNextTranslation)
 {
     mem::Tlb tlb({"t", 4, 4096, 50});
-    std::uint8_t err = 0xFF;
+    ErrorMask err = ~ErrorMask{0};
     tlb.access(0x1000, 10, &err);
     EXPECT_EQ(err, 0); // fresh fill is clean
 
     // The fill went to slot 0 (first invalid slot).
-    EXPECT_TRUE(tlb.injectError(0, 0x4));
+    EXPECT_EQ(tlb.injectError(0, 0x4), InjectOutcome::Occupied);
     tlb.access(0x1800, 20, &err); // same page, uses the entry
     EXPECT_EQ(err, 0x4);
 }
@@ -47,9 +47,9 @@ TEST(TlbErrorBits, InjectedErrorRidesNextTranslation)
 TEST(TlbErrorBits, RefillOverwritesError)
 {
     mem::Tlb tlb({"t", 1, 4096, 50}); // single entry
-    std::uint8_t err = 0;
+    ErrorMask err = 0;
     tlb.access(0x1000, 10, &err);
-    EXPECT_TRUE(tlb.injectError(0, 0x4));
+    EXPECT_EQ(tlb.injectError(0, 0x4), InjectOutcome::Occupied);
     // A different page evicts and refills the only slot.
     tlb.access(0x2000, 20, &err);
     EXPECT_EQ(err, 0);
@@ -61,13 +61,14 @@ TEST(TlbErrorBits, RefillOverwritesError)
 TEST(TlbErrorBits, InvalidSlotMasksInjection)
 {
     mem::Tlb tlb({"t", 8, 4096, 50});
-    EXPECT_FALSE(tlb.injectError(3, 0x1)); // nothing resident
+    EXPECT_EQ(tlb.injectError(3, 0x1),
+              InjectOutcome::Opened); // nothing resident
 }
 
 TEST(TlbErrorBits, ClearErrors)
 {
     mem::Tlb tlb({"t", 4, 4096, 50});
-    std::uint8_t err = 0;
+    ErrorMask err = 0;
     tlb.access(0x1000, 10, &err);
     tlb.injectError(0, 0x3);
     tlb.clearErrors(0x1);

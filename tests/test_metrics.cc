@@ -354,6 +354,37 @@ TEST(Report, RejectsMalformedMetricsDocuments)
     EXPECT_NE(error.find("totals"), std::string::npos);
 }
 
+TEST(Report, LifecycleViewGroupsByStructureAndLane)
+{
+    // Lane-tagged records split into (structure, lane) rows; records
+    // from exports predating the lane tag fall back to lane "-".
+    std::string jsonl =
+        "{\"structure\": \"iq\", \"lane\": 0, \"outcome\": "
+        "\"expired\"}\n"
+        "{\"structure\": \"iq\", \"lane\": 0, \"outcome\": "
+        "\"failure_store\"}\n"
+        "{\"structure\": \"iq\", \"lane\": 7, \"outcome\": "
+        "\"expired\"}\n"
+        "{\"structure\": \"reg\", \"outcome\": \"killed\"}\n";
+    std::ostringstream out;
+    std::string error;
+    ASSERT_TRUE(report::printLifecycle(out, jsonl, error)) << error;
+    std::string text = out.str();
+
+    auto iq0 = text.find("iq");
+    ASSERT_NE(iq0, std::string::npos);
+    EXPECT_NE(text.find("expired=1, failure_store=1"),
+              std::string::npos);
+    // Lane 7 is its own row, not merged into lane 0's.
+    auto lane7 = text.find("   7", iq0);
+    EXPECT_NE(lane7, std::string::npos);
+    // The untagged legacy record groups under "-".
+    auto reg = text.find("reg");
+    ASSERT_NE(reg, std::string::npos);
+    EXPECT_NE(text.find("-", reg), std::string::npos);
+    EXPECT_NE(text.find("killed=1"), std::string::npos);
+}
+
 TEST(Report, ConvergenceRowsComputeThePaperBound)
 {
     // Two intervals at AVF 0.2/0.4 with 800 total injections over 2

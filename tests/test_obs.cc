@@ -51,8 +51,8 @@ instrAt(trace::OpClass op, Cycle retire)
 TEST(LifecycleTracker, ExpiredWhenNothingHappens)
 {
     LifecycleTracker tracker(smallTrackerConfig());
-    tracker.openRecord(Structure::IQ, 3, 1, true, 10);
-    tracker.closeRecord(Structure::IQ, 110);
+    tracker.openRecord(Structure::IQ, 0, 3, 1, true, 10);
+    tracker.closeRecord(Structure::IQ, 0, 110);
 
     auto summary = tracker.summary();
     const auto &iq = summary.structures[0];
@@ -71,11 +71,13 @@ TEST(LifecycleTracker, FailureOutcomeMatchesRetiringOp)
     auto bit = static_cast<cpu::ErrorMask>(
         1u << core::channelOf(Structure::REG));
 
-    tracker.openRecord(Structure::REG, 7, -1, true, 0);
+    tracker.openRecord(Structure::REG, core::channelOf(Structure::REG),
+                       7, -1, true, 0);
     cpu::RetireInfo info;
     info.failureMask = bit;
     tracker.onRetire(instrAt(trace::OpClass::Store, 40), info);
-    tracker.closeRecord(Structure::REG, 100);
+    tracker.closeRecord(Structure::REG, core::channelOf(Structure::REG),
+                        100);
 
     auto summary = tracker.summary();
     const auto &reg =
@@ -95,10 +97,12 @@ TEST(LifecycleTracker, KillWithoutFailureIsKilled)
     auto bit = static_cast<cpu::ErrorMask>(
         1u << core::channelOf(Structure::REG));
 
-    tracker.openRecord(Structure::REG, 2, -1, true, 0);
+    tracker.openRecord(Structure::REG, core::channelOf(Structure::REG),
+                       2, -1, true, 0);
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 25), bit,
                        cpu::ErrorHop::OverwriteKill);
-    tracker.closeRecord(Structure::REG, 100);
+    tracker.closeRecord(Structure::REG, core::channelOf(Structure::REG),
+                        100);
 
     auto summary = tracker.summary();
     const auto &reg =
@@ -118,13 +122,13 @@ TEST(LifecycleTracker, FailureWinsOverLaterKill)
     auto bit = static_cast<cpu::ErrorMask>(
         1u << core::channelOf(Structure::IQ));
 
-    tracker.openRecord(Structure::IQ, 0, -1, true, 0);
+    tracker.openRecord(Structure::IQ, 0, 0, -1, true, 0);
     cpu::RetireInfo info;
     info.failureMask = bit;
     tracker.onRetire(instrAt(trace::OpClass::BranchCond, 30), info);
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 50), bit,
                        cpu::ErrorHop::OverwriteKill);
-    tracker.closeRecord(Structure::IQ, 100);
+    tracker.closeRecord(Structure::IQ, 0, 100);
 
     auto summary = tracker.summary();
     const auto &iq = summary.structures[0];
@@ -133,7 +137,7 @@ TEST(LifecycleTracker, FailureWinsOverLaterKill)
     EXPECT_EQ(iq.outcomes[static_cast<int>(Outcome::Killed)], 0u);
 }
 
-TEST(LifecycleTracker, HopsAttributeByChannelBit)
+TEST(LifecycleTracker, HopsAttributeByLaneBit)
 {
     LifecycleTracker tracker(smallTrackerConfig());
     auto iq_bit = static_cast<cpu::ErrorMask>(
@@ -141,16 +145,16 @@ TEST(LifecycleTracker, HopsAttributeByChannelBit)
     auto reg_bit = static_cast<cpu::ErrorMask>(
         1u << core::channelOf(Structure::REG));
 
-    tracker.openRecord(Structure::IQ, 0, -1, true, 0);
-    tracker.openRecord(Structure::REG, 0, -1, true, 0);
+    tracker.openRecord(Structure::IQ, 0, 0, -1, true, 0);
+    tracker.openRecord(Structure::REG, 1, 0, -1, true, 0);
     // A hop carrying both channels lands on both records; one
     // carrying only REG's bit must not touch the IQ record.
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 10),
                        iq_bit | reg_bit, cpu::ErrorHop::ReadCarry);
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 12), reg_bit,
                        cpu::ErrorHop::FuTransit);
-    tracker.closeRecord(Structure::IQ, 100);
-    tracker.closeRecord(Structure::REG, 100);
+    tracker.closeRecord(Structure::IQ, 0, 100);
+    tracker.closeRecord(Structure::REG, 1, 100);
 
     auto summary = tracker.summary();
     const auto &iq = summary.structures[0];
@@ -170,9 +174,9 @@ TEST(LifecycleTracker, RetentionCapDropsRecordsNotCounts)
 {
     LifecycleTracker tracker(smallTrackerConfig()); // cap = 4
     for (int k = 0; k < 6; ++k) {
-        tracker.openRecord(Structure::FXU, 0, -1, false,
+        tracker.openRecord(Structure::FXU, 2, 0, -1, false,
                            static_cast<Cycle>(100 * k));
-        tracker.closeRecord(Structure::FXU,
+        tracker.closeRecord(Structure::FXU, 2,
                             static_cast<Cycle>(100 * (k + 1)));
     }
     auto summary = tracker.summary();
@@ -186,8 +190,8 @@ TEST(LifecycleTracker, RetentionCapDropsRecordsNotCounts)
 TEST(LifecycleTracker, DoubleOpenDies)
 {
     LifecycleTracker tracker(smallTrackerConfig());
-    tracker.openRecord(Structure::IQ, 0, -1, true, 0);
-    EXPECT_DEATH(tracker.openRecord(Structure::IQ, 1, -1, true, 5),
+    tracker.openRecord(Structure::IQ, 0, 0, -1, true, 0);
+    EXPECT_DEATH(tracker.openRecord(Structure::IQ, 0, 1, -1, true, 5),
                  "opened twice");
 }
 

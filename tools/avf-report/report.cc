@@ -370,7 +370,11 @@ printLifecycle(std::ostream &out, const std::string &jsonl,
         std::uint64_t records = 0;
         std::map<std::string, std::uint64_t> outcomes;
     };
-    std::map<std::string, Agg> perStructure;
+    // Keyed by (structure, lane): lane-parallel campaigns interleave
+    // up to 64 windows per structure and the per-lane split is what
+    // makes their records auditable. Exports predating the lane tag
+    // lack the key; those records group under lane -1 (shown as "-").
+    std::map<std::pair<std::string, int>, Agg> perGroup;
 
     std::size_t lineNo = 0;
     std::istringstream in(jsonl);
@@ -395,20 +399,28 @@ printLifecycle(std::ostream &out, const std::string &jsonl,
                     ": record lacks structure/outcome";
             return false;
         }
-        auto &agg = perStructure[structure->text];
+        const auto *lane = rec.find("lane");
+        int laneId = lane && lane->isNumber()
+                         ? static_cast<int>(lane->asDouble())
+                         : -1;
+        auto &agg = perGroup[{structure->text, laneId}];
         ++agg.records;
         ++agg.outcomes[outcome->text];
     }
 
-    line(out, "%-10s %8s  %s\n", "structure", "records", "outcomes");
-    for (const auto &[structure, agg] : perStructure) {
+    line(out, "%-10s %4s %8s  %s\n", "structure", "lane", "records",
+         "outcomes");
+    for (const auto &[key, agg] : perGroup) {
         std::string outcomes;
         for (const auto &[outcome, count] : agg.outcomes) {
             if (!outcomes.empty())
                 outcomes += ", ";
             outcomes += outcome + "=" + std::to_string(count);
         }
-        line(out, "%-10s %8llu  %s\n", structure.c_str(),
+        std::string laneText =
+            key.second < 0 ? "-" : std::to_string(key.second);
+        line(out, "%-10s %4s %8llu  %s\n", key.first.c_str(),
+             laneText.c_str(),
              static_cast<unsigned long long>(agg.records),
              outcomes.c_str());
     }

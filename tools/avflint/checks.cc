@@ -112,6 +112,62 @@ checkErrorBit(const SourceFile &src, std::vector<Finding> &out)
 }
 
 // ---------------------------------------------------------------- //
+// injection-port-discipline: raw injections bypass InjectionPort.   //
+// ---------------------------------------------------------------- //
+
+void
+checkInjectionPort(const SourceFile &src, std::vector<Finding> &out)
+{
+    // Sanctioned: the port itself, the plane owners that implement
+    // the primitives, and the primitives' own unit tests. Everything
+    // else must open a tagged lane window through core::InjectionPort
+    // so the injection carries a lane and a window handle.
+    if (src.path == "src/core/injection_port.cc" ||
+        startsWith(src.path, "src/cpu/") ||
+        startsWith(src.path, "src/mem/") ||
+        startsWith(src.path, "src/util/") ||
+        startsWith(src.path, "tests/"))
+        return;
+
+    static const std::set<std::string_view> rawInjectors = {
+        "injectRegError", "injectIqEntryError", "injectIqFieldError",
+        "injectFuError",  "injectDtlbError",    "injectError"};
+    static const std::set<std::string_view> planeMutators = {
+        "orMask", "setMask"};
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier ||
+            !at(src, i + 1).is("("))
+            continue;
+        bool injector = rawInjectors.count(tok.text) > 0;
+        bool mutator = planeMutators.count(tok.text) > 0;
+        if (!injector && !mutator)
+            continue;
+        // `InjectOutcome injectError(int slot, ...)` is a declaration
+        // (return type precedes the name), not a call site.
+        const Token &prev = at(src, i - 1);
+        if (!isMemberAccess(prev) && prev.kind == TokKind::Identifier)
+            continue;
+        if (injector)
+            out.push_back(
+                {src.path, tok.line, "injection-port-discipline",
+                 "raw injection primitive '" + tok.text +
+                     "' called outside core::InjectionPort; open a "
+                     "tagged lane window with InjectionPort::open so "
+                     "the injection carries a lane (see DESIGN.md, "
+                     "\"The InjectionPort contract\")"});
+        else
+            out.push_back(
+                {src.path, tok.line, "injection-port-discipline",
+                 "direct ErrorPlane write '" + tok.text +
+                     "' outside the plane owners; campaign code must "
+                     "inject through core::InjectionPort, not by "
+                     "setting error-plane bits"});
+    }
+}
+
+// ---------------------------------------------------------------- //
 // determinism: hidden entropy and unordered iteration.              //
 // ---------------------------------------------------------------- //
 
@@ -510,6 +566,10 @@ checkRegistry()
         {"error-bit",
          "error-bit state written outside kill/carry/merge helpers",
          checkErrorBit},
+        {"injection-port-discipline",
+         "raw injections or error-plane writes bypassing "
+         "core::InjectionPort",
+         checkInjectionPort},
         {"determinism",
          "hidden entropy, wall-clock reads, unordered iteration",
          checkDeterminism},

@@ -25,6 +25,19 @@
  *                 or #pragma once.
  *   naked-assert  assert() where avf_assert (on in release builds)
  *                 is required.
+ *   injection-port-discipline
+ *                 raw injection primitives (injectRegError,
+ *                 injectIqEntryError, injectIqFieldError,
+ *                 injectFuError, injectDtlbError, injectError) and
+ *                 ErrorPlane mutators (orMask, setMask) called
+ *                 outside the sanctioned implementations: the port
+ *                 itself (src/core/injection_port.cc), the plane
+ *                 owners (src/cpu/, src/mem/, src/util/), and the
+ *                 primitives' own unit tests (tests/). Campaign code
+ *                 must open tagged lane windows through
+ *                 core::InjectionPort so every injection carries a
+ *                 lane and a window (see DESIGN.md, "The
+ *                 InjectionPort contract").
  *   metric-name-discipline
  *                 literal names passed to the obs/metrics register*
  *                 calls must be snake_case ([a-z][a-z0-9_]*) and
