@@ -8,7 +8,9 @@
  *   baseline   — no throttling;
  *   always     — statically throttled (worst-case provisioning);
  *   adaptive   — the ThrottleController engages only when the
- *                predicted IQ AVF crosses its threshold.
+ *                predicted IQ AVF crosses its threshold, deciding
+ *                from the published metrics series (ControlFeed),
+ *                never from the estimator's private history.
  *
  * Reported: mean IQ AVF (from the independent SoftArch reference,
  * so the controller cannot grade its own homework) and IPC. The
@@ -19,9 +21,10 @@
 
 #include <cstdio>
 
+#include "control/throttle_controller.hh"
 #include "core/online_estimator.hh"
-#include "core/throttle_controller.hh"
 #include "cpu/pipeline.hh"
+#include "obs/control_feed.hh"
 #include "softarch/ace_analyzer.hh"
 #include "stats/running_stats.hh"
 #include "stats/table_printer.hh"
@@ -58,12 +61,17 @@ runMode(const std::string &bench, Mode mode, int intervals)
     softarch::AceAnalyzer reference(pipe, sa);
     pipe.addObserver(&reference);
 
-    core::ThrottleConfig policy;
-    core::ThrottleController controller(pipe, est, policy);
-    if (mode == Mode::Adaptive)
+    // The controller's only input: the published per-interval series.
+    obs::ControlFeed feed;
+    feed.attachAvf(Structure::IQ, est);
+    control::ThrottleConfig policy;
+    control::ThrottleController controller(pipe, feed, policy);
+    if (mode == Mode::Adaptive) {
+        pipe.addObserver(&feed);
         pipe.addObserver(&controller);
-    else if (mode == Mode::AlwaysThrottled)
+    } else if (mode == Mode::AlwaysThrottled) {
         pipe.setDispatchThrottle(policy.throttledWidth);
+    }
 
     const Cycle interval_len = online.m * online.n;
     pipe.run(interval_len * static_cast<Cycle>(intervals) +

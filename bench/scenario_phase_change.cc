@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Scenario bench: phase-change transients. A workload that flips
+ * between low- and high-vulnerability phases stresses the threshold
+ * controller's predictor: a slow EMA (small alpha) smooths over the
+ * phase boundary and reacts late (or not at all), a fast EMA tracks
+ * the flip almost as last-value prediction does. The bench derives
+ * the engage threshold from the uncontrolled run's AVF range, then
+ * sweeps the predictor's alpha and reports how the controller's
+ * transition behaviour and the achieved AVF/IPC trade change.
+ */
+
+#include <cstdio>
+
+#include "core/structures.hh"
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
+#include "harness/export.hh"
+#include "stats/running_stats.hh"
+#include "stats/table_printer.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::harness;
+
+/** Alternating low/high vulnerability phases. */
+trace::WorkloadProfile
+phasedProfile()
+{
+    trace::WorkloadProfile profile;
+    profile.name = "phase_change";
+
+    trace::PhaseParams low;
+    low.deadFrac = 0.30;
+    low.depRecency = 0.18;
+
+    trace::PhaseParams high;
+    high.deadFrac = 0.03;
+    high.depRecency = 0.60;
+
+    profile.base = low;
+    profile.phases.push_back({low, 300'000});
+    profile.phases.push_back({high, 300'000});
+    return profile;
+}
+
+double
+meanIqAvf(const ExperimentResult &result)
+{
+    stats::RunningStats avf;
+    for (const auto &row : result.intervals)
+        avf.add(row.softarch[static_cast<std::size_t>(
+            core::Structure::IQ)]);
+    return avf.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    using stats::TablePrinter;
+
+    auto options = loadRunOptions(24);
+    ExperimentConfig conf;
+    conf.profile = phasedProfile();
+    conf.numIntervals = options.intervals;
+
+    ExperimentEngine engine(options);
+    engine.submit("baseline", conf);
+    auto baseTasks = engine.collect();
+    auto &base = baseTasks.front();
+    if (!base.ok())
+        fatal("baseline failed: %s", base.errorText.c_str());
+
+    // Engage halfway between the phases' online IQ AVF extremes, so
+    // the controller must follow every phase flip.
+    double avfLo = 1.0, avfHi = 0.0;
+    for (const auto &row : base.result.intervals) {
+        double avf = row.online[static_cast<std::size_t>(
+            core::Structure::IQ)];
+        avfLo = std::min(avfLo, avf);
+        avfHi = std::max(avfHi, avf);
+    }
+    const double engage = (avfLo + avfHi) / 2.0;
+    const double release = engage * 0.9 - 0.01;
+
+    std::printf("Scenario: phase-change transients (online IQ AVF "
+                "%.3f..%.3f; engage %.3f, release %.3f)\n\n",
+                avfLo, avfHi, engage, release);
+
+    TablePrinter table("Predictor smoothing vs transient response");
+    table.setHeader({"alpha", "IQ AVF", "IPC", "engagements",
+                     "actuations", "throttled"});
+    table.addRow({"(none)",
+                  TablePrinter::num(meanIqAvf(base.result)),
+                  TablePrinter::num(base.result.summary.ipc, 2), "0",
+                  "0", TablePrinter::pct(0.0, 0)});
+
+    for (double alpha : {0.2, 0.5, 0.9, 1.0}) {
+        ExperimentConfig swept = conf;
+        swept.control.enabled = true;
+        swept.control.throttle.engageThreshold = engage;
+        swept.control.throttle.releaseThreshold = release;
+        swept.control.throttle.predictorAlpha = alpha;
+        char name[32];
+        std::snprintf(name, sizeof(name), "alpha_%.1f", alpha);
+        engine.submit(name, swept);
+    }
+    auto tasks = engine.collect();
+    for (auto &task : tasks) {
+        if (!task.ok())
+            fatal("%s failed: %s", task.name.c_str(),
+                  task.errorText.c_str());
+        const auto &cs = task.result.control;
+        double share = cs.intervals
+            ? static_cast<double>(cs.throttledIntervals) /
+                  static_cast<double>(cs.intervals)
+            : 0.0;
+        table.addRow({task.name.substr(6),
+                      TablePrinter::num(meanIqAvf(task.result)),
+                      TablePrinter::num(task.result.summary.ipc, 2),
+                      std::to_string(cs.engagements),
+                      std::to_string(cs.actuations),
+                      TablePrinter::pct(share * 100, 0)});
+    }
+    table.print();
+    for (auto &task : tasks)
+        baseTasks.push_back(std::move(task));
+    exportCampaignMetrics("scenario_phase_change", engine, baseTasks);
+
+    std::printf("\nReading: alpha = 1.0 is last-value prediction — "
+                "the controller transitions at (nearly) every phase "
+                "flip; small alpha smooths the flips away, reacting "
+                "late into each vulnerable phase or never engaging. "
+                "Actuations stay equal to transitions: steady "
+                "decisions never re-issue the throttle.\n");
+    return 0;
+}

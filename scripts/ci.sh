@@ -16,7 +16,9 @@
 #   bench-smoke  avf_micro --smoke in a Release build; writes
 #                BENCH_micro.json next to the build dir, plus a
 #                metrics-enabled fig3_accuracy smoke run that emits
-#                and sanity-parses ci_METRICS.json / ci_TRACE.json
+#                and sanity-parses ci_METRICS.json / ci_TRACE.json,
+#                and a closed-loop scenario_budget_storm run whose
+#                decision trail `avf-report budget` renders back
 #   all          tier1 + lint + tidy + ubsan + tsan (bench-smoke is
 #                opt-in: its numbers are machine-dependent, so it has
 #                its own CI job that never gates on them)
@@ -138,6 +140,15 @@ run_bench_smoke() {
     "$BUILD-bench/tools/avf-report/avf-report" phases \
         "$BUILD-bench/ci_TRACE.json" --top 3 > /dev/null
     echo "bench-smoke: ci_METRICS.json + ci_TRACE.json round-trip ok"
+    echo "=== bench-smoke: control-loop scenario (budget storm) ==="
+    # One closed-loop scenario run with the decision trail exported;
+    # `avf-report budget` must be able to render it.
+    AVF_FAST=1 AVF_METRICS="$BUILD-bench/ci_control" \
+        "$BUILD-bench/bench/scenario_budget_storm" > /dev/null
+    "$BUILD-bench/tools/avf-report/avf-report" budget \
+        "$BUILD-bench/ci_control_METRICS.json" --task controlled \
+        > /dev/null
+    echo "bench-smoke: control-loop decision trail round-trip ok"
 }
 
 case "$STAGE" in

@@ -62,6 +62,22 @@ envPositiveIntStrict(const char *name, int fallback)
     return static_cast<int>(parsed);
 }
 
+/** Strict positive-double env var; @return fallback when unset. */
+double
+envPositiveDoubleStrict(const char *name, double fallback)
+{
+    const char *val = std::getenv(name);
+    if (!val || !*val)
+        return fallback;
+    char *end = nullptr;
+    double parsed = std::strtod(val, &end);
+    if (end == val || *end != '\0')
+        fatal("%s='%s' is not a number", name, val);
+    if (!(parsed > 0.0) || parsed != parsed)
+        fatal("%s='%s' must be a positive number", name, val);
+    return parsed;
+}
+
 /**
  * Strict path-prefix env var: unset/empty = disabled (empty string),
  * whitespace or control characters = fatal(). The prefix becomes a
@@ -109,6 +125,8 @@ loadRunOptions(int paperDefaultIntervals)
     options.lanes = lanesFromEnv();
     options.lifecycle = envFlagStrict("AVF_LIFECYCLE");
     options.metricsPrefix = envPrefixStrict("AVF_METRICS");
+    options.mttfBudgetHours =
+        envPositiveDoubleStrict("AVF_MTTF_BUDGET_HOURS", 0.0);
     if (options.fastMode)
         options.intervals = 12;
     return options;

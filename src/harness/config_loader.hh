@@ -69,6 +69,14 @@ ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
  *                      exportCampaignMetrics). The value is a path
  *                      prefix; whitespace/control characters are
  *                      rejected.
+ *   AVF_MTTF_BUDGET_HOURS=<h>
+ *                      closed-loop control (control/
+ *                      throttle_controller.hh): arm the budget-mode
+ *                      controller on every task with an MTTF budget
+ *                      of <h> hours (strict positive number; junk,
+ *                      zero, or negative is fatal()). Unset keeps
+ *                      the control loop fully disabled and campaign
+ *                      stdout byte-identical to uncontrolled runs.
  *
  * Malformed values — non-numeric, negative, or zero AVF_INTERVALS,
  * unrecognized AVF_FAST / AVF_LIFECYCLE, malformed AVF_METRICS — are

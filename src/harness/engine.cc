@@ -55,6 +55,13 @@ ExperimentEngine::submit(std::string name, ExperimentConfig config)
     // that already asked for metrics keeps them either way.
     if (!opts.metricsPrefix.empty())
         config.metrics = true;
+    // A campaign-level MTTF budget arms the control loop on every
+    // task; a config that already configured control keeps its own
+    // (more specific) settings untouched.
+    if (opts.mttfBudgetHours > 0.0 && !config.control.enabled) {
+        config.control.enabled = true;
+        config.control.mttfBudgetHours = opts.mttfBudgetHours;
+    }
     // lanes=0 means "inherit the campaign's lane count"; a config
     // with an explicit lane count keeps it.
     if (config.online.lanes == 0)

@@ -79,6 +79,15 @@ struct RunOptions
      * Empty (the default) keeps the metrics layer fully disabled.
      */
     std::string metricsPrefix{};
+    /**
+     * MTTF budget in hours (resolved from AVF_MTTF_BUDGET_HOURS by
+     * loadRunOptions; strict positive double, junk is fatal()).
+     * Positive enables ExperimentConfig::control in budget mode on
+     * every task submit() builds from these options. Zero (the
+     * default) leaves the control loop fully disabled, keeping
+     * campaign stdout byte-identical to uncontrolled runs.
+     */
+    double mttfBudgetHours = 0.0;
 };
 
 /** Outcome of one engine task. */

@@ -5,12 +5,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "control/throttle_controller.hh"
 #include "core/avf_estimator.hh"
 #include "core/occupancy_estimator.hh"
 #include "core/utilization_estimator.hh"
 #include "cpu/pipeline.hh"
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
+#include "obs/control_feed.hh"
+#include "reliability/budget_arbiter.hh"
 #include "softarch/ace_analyzer.hh"
 #include "trace/synthetic.hh"
 #include "util/logging.hh"
@@ -170,6 +173,28 @@ collectRunMetrics(
     return shard.snapshot();
 }
 
+/**
+ * Append every entry of @p src into @p dst. Used to fold the control
+ * loop's shard into the run snapshot; the name sets are disjoint by
+ * construction (control_* / budget_* vs the collectRunMetrics names),
+ * so appending cannot shadow or double-count anything.
+ */
+void
+appendSnapshot(obs::MetricsSnapshot &dst,
+               const obs::MetricsSnapshot &src)
+{
+    dst.enabled = dst.enabled || src.enabled;
+    dst.counters.insert(dst.counters.end(), src.counters.begin(),
+                        src.counters.end());
+    dst.gauges.insert(dst.gauges.end(), src.gauges.begin(),
+                      src.gauges.end());
+    dst.histograms.insert(dst.histograms.end(),
+                          src.histograms.begin(),
+                          src.histograms.end());
+    dst.series.insert(dst.series.end(), src.series.begin(),
+                      src.series.end());
+}
+
 } // namespace
 
 namespace detail
@@ -286,6 +311,35 @@ runExperimentDirect(const ExperimentConfig &config)
         }
     }
 
+    // Closed-loop control (fully gated: a run without control attaches
+    // nothing and stays byte-identical to the uncontrolled build). The
+    // feed is attached after every estimator so a window that closes
+    // in cycle C publishes in cycle C; the controller is attached
+    // after the feed so it decides on fresh rows the same cycle. The
+    // controller reads exclusively from the feed's published metrics
+    // series — it holds no estimator reference.
+    std::unique_ptr<obs::ControlFeed> feed;
+    std::unique_ptr<reliability::BudgetArbiter> arbiter;
+    std::unique_ptr<control::ThrottleController> controller;
+    if (config.control.enabled) {
+        feed = std::make_unique<obs::ControlFeed>(
+            config.control.reportLatencyCycles);
+        for (int s = 0; s < core::numStructures; ++s)
+            feed->attachAvf(
+                static_cast<Structure>(s),
+                *estimators[static_cast<std::size_t>(s)]);
+        feed->attachOccupancy(*estimators[occupancy_slot]);
+        pipeline.addObserver(feed.get());
+        if (config.control.mttfBudgetHours > 0.0)
+            arbiter = std::make_unique<reliability::BudgetArbiter>(
+                reliability::FitModel(
+                    reliability::defaultFitModel(config.cpu)),
+                config.control.mttfBudgetHours);
+        controller = std::make_unique<control::ThrottleController>(
+            pipeline, *feed, config.control.throttle, arbiter.get());
+        pipeline.addObserver(controller.get());
+    }
+
     // Simulate: numIntervals intervals plus the SoftArch lookahead
     // (plus one spare window so every boundary event fires).
     const Cycle total = interval_len *
@@ -374,9 +428,34 @@ runExperimentDirect(const ExperimentConfig &config)
         result.summary.lifecycleExpired =
             result.lifecycle.totalWithOutcome(obs::Outcome::Expired);
     }
-    if (config.metrics)
+    if (controller) {
+        auto &ctl = result.control;
+        ctl.enabled = true;
+        ctl.intervals = controller->intervals();
+        ctl.throttledIntervals = controller->throttledIntervals();
+        ctl.engagements = controller->engagements();
+        ctl.actuations = controller->actuations();
+        ctl.budgetExceededIntervals =
+            controller->budgetExceededIntervals();
+        ctl.protectActions = controller->protectActions();
+        ctl.firstTarget = controller->firstTargetStructure();
+        if (arbiter) {
+            ctl.projectedMttfHours =
+                arbiter->tracker().projectedMttfHours();
+            for (int s = 0; s < core::numStructures; ++s)
+                ctl.coverage[static_cast<std::size_t>(s)] =
+                    arbiter->coverageOf(static_cast<Structure>(s));
+        }
+    }
+    if (config.metrics) {
         result.metrics = collectRunMetrics(result, pipeline,
                                            estimators);
+        // The decision trail exports through the same snapshot, read
+        // from the very storage the controller decided on.
+        if (feed)
+            appendSnapshot(result.metrics,
+                           feed->shard().snapshot());
+    }
     return result;
 }
 

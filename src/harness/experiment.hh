@@ -16,9 +16,12 @@
 #define AVF_HARNESS_EXPERIMENT_HH
 
 #include <array>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "control/throttle_controller.hh"
 #include "core/online_estimator.hh"
 #include "core/regression_estimator.hh"
 #include "core/structures.hh"
@@ -30,6 +33,33 @@
 
 namespace avf::harness
 {
+
+/**
+ * Closed-loop control parameters (control/throttle_controller.hh).
+ * Disabled by default: a run without control attaches no feed, no
+ * arbiter, and no controller, so its output is byte-identical to a
+ * build that predates the control loop.
+ */
+struct ControlConfig
+{
+    /** Master switch for the whole loop. */
+    bool enabled = false;
+    /**
+     * MTTF budget in hours (AVF_MTTF_BUDGET_HOURS). Positive switches
+     * the controller to budget mode behind a reliability::
+     * BudgetArbiter over the default FIT model of the run's machine;
+     * zero keeps the threshold policy in `throttle`.
+     */
+    double mttfBudgetHours = 0.0;
+    /**
+     * Delay between an estimation window closing and its value
+     * becoming visible to the controller, in cycles (the
+     * delayed-error-reporting regime, after Jaulmes et al.).
+     */
+    Cycle reportLatencyCycles = 0;
+    /** Threshold-mode policy and actuation parameters. */
+    control::ThrottleConfig throttle;
+};
 
 /** Full experiment parameters. */
 struct ExperimentConfig
@@ -63,6 +93,12 @@ struct ExperimentConfig
      * automatically when RunOptions::metricsPrefix is set.
      */
     bool metrics = false;
+    /**
+     * Closed-loop throttling/protection against an MTTF budget.
+     * ExperimentEngine::submit turns this on automatically when
+     * RunOptions::mttfBudgetHours is positive.
+     */
+    ControlConfig control;
 };
 
 /** One estimation interval's worth of results. */
@@ -100,6 +136,38 @@ struct RunSummary
     std::uint64_t lifecycleExpired = 0;
 };
 
+/**
+ * Decision-loop digest of one run (all defaults when the run was
+ * configured without ExperimentConfig::control). The full per-interval
+ * decision trail lives in the metrics snapshot (control_* / budget_*
+ * names); this is the scalar summary benches print.
+ */
+struct ControlSummary
+{
+    /** True when a controller ran. */
+    bool enabled = false;
+    /** Estimation intervals the controller decided on. */
+    std::uint64_t intervals = 0;
+    /** Intervals spent with the throttle engaged. */
+    std::uint64_t throttledIntervals = 0;
+    /** Off-to-on throttle transitions. */
+    std::uint64_t engagements = 0;
+    /** setDispatchThrottle() calls issued (transitions only). */
+    std::uint64_t actuations = 0;
+    /** Intervals decided while the MTTF budget was exceeded. */
+    std::uint64_t budgetExceededIntervals = 0;
+    /** Protect decisions (coverage raises) the arbiter issued. */
+    std::uint64_t protectActions = 0;
+    /** End-of-run projected MTTF (hours; +inf without a budget). */
+    double projectedMttfHours =
+        std::numeric_limits<double>::infinity();
+    /** End-of-run protection coverage, indexed by core::Structure. */
+    std::array<double, core::numStructures> coverage{};
+    /** First over-budget arbitration target (core::Structure index),
+     *  or -1 when the budget never tripped. */
+    int firstTarget = -1;
+};
+
 /** Result of a full experiment. */
 struct ExperimentResult
 {
@@ -121,6 +189,8 @@ struct ExperimentResult
      * across worker counts.
      */
     obs::MetricsSnapshot metrics;
+    /** Control-loop digest (enabled == false when control was off). */
+    ControlSummary control;
 
     /** Extract one per-interval series. */
     std::vector<double> onlineSeries(core::Structure s) const;

@@ -217,6 +217,22 @@ MetricsShard::push(Id series, double value)
     seriesData[series].second.push_back(value);
 }
 
+const std::vector<double> &
+MetricsShard::seriesValues(Id series) const
+{
+    avf_assert(series < seriesData.size(),
+               "series id out of range");
+    return seriesData[series].second;
+}
+
+std::uint64_t
+MetricsShard::counterValue(Id counter) const
+{
+    avf_assert(counter < counters.size(),
+               "counter id out of range");
+    return counters[counter].second;
+}
+
 MetricsSnapshot
 MetricsShard::snapshot() const
 {

@@ -140,6 +140,17 @@ class MetricsShard
     /** Append one point to a series. */
     void push(Id series, double value);
 
+    /**
+     * Live read of a series' contents (no snapshot copy). This is the
+     * control loop's data path: a consumer that decides from the same
+     * storage the exporter serializes can never disagree with the
+     * telemetry (see obs/control_feed.hh).
+     */
+    const std::vector<double> &seriesValues(Id series) const;
+
+    /** Current value of a counter (live read). */
+    std::uint64_t counterValue(Id counter) const;
+
     /** Number of metrics registered, all kinds. */
     std::size_t size() const { return names.size(); }
 

@@ -1,0 +1,92 @@
+#include "reliability/budget_arbiter.hh"
+
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace avf::reliability
+{
+
+namespace
+{
+/** Hours per 1e9 device-hours (the FIT normalization). */
+constexpr double fitHours = 1e9;
+} // namespace
+
+BudgetArbiter::BudgetArbiter(FitModel model, double budgetMttfHours,
+                             double margin)
+    : mttf(std::move(model), budgetMttfHours),
+      goalHours(budgetMttfHours), goalRate(fitHours / budgetMttfHours),
+      releaseMargin(margin)
+{
+    avf_assert(budgetMttfHours > 0.0,
+               "MTTF budget must be positive");
+    avf_assert(releaseMargin > 0.0 && releaseMargin <= 1.0,
+               "release margin must lie in (0, 1]");
+}
+
+BudgetDecision
+BudgetArbiter::decide(
+    const std::array<double, core::numStructures> &avf)
+{
+    mttf.observe(avf);
+
+    BudgetDecision decision;
+    decision.intervalFit = mttf.currentFit();
+    decision.projectedMttfHours = mttf.projectedMttfHours();
+
+    // Hysteretic exceeded state on the interval failure rate.
+    if (!engagedState) {
+        if (decision.intervalFit > goalRate)
+            engagedState = true;
+    } else if (decision.intervalFit < goalRate * releaseMargin) {
+        engagedState = false;
+    }
+    decision.exceeded = engagedState;
+    if (engagedState)
+        ++overBudget;
+
+    // FIT attribution: who is costing the most right now? Ties break
+    // toward the lower enum index, keeping the ordering deterministic.
+    std::size_t target = 0;
+    for (std::size_t s = 0; s < core::numStructures; ++s) {
+        decision.structureFit[s] = mttf.model().structureFit(
+            static_cast<core::Structure>(s), avf[s]);
+        if (decision.structureFit[s] >
+            decision.structureFit[target])
+            target = s;
+    }
+    decision.target = static_cast<core::Structure>(target);
+    decision.targetFit = decision.structureFit[target];
+    decision.coverage = coverageOf(decision.target);
+
+    if (!decision.exceeded)
+        return decision;
+
+    if (throttleable(decision.target)) {
+        decision.action = BudgetDecision::Action::Throttle;
+        return decision;
+    }
+
+    // Protect: raise the target's coverage just enough to absorb the
+    // over-budget share of the rate, assuming the target's AVF holds.
+    decision.action = BudgetDecision::Action::Protect;
+    double uncovered = decision.targetFit;
+    if (uncovered > 0.0) {
+        double excess = decision.intervalFit - goalRate;
+        double current = decision.coverage;
+        // targetFit already includes (1 - current); scale back to the
+        // unprotected contribution before resizing the cover.
+        double raw = uncovered / (1.0 - current);
+        double wanted = current + excess / raw;
+        if (wanted > 1.0)
+            wanted = 1.0;
+        if (wanted > current) {
+            mttf.setCoverage(decision.target, wanted);
+            decision.coverage = wanted;
+        }
+    }
+    return decision;
+}
+
+} // namespace avf::reliability

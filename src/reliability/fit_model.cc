@@ -106,6 +106,26 @@ FitModel::worstCaseFit() const
     return total;
 }
 
+double
+FitModel::structureFit(core::Structure structure, double avf) const
+{
+    double total = 0.0;
+    for (const auto &entry : conf.structures)
+        if (entry.structure == structure)
+            total += conf.rawFitPerBit * entry.bits * avf *
+                     (1.0 - entry.coverage);
+    return total;
+}
+
+double
+FitModel::coverageOf(core::Structure structure) const
+{
+    for (const auto &entry : conf.structures)
+        if (entry.structure == structure)
+            return entry.coverage;
+    return 0.0;
+}
+
 void
 FitModel::setCoverage(core::Structure structure, double coverage)
 {

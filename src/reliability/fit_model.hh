@@ -102,6 +102,16 @@ class FitModel
      */
     void setCoverage(core::Structure structure, double coverage);
 
+    /**
+     * One structure's FIT contribution at @p avf, including its
+     * current coverage; 0 when the structure is absent from the
+     * model. The SOFR attribution the BudgetArbiter ranks by.
+     */
+    double structureFit(core::Structure structure, double avf) const;
+
+    /** Current protection coverage of @p structure (0 when absent). */
+    double coverageOf(core::Structure structure) const;
+
     /** The model's configuration. */
     const FitModelConfig &config() const { return conf; }
 

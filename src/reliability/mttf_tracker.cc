@@ -56,6 +56,12 @@ MttfTracker::meetsGoal() const
     return projectedMttfHours() >= goalHours;
 }
 
+void
+MttfTracker::setCoverage(core::Structure structure, double coverage)
+{
+    fitModel.setCoverage(structure, coverage);
+}
+
 double
 MttfTracker::requiredCoverage() const
 {

@@ -19,7 +19,17 @@
 namespace avf::reliability
 {
 
-/** Rolling MTTF accounting over estimation intervals. */
+/**
+ * Rolling MTTF accounting over estimation intervals.
+ *
+ * Empty-history contract (zero observed intervals): every reader is
+ * well-defined before the first observe(). currentFit() and
+ * averageFit() return 0 (no evidence of any failure rate),
+ * projectedMttfHours() returns +infinity, meetsGoal() is therefore
+ * true, and requiredCoverage() is 0. "No data yet" deliberately reads
+ * as "nothing to protect against yet" — callers that need to
+ * distinguish it check intervals() == 0.
+ */
 class MttfTracker
 {
   public:
@@ -35,13 +45,16 @@ class MttfTracker
     /** Intervals observed. */
     std::size_t intervals() const { return fitSeries.size(); }
 
-    /** Failure rate of the latest interval (FIT). */
+    /** Failure rate of the latest interval (FIT); 0 before the
+     *  first observe(). */
     double currentFit() const;
 
-    /** Running-average failure rate (FIT). */
+    /** Running-average failure rate (FIT); 0 before the first
+     *  observe(). */
     double averageFit() const;
 
-    /** MTTF implied by the running-average failure rate (hours). */
+    /** MTTF implied by the running-average failure rate (hours);
+     *  +infinity before the first observe(). */
     double projectedMttfHours() const;
 
     /** True while the projection meets the goal. */
@@ -59,6 +72,14 @@ class MttfTracker
 
     /** The underlying model. */
     const FitModel &model() const { return fitModel; }
+
+    /**
+     * Adjust one structure's protection coverage in the underlying
+     * model. Affects subsequent observe() calls only — already-folded
+     * intervals keep the rate they were observed at. This is the
+     * adaptive-protection hook the BudgetArbiter actuates.
+     */
+    void setCoverage(core::Structure structure, double coverage);
 
   private:
     FitModel fitModel;

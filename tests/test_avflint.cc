@@ -541,6 +541,36 @@ TEST(AvflintMetricNames, SetupRegistrationAndStepCallsAreClean)
                     .empty());
 }
 
+TEST(AvflintMetricNames, ControlLoopRegistrationIsClean)
+{
+    // The controller's decision metrics, as registered at
+    // construction in src/control/throttle_controller.cc: literal
+    // snake_case names plus the dynamic per-structure coverage
+    // family. None may trip metric-name-discipline.
+    EXPECT_TRUE(withId(
+        lintText("src/control/throttle_controller.cc",
+                 "ThrottleController::ThrottleController(\n"
+                 "    MetricsShard &m, std::string name) {\n"
+                 "    m.registerCounter(\"control_engagements_total\");\n"
+                 "    m.registerCounter(\"control_releases_total\");\n"
+                 "    m.registerCounter(\"control_actuations_total\");\n"
+                 "    m.registerCounter(\n"
+                 "        \"control_throttled_intervals_total\");\n"
+                 "    m.registerCounter(\n"
+                 "        \"budget_exceeded_intervals_total\");\n"
+                 "    m.registerCounter(\"control_protect_actions_total\");\n"
+                 "    m.registerSeries(\"control_engaged\");\n"
+                 "    m.registerSeries(\"budget_fit_total\");\n"
+                 "    m.registerSeries(\"budget_projected_mttf_hours\");\n"
+                 "    m.registerSeries(\"budget_target_structure\");\n"
+                 "    m.registerGauge(\"budget_mttf_hours\");\n"
+                 "    m.registerGauge(\"control_report_latency_cycles\");\n"
+                 "    m.registerSeries(\"control_coverage_\" + name);\n"
+                 "}\n"),
+        "metric-name-discipline")
+                    .empty());
+}
+
 // ---------------------------------------------------------------- //
 // Suppressions end-to-end                                           //
 // ---------------------------------------------------------------- //

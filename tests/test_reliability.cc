@@ -133,6 +133,39 @@ TEST(MttfTracker, GoalLogic)
     EXPECT_NEAR(tracker.projectedMttfHours(), 1e9 / 1.5, 1e-3);
 }
 
+TEST(MttfTracker, EmptyHistoryContract)
+{
+    // Zero observed intervals: every reader is well-defined. "No
+    // data yet" reads as "nothing to protect against yet" — callers
+    // that need to distinguish it check intervals() == 0.
+    FitModel model(tinyModel());
+    MttfTracker tracker(model, 1e9);
+    EXPECT_EQ(tracker.intervals(), 0u);
+    EXPECT_DOUBLE_EQ(tracker.currentFit(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.averageFit(), 0.0);
+    EXPECT_TRUE(std::isinf(tracker.projectedMttfHours()));
+    EXPECT_GT(tracker.projectedMttfHours(), 0.0);
+    EXPECT_TRUE(tracker.meetsGoal());
+    EXPECT_DOUBLE_EQ(tracker.requiredCoverage(), 0.0);
+    EXPECT_TRUE(tracker.history().empty());
+}
+
+TEST(MttfTracker, SetCoverageAffectsOnlySubsequentObserves)
+{
+    FitModel model(tinyModel());
+    MttfTracker tracker(model, 1e9);
+    tracker.observe(avfOf(1.0, 0.0)); // IQ: 1 FIT
+    tracker.setCoverage(Structure::IQ, 0.5);
+    tracker.observe(avfOf(1.0, 0.0)); // now 0.5 FIT
+    ASSERT_EQ(tracker.history().size(), 2u);
+    // The already-folded interval keeps its original rate.
+    EXPECT_NEAR(tracker.history()[0], 1.0, 1e-12);
+    EXPECT_NEAR(tracker.history()[1], 0.5, 1e-12);
+    EXPECT_NEAR(tracker.averageFit(), 0.75, 1e-12);
+    EXPECT_NEAR(tracker.model().coverageOf(Structure::IQ), 0.5,
+                1e-12);
+}
+
 TEST(MttfTracker, HistoryAccumulates)
 {
     FitModel model(tinyModel());

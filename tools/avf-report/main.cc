@@ -11,6 +11,10 @@
  *                                  0.5/sqrt(N) bound flags
  *   phases TRACE.json [--top N]    top-N phase costs
  *   diff OLD.json NEW.json         campaign counter diff
+ *   budget METRICS.json [--task NAME]
+ *                                  control-loop decision trail (FIT,
+ *                                  projected MTTF, arbitration
+ *                                  target, throttle state, coverage)
  *   lifecycle FILE.jsonl           lifecycle outcome summary
  *
  * Exit status: 0 = report printed, 1 = usage error, 2 = unreadable
@@ -39,6 +43,7 @@ usage()
         "  convergence METRICS.json [--task NAME] [--series NAME]\n"
         "  phases TRACE.json [--top N]\n"
         "  diff OLD_METRICS.json NEW_METRICS.json\n"
+        "  budget METRICS.json [--task NAME]\n"
         "  lifecycle FILE.jsonl\n");
     return 1;
 }
@@ -133,6 +138,22 @@ main(int argc, char **argv)
             return 2;
         report::printDiff(std::cout, before, after);
         return 0;
+    }
+
+    if (command == "budget") {
+        if (argc < 3)
+            return usage();
+        std::string task;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--task") == 0 && i + 1 < argc)
+                task = argv[++i];
+            else
+                return usage();
+        }
+        json::Value doc;
+        if (!loadOrComplain(argv[2], doc))
+            return 2;
+        return report::printBudget(std::cout, doc, task) ? 0 : 2;
     }
 
     if (command == "lifecycle") {

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/structures.hh"
 #include "obs/metrics.hh"
 
 namespace avf::report
@@ -359,6 +360,103 @@ printDiff(std::ostream &out, const json::Value &before,
     for (const auto &[name, value] : cb->members)
         if (!ca->find(name))
             row(name, 0.0, value.asDouble());
+}
+
+bool
+printBudget(std::ostream &out, const json::Value &doc,
+            const std::string &taskName)
+{
+    const auto *task = findTask(doc, taskName);
+    if (!task) {
+        out << "budget: "
+            << (taskName.empty()
+                    ? std::string("document has no tasks")
+                    : "no task named '" + taskName + "'")
+            << "\n";
+        return false;
+    }
+    const auto *name = task->find("name", json::Value::Kind::String);
+    const auto *metrics = task->find("metrics");
+    const auto *series = metrics
+        ? metrics->find("series", json::Value::Kind::Object)
+        : nullptr;
+    const auto *gauges = metrics
+        ? metrics->find("gauges", json::Value::Kind::Object)
+        : nullptr;
+    const auto *counters = metrics
+        ? metrics->find("counters", json::Value::Kind::Object)
+        : nullptr;
+    auto arr = [&](const std::string &n) {
+        return series ? series->find(n, json::Value::Kind::Array)
+                      : nullptr;
+    };
+    const auto *fit = arr("budget_fit_total");
+    const auto *mttf = arr("budget_projected_mttf_hours");
+    const auto *target = arr("budget_target_structure");
+    const auto *engagedTrail = arr("control_engaged");
+    if (!fit || !mttf || !target || !engagedTrail) {
+        out << "budget: task '" << (name ? name->text : "")
+            << "' has no budget decision trail (produce one with "
+               "AVF_MTTF_BUDGET_HOURS and AVF_METRICS)\n";
+        return false;
+    }
+
+    double budgetHours = 0.0;
+    const auto *budgetGauge = gauges
+        ? gauges->find("budget_mttf_hours")
+        : nullptr;
+    if (budgetGauge && budgetGauge->isNumber())
+        budgetHours = budgetGauge->asDouble();
+    double latency = 0.0;
+    const auto *latencyGauge = gauges
+        ? gauges->find("control_report_latency_cycles")
+        : nullptr;
+    if (latencyGauge && latencyGauge->isNumber())
+        latency = latencyGauge->asDouble();
+
+    line(out,
+         "budget trail for task '%s': MTTF budget %.4g h "
+         "(goal %.4f FIT), report latency %.0f cycles\n",
+         name ? name->text.c_str() : "", budgetHours,
+         budgetHours > 0.0 ? 1e9 / budgetHours : 0.0, latency);
+    line(out, "%8s %12s %14s %6s %7s %8s\n", "interval", "fit",
+         "mttf_hours", "target", "engaged", "coverage");
+
+    std::size_t rows = std::min(
+        {fit->items.size(), mttf->items.size(), target->items.size(),
+         engagedTrail->items.size()});
+    for (std::size_t k = 0; k < rows; ++k) {
+        int targetIndex = static_cast<int>(
+            target->items[k].asDouble());
+        std::string targetName = "?";
+        double coverage = 0.0;
+        if (targetIndex >= 0 && targetIndex < core::numStructures) {
+            targetName = std::string(core::structureName(
+                static_cast<core::Structure>(targetIndex)));
+            const auto *cover =
+                arr("control_coverage_" + targetName);
+            if (cover && k < cover->items.size())
+                coverage = cover->items[k].asDouble();
+        }
+        bool engaged = engagedTrail->items[k].asDouble() != 0.0;
+        line(out, "%8zu %12.4f %14.4g %6s %7s %8.4f\n", k,
+             fit->items[k].asDouble(), mttf->items[k].asDouble(),
+             targetName.c_str(), engaged ? "ON" : "", coverage);
+    }
+
+    auto counter = [&](const char *n) -> double {
+        const auto *c = counters ? counters->find(n) : nullptr;
+        return c && c->isNumber() ? c->asDouble() : 0.0;
+    };
+    line(out,
+         "%zu intervals: %.0f over budget, %.0f throttled, "
+         "%.0f engagements, %.0f actuations, %.0f protect actions\n",
+         rows, counter("budget_exceeded_intervals_total"),
+         counter("control_throttled_intervals_total"),
+         counter("control_engagements_total"),
+         counter("control_actuations_total"),
+         counter("control_protect_actions_total"));
+    return true;
 }
 
 bool

@@ -102,6 +102,18 @@ void printDiff(std::ostream &out, const json::Value &before,
                const json::Value &after);
 
 /**
+ * Budget decision trail for one task ("" = first task): the
+ * per-interval FIT, projected MTTF, arbitration target, throttle
+ * state, and the target's protection coverage, from the budget_* /
+ * control_* series the controller recorded, followed by the decision
+ * counters. @return false (after printing the reason to @p out) when
+ * the task has no budget trail (run with AVF_MTTF_BUDGET_HOURS and
+ * AVF_METRICS to produce one).
+ */
+bool printBudget(std::ostream &out, const json::Value &doc,
+                 const std::string &taskName);
+
+/**
  * Summarize an injection-lifecycle JSONL stream (export.hh:
  * writeLifecycleJsonl): records and failure/outcome counts per
  * structure. @return false with @p error on the first malformed
