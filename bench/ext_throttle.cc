@@ -30,7 +30,7 @@
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic.hh"
-#include "util/env.hh"
+#include "harness/config_loader.hh"
 
 namespace
 {
@@ -102,7 +102,8 @@ int
 main()
 {
     using stats::TablePrinter;
-    const int intervals = envFlag("AVF_FAST") ? 4 : 15;
+    const int intervals =
+        harness::loadRunOptions().fastMode ? 4 : 15;
 
     TablePrinter table("Closed-loop instruction throttling from "
                        "online AVF (IQ AVF from SoftArch; lower is "

@@ -21,7 +21,7 @@
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic.hh"
-#include "util/env.hh"
+#include "harness/config_loader.hh"
 
 int
 main()
@@ -29,7 +29,7 @@ main()
     using namespace avf;
     using stats::TablePrinter;
 
-    const bool fast = envFlag("AVF_FAST");
+    const bool fast = harness::loadRunOptions().fastMode;
     // Per-M sample budget: enough injections for a stable estimate
     // (sigma <= 0.5/sqrt(800) ~ 0.018) while keeping the largest-M
     // rows affordable.

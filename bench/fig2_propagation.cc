@@ -16,7 +16,7 @@
 #include "stats/table_printer.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/synthetic.hh"
-#include "util/env.hh"
+#include "harness/config_loader.hh"
 
 namespace
 {
@@ -59,7 +59,8 @@ report(const char *name, PropagationProbe &probe)
 int
 main()
 {
-    std::size_t target = envFlag("AVF_FAST") ? 300 : 1500;
+    std::size_t target =
+        harness::loadRunOptions().fastMode ? 300 : 1500;
 
     trace::SyntheticTraceGenerator gen(trace::specProfile("bzip2"));
     cpu::Pipeline pipe(cpu::CpuConfig{}, gen);

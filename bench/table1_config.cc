@@ -5,6 +5,7 @@
  * then runs a short sanity simulation to show the machine is alive.
  */
 
+#include <atomic>
 #include <cstdio>
 
 #include "cpu/pipeline.hh"
@@ -18,7 +19,7 @@ namespace
 using avf::cpu::CpuConfig;
 using avf::stats::TablePrinter;
 
-int failures = 0;
+std::atomic<int> failures{0};
 
 void
 check(bool ok, const char *what)
@@ -96,9 +97,9 @@ main()
                     pipe.memory().l2().stats().missRate() * 100.0);
     }
 
-    if (failures) {
+    if (failures.load()) {
         std::fprintf(stderr, "\n%d parameter(s) differ from Table 1\n",
-                     failures);
+                     failures.load());
         return 1;
     }
     std::printf("\nAll parameters match Table 1.\n");

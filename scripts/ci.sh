@@ -93,6 +93,25 @@ run_tier1() {
 run_lint() {
     echo "=== lint: avflint (unit tests + repo scan vs baseline) ==="
     configure_and_build "$BUILD"
+    # The repo scan runs twice: once as JSON for the CI annotations
+    # and artifact, once human-readable via the avflint_repo ctest
+    # gate below. The JSON pass goes first and tolerates findings
+    # (exit 1) so the report file exists even on a red run — the
+    # workflow uploads it with `if: always()`; any other exit is a
+    # crash and fails right here.
+    rc=0
+    "$BUILD/tools/avflint/avflint" --root . \
+        --baseline tools/avflint/baseline.txt --format=json \
+        src tools bench tests > "$BUILD/LINT.json" || rc=$?
+    if [ "$rc" -gt 1 ]; then
+        echo "ci.sh: avflint --format=json failed (rc=$rc)" >&2
+        exit "$rc"
+    fi
+    # Strict read side: rejects malformed JSON (exit 2) and gates on
+    # the report's ok flag (exit 3 on fresh findings or stale
+    # baseline entries), so the emitter cannot drift from the parser.
+    "$BUILD/tools/avf-report/avf-report" lint "$BUILD/LINT.json"
+    # Unit fixtures + the human-readable repo gate.
     ctest --test-dir "$BUILD" -L lint --output-on-failure
 }
 

@@ -117,6 +117,8 @@ ThrottleController::processRow(std::size_t row)
         m.inc(actuationsId);
         m.inc(engaged ? engagementsId : releasesId);
     }
+    // One bool per control interval, not per cycle.
+    // avflint: allow(hot-path-alloc)
     decisionLog.push_back(engaged);
     m.push(engagedSeriesId, engaged ? 1.0 : 0.0);
     if (engaged)

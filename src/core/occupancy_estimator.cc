@@ -25,6 +25,8 @@ OccupancyEstimator::onCycle(Cycle now)
     lastOccupancySum = sum;
     auto capacity = static_cast<double>(
         pipeline.config().totalIqEntries());
+    // One sample per estimation interval; unbounded by design.
+    // avflint: allow(hot-path-alloc)
     results.push_back(static_cast<double>(delta) /
                       (static_cast<double>(intervalLen) * capacity));
 }

@@ -154,6 +154,8 @@ OnlineAvfEstimator::windowBoundary(Cycle now)
         if (sink)
             sink->closeRecord(target, slot.lane, now);
         if (injections == conf.n) {
+            // One estimate per completed interval of n injections.
+            // avflint: allow(hot-path-alloc)
             results.push_back(static_cast<double>(failures) /
                               static_cast<double>(conf.n));
             injections = 0;

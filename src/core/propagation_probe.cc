@@ -66,6 +66,8 @@ PropagationProbe::onRetire(const cpu::DynInstr &instr,
         return;
     Outcome outcome = port->closed(handle);
     windowOpen = false;
+    // One latency sample per closed injection window, not per
+    // retirement. avflint: allow(hot-path-alloc)
     samples.push_back(static_cast<double>(
         outcome.failCycle - outcome.openedAt));
     port->clearLanes(laneBit(lane));

@@ -64,6 +64,8 @@ FeatureCollector::onCycle(Cycle now)
     row[6] = static_cast<double>(stores) / instrs;
     row[7] = static_cast<double>(branches) / instrs;
     row[8] = static_cast<double>(retired) / cycles; // IPC
+    // One feature row per estimation interval.
+    // avflint: allow(hot-path-alloc)
     rows.push_back(row);
 
     lastIqOcc = stats.iqOccupancySum;
@@ -142,6 +144,8 @@ std::vector<double>
 LinearAvfModel::predictSeries(
     const std::vector<FeatureVector> &rows) const
 {
+    // Runs once per estimation interval and reserves before filling.
+    // avflint: allow(hot-path-alloc)
     std::vector<double> out;
     out.reserve(rows.size());
     for (const auto &row : rows)

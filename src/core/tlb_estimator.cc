@@ -59,6 +59,8 @@ TlbAvfEstimator::onCycle(Cycle now)
         if (outcome.failed)
             ++failures;
         if (injections == conf.n) {
+            // One estimate per completed interval of n injections.
+            // avflint: allow(hot-path-alloc)
             results.push_back(static_cast<double>(failures) /
                               static_cast<double>(conf.n));
             injections = 0;

@@ -29,6 +29,8 @@ UtilizationEstimator::onCycle(Cycle now)
     lastBusy = busy;
     auto units = static_cast<double>(
         pipeline.config().unitsIn(fuClass));
+    // One sample per estimation interval; unbounded by design.
+    // avflint: allow(hot-path-alloc)
     results.push_back(static_cast<double>(delta) /
                       (static_cast<double>(intervalLen) * units));
 }

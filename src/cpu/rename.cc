@@ -16,7 +16,11 @@ RenameUnit::RenameUnit(const CpuConfig &config)
     for (int a = 0; a < numArchFpRegs; ++a)
         map[static_cast<std::size_t>(numArchIntRegs + a)] =
             numIntPhys + a;
-    // Remaining registers populate the free lists.
+    // Remaining registers populate the free lists. A list can hold
+    // every physical register at once; size it here so release()
+    // never grows it per cycle.
+    intFree.reserve(static_cast<std::size_t>(numIntPhys));
+    fpFree.reserve(static_cast<std::size_t>(numFpPhys));
     for (int p = numArchIntRegs; p < numIntPhys; ++p)
         intFree.push_back(p);
     for (int p = numArchFpRegs; p < numFpPhys; ++p)

@@ -47,6 +47,9 @@ ControlFeed::pump(Source &source, Cycle now)
 {
     const auto &fresh = source.estimator->estimates();
     while (source.taken < fresh.size()) {
+        // One staged entry per closed estimation interval (a deque:
+        // chunk reuse keeps steady state off the allocator).
+        // avflint: allow(hot-path-alloc)
         source.staged.emplace_back(now + latency,
                                    fresh[source.taken]);
         ++source.taken;

@@ -76,6 +76,9 @@ LifecycleTracker::PerStructure::PerStructure(const LifecycleConfig &conf)
       hopCountHist(0.0, static_cast<double>(conf.hopCountBins),
                    conf.hopCountBins)
 {
+    // Retention is capped, so one up-front reservation keeps
+    // closeRecord() off the allocator for the simulation's lifetime.
+    records.reserve(conf.maxRecordsPerStructure);
 }
 
 LifecycleTracker::LifecycleTracker(LifecycleConfig config)
@@ -130,10 +133,11 @@ LifecycleTracker::openRecord(Structure s, LaneId lane, int entry,
                              int field, bool live, Cycle now)
 {
     OpenWindow &win = windowAt(lane);
+    std::string_view sname = structureName(s);
     avf_assert(!(openLaneMask & laneBit(lane)),
-               "lifecycle record for %s lane %d opened twice (one "
+               "lifecycle record for %.*s lane %d opened twice (one "
                "window at a time per lane)",
-               std::string(structureName(s)).c_str(), lane);
+               static_cast<int>(sname.size()), sname.data(), lane);
     openLaneMask |= laneBit(lane);
     win.failed = false;
     win.sawKill = false;
@@ -153,10 +157,13 @@ LifecycleTracker::closeRecord(Structure s, LaneId lane, Cycle now)
     avf_assert(openLaneMask & laneBit(lane),
                "lifecycle close without an open record on lane %d",
                lane);
+    std::string_view byName = structureName(s);
+    std::string_view openerName = structureName(win.rec.structure);
     avf_assert(win.rec.structure == s,
-               "lifecycle close of lane %d by %s, opened by %s", lane,
-               std::string(structureName(s)).c_str(),
-               std::string(structureName(win.rec.structure)).c_str());
+               "lifecycle close of lane %d by %.*s, opened by %.*s",
+               lane, static_cast<int>(byName.size()), byName.data(),
+               static_cast<int>(openerName.size()),
+               openerName.data());
     openLaneMask &= ~laneBit(lane);
 
     LifecycleRecord &rec = win.rec;

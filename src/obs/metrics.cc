@@ -214,6 +214,9 @@ MetricsShard::observe(Id histogram, double value)
 void
 MetricsShard::push(Id series, double value)
 {
+    // Series grow by one point per closed estimation interval, not
+    // per cycle; length is workload-dependent, so no bound to
+    // reserve. avflint: allow(hot-path-alloc)
     seriesData[series].second.push_back(value);
 }
 

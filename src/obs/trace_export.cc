@@ -72,6 +72,8 @@ TraceWriter::setThreadName(std::uint32_t tid, std::string name)
 void
 TraceWriter::addSpan(TraceSpan span)
 {
+    // Spans are recorded at phase granularity during report
+    // assembly, never per cycle. avflint: allow(hot-path-alloc)
     spans.push_back(std::move(span));
 }
 

@@ -23,6 +23,8 @@ MttfTracker::observe(
     const std::array<double, core::numStructures> &avf)
 {
     double rate = fitModel.fit(avf);
+    // One FIT sample per control interval, retained for reporting;
+    // length is workload-dependent. avflint: allow(hot-path-alloc)
     fitSeries.push_back(rate);
     fitSum += rate;
 }

@@ -38,6 +38,9 @@ AceAnalyzer::onRetire(const cpu::DynInstr &instr, const cpu::RetireInfo &)
     rec.inIq = instr.iqGlobalEntry >= 0;
     rec.failurePoint = instr.isFailurePoint();
     rec.fuClass = static_cast<std::uint8_t>(instr.fu);
+    // Post-hoc ACE analysis buffers the retire window by design; the
+    // front-erase in finalizeInterval() keeps capacity, so growth
+    // stops after warm-up. avflint: allow(hot-path-alloc)
     records.push_back(rec);
 }
 
@@ -191,6 +194,8 @@ AceAnalyzer::emitBucket(std::size_t idx)
     avf[Structure::FREG] =
         bucket.aceCycles[static_cast<int>(Structure::FREG)] /
         (interval * static_cast<double>(conf_cpu.fpPhysRegs));
+    // One row per finalized analysis interval.
+    // avflint: allow(hot-path-alloc)
     output.push_back(avf);
 }
 

@@ -111,7 +111,8 @@ class Histogram
 class EmpiricalCdf
 {
   public:
-    /** Add one sample. */
+    /** Add one sample (per closed probe window, not per cycle).
+     *  avflint: allow(hot-path-alloc) */
     void add(double x) { samples.push_back(x); sorted = false; }
 
     /** Number of samples held. */

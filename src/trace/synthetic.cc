@@ -56,7 +56,11 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(WorkloadProfile profile)
     for (auto &base : hotRegion)
         base = dataBase + rng.below(region_span);
     // Seed the pools so the first instructions have sources to read:
-    // low registers model long-lived pointers/loop counters.
+    // low registers model long-lived pointers/loop counters. Each
+    // pool is trimmed to maxPoolDepth, so reserving one extra slot
+    // keeps produce() off the allocator for good.
+    intPool.reserve(maxPoolDepth + 1);
+    fpPool.reserve(maxPoolDepth + 1);
     for (RegIndex r = 0; r < 6; ++r)
         intPool.push_back(r);
     for (RegIndex r = numArchIntRegs; r < numArchIntRegs + 6; ++r)
@@ -119,8 +123,10 @@ SyntheticTraceGenerator::produce(RegIndex reg, bool fp)
     pool.erase(std::remove(pool.begin(), pool.end(), reg), pool.end());
     // Dead values never enter the readable pool: no later instruction
     // will source them, so they are pure architectural masking.
+    // `pool` aliases intPool/fpPool, both reserved to maxPoolDepth+1
+    // in the constructor.
     if (!rng.chance(active.deadFrac))
-        pool.push_back(reg);
+        pool.push_back(reg); // avflint: allow(hot-path-alloc)
     if (pool.size() > maxPoolDepth)
         pool.erase(pool.begin(),
                    pool.begin() + static_cast<std::ptrdiff_t>(

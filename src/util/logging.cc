@@ -27,6 +27,11 @@ std::atomic<int> currentLevel{-1};
 int
 loadLevelFromEnv()
 {
+    // AVF_LOG_LEVEL must be readable before any config file loads —
+    // logging is what reports loader failures — and the value is
+    // strict-validated by parseLogLevel (fatal() on junk), so this
+    // is the one read outside the config loader.
+    // avflint: allow(env-knob-discipline)
     const char *val = std::getenv("AVF_LOG_LEVEL");
     if (!val || !*val)
         return static_cast<int>(LogLevel::Info);
@@ -71,6 +76,9 @@ vformat(const char *fmt, va_list args)
     va_end(measure);
     if (needed < 0)
         needed = 0;
+    // Log lines are rendered only past the severity filter (or on
+    // panic), never on the per-cycle simulation path.
+    // avflint: allow(hot-path-alloc)
     std::string text(static_cast<std::size_t>(needed), '\0');
     std::vsnprintf(text.data(), static_cast<std::size_t>(needed) + 1,
                    fmt, args);
@@ -81,6 +89,7 @@ vformat(const char *fmt, va_list args)
 void
 vemitLine(const char *tag, const char *fmt, va_list args)
 {
+    // Same cold path as vformat. avflint: allow(hot-path-alloc)
     emitRaw(std::string(tag) + ": " + vformat(fmt, args));
 }
 

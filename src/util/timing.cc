@@ -97,11 +97,14 @@ PhaseAccumulator::add(std::string_view phase, double ns)
         }
     }
     PhaseStats fresh;
+    // First lap of a new phase name only; the slot table is bounded
+    // by the distinct phases. avflint: allow(hot-path-alloc)
     fresh.name = std::string(phase);
     fresh.count = 1;
     fresh.totalNs = ns;
     fresh.minNs = ns;
     fresh.maxNs = ns;
+    // avflint: allow(hot-path-alloc)
     slots.push_back(std::move(fresh));
 }
 
@@ -120,6 +123,8 @@ PhaseAccumulator::get(std::string_view phase) const
         if (slot.name == phase)
             return slot;
     PhaseStats empty;
+    // Reporting-time query, not per-cycle.
+    // avflint: allow(hot-path-alloc)
     empty.name = std::string(phase);
     return empty;
 }
@@ -145,8 +150,11 @@ PhaseAccumulator::merge(const PhaseAccumulator &other)
                 break;
             }
         }
-        if (!found)
+        if (!found) {
+            // Merge runs once at report assembly.
+            // avflint: allow(hot-path-alloc)
             slots.push_back(theirs);
+        }
     }
 }
 

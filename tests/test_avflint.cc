@@ -10,19 +10,28 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "avflint/checks.hh"
 #include "avflint/lexer.hh"
+#include "avflint/report.hh"
+#include "util/json.hh"
 
 namespace
 {
 
 using avf::lint::Baseline;
+using avf::lint::collectFiles;
 using avf::lint::Finding;
+using avf::lint::formatJsonReport;
 using avf::lint::lex;
+using avf::lint::Linter;
 using avf::lint::lintText;
+using avf::lint::Report;
+using avf::lint::Severity;
 using avf::lint::SourceFile;
 using avf::lint::TokKind;
 
@@ -81,6 +90,57 @@ TEST(AvflintLexer, HandlesRawStrings)
                             [](const auto &t) {
                                 return t.isIdent("a");
                             }));
+}
+
+TEST(AvflintLexer, RecognizesEncodedRawStrings)
+{
+    // Regression: u8R"(...)" used to be lexed as the identifier `u8R`
+    // followed by an ordinary string, so the raw body leaked tokens
+    // (here: a determinism violation that is really just text).
+    SourceFile src = lex(
+        "x.cc",
+        "auto a = u8R\"(rand() \" quote)\"; int u8done;\n"
+        "auto b = LR\"sep(srand(7))sep\"; int ldone;\n");
+    for (const auto &tok : src.tokens) {
+        EXPECT_NE(tok.text, "rand");
+        EXPECT_NE(tok.text, "srand");
+    }
+    EXPECT_TRUE(std::any_of(src.tokens.begin(), src.tokens.end(),
+                            [](const auto &t) {
+                                return t.isIdent("u8done");
+                            }));
+    EXPECT_TRUE(std::any_of(src.tokens.begin(), src.tokens.end(),
+                            [](const auto &t) {
+                                return t.isIdent("ldone");
+                            }));
+    EXPECT_TRUE(withId(lintText("x.cc",
+                                "auto s = u8R\"(rand())\";\n"),
+                       "determinism")
+                    .empty());
+}
+
+TEST(AvflintLexer, MultiLineStringReportsOpeningLine)
+{
+    // Regression: a string continued over a backslash-newline used to
+    // be anchored at its *closing* line, so findings (and allow
+    // directives) pointed one-or-more lines below the code.
+    SourceFile src = lex("x.cc",
+                         "const char *s = \"line one \\\n"
+                         "line two\";\n"
+                         "char c = 'x';\n"
+                         "int after;\n");
+    auto str = std::find_if(src.tokens.begin(), src.tokens.end(),
+                            [](const auto &t) {
+                                return t.kind == TokKind::String;
+                            });
+    ASSERT_NE(str, src.tokens.end());
+    EXPECT_EQ(str->line, 1);
+    auto after = std::find_if(src.tokens.begin(), src.tokens.end(),
+                              [](const auto &t) {
+                                  return t.isIdent("after");
+                              });
+    ASSERT_NE(after, src.tokens.end());
+    EXPECT_EQ(after->line, 4);
 }
 
 TEST(AvflintLexer, LexesMultiCharOperatorsAsOneToken)
@@ -572,6 +632,323 @@ TEST(AvflintMetricNames, ControlLoopRegistrationIsClean)
 }
 
 // ---------------------------------------------------------------- //
+// shared-state-discipline                                           //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintSharedState, FlagsUnguardedStaticWrites)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "namespace avf {\n"
+                 "int hits = 0;\n"
+                 "void record() { hits += 1; }\n"
+                 "}\n"),
+        "shared-state-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 3);
+    EXPECT_EQ(findings[0].severity, Severity::Error);
+    EXPECT_NE(findings[0].message.find("'hits'"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("declared line 2"),
+              std::string::npos);
+
+    // Function-local statics are shared storage too.
+    EXPECT_EQ(withId(lintText("src/foo.cc",
+                              "int f() {\n"
+                              "    static int calls = 0;\n"
+                              "    return ++calls;\n"
+                              "}\n"),
+                     "shared-state-discipline")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintSharedState, FlagsGuardedByNamingNoMutex)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "// avflint: guarded_by(poolMutex)\n"
+                 "int pool = 0;\n"
+                 "void f() { pool += 1; }\n"),
+        "shared-state-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 2); // anchored at the declaration
+    EXPECT_NE(findings[0].message.find("names no mutex"),
+              std::string::npos);
+}
+
+TEST(AvflintSharedState, AcceptsSanctionedForms)
+{
+    // std::atomic.
+    EXPECT_TRUE(withId(lintText("src/foo.cc",
+                                "std::atomic<int> hits{0};\n"
+                                "void f() { hits += 1; }\n"),
+                       "shared-state-discipline")
+                    .empty());
+    // guarded_by naming a mutex declared in the same file.
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "std::mutex poolMutex;\n"
+                 "// avflint: guarded_by(poolMutex)\n"
+                 "int pool = 0;\n"
+                 "void f() {\n"
+                 "    std::lock_guard<std::mutex> g(poolMutex);\n"
+                 "    pool += 1;\n"
+                 "}\n"),
+        "shared-state-discipline")
+                    .empty());
+    // const and reads need no synchronization; initializers are not
+    // writes; locals shadowing the static belong to the function.
+    EXPECT_TRUE(withId(lintText("src/foo.cc",
+                                "const int limit = 4;\n"
+                                "int base = 3;\n"
+                                "int get() { return base; }\n"
+                                "void f() {\n"
+                                "    int base = 0;\n"
+                                "    base += 1;\n"
+                                "    use(base);\n"
+                                "}\n"),
+                       "shared-state-discipline")
+                    .empty());
+    // The config loader owns its caches by design.
+    EXPECT_TRUE(withId(lintText("src/harness/config_loader.cc",
+                                "int cached = 0;\n"
+                                "void f() { cached = 1; }\n"),
+                       "shared-state-discipline")
+                    .empty());
+}
+
+TEST(AvflintSharedState, SuppressionCommentIsHonored)
+{
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "int hits = 0;\n"
+                 "// avflint: allow(shared-state-discipline)\n"
+                 "void bump() { hits += 1; }\n"),
+        "shared-state-discipline")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// hot-path-alloc                                                    //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintHotPathAlloc, FlagsAllocationInHotBodies)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "void Pipeline::onCycle(Cycle now) {\n"
+                 "    log.push_back(now);\n"
+                 "}\n"),
+        "hot-path-alloc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 2);
+    EXPECT_EQ(findings[0].severity, Severity::Warn);
+    EXPECT_NE(findings[0].message.find("reserve"), std::string::npos);
+
+    EXPECT_EQ(withId(lintText("src/foo.cc",
+                              "void X::onRetire(const DynInstr &i) "
+                              "{ auto *n = new Node(i); keep(n); }\n"),
+                     "hot-path-alloc")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("src/foo.cc",
+                              "void Engine::step() {\n"
+                              "    std::string tag = name();\n"
+                              "    use(tag);\n"
+                              "}\n"),
+                     "hot-path-alloc")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintHotPathAlloc, FollowsTheIntraRepoCallGraph)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "void refill() { buf.push_back(1); }\n"
+                 "void Engine::step() { refill(); }\n"),
+        "hot-path-alloc");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 1);
+    EXPECT_NE(findings[0].message.find("step -> refill"),
+              std::string::npos);
+
+    // The same helper with no hot caller is cold: report assembly,
+    // setup and teardown may allocate freely.
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "void refill() { buf.push_back(1); }\n"
+                 "void report() { refill(); }\n"),
+        "hot-path-alloc")
+                    .empty());
+}
+
+TEST(AvflintHotPathAlloc, ReserveAnywhereInFileSanctionsAppends)
+{
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "Engine::Engine(int n) { buf.reserve(n); }\n"
+                 "void Engine::onCycle(Cycle c) { "
+                 "buf.push_back(c); }\n"),
+        "hot-path-alloc")
+                    .empty());
+    // constexpr/static strings are compile-time or once-only.
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "void Engine::step() {\n"
+                 "    static const std::string tag = \"x\";\n"
+                 "    use(tag);\n"
+                 "}\n"),
+        "hot-path-alloc")
+                    .empty());
+}
+
+TEST(AvflintHotPathAlloc, SuppressionCommentIsHonored)
+{
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "void Engine::onCycle(Cycle c) {\n"
+                 "    // One sample per closed interval.\n"
+                 "    // avflint: allow(hot-path-alloc)\n"
+                 "    results.push_back(estimate());\n"
+                 "}\n"),
+        "hot-path-alloc")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// env-knob-discipline                                               //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintEnvKnob, FlagsGetenvOutsideTheConfigLoader)
+{
+    auto findings = withId(
+        lintText("src/core/foo.cc",
+                 "void f() { const char *v = getenv(\"AVF_X\"); }\n"),
+        "env-knob-discipline");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 1);
+    EXPECT_NE(findings[0].message.find("loadRunOptions"),
+              std::string::npos);
+}
+
+TEST(AvflintEnvKnob, FlagsWrapperCallsCrossFile)
+{
+    // A helper that wraps getenv taints its cross-file callers: the
+    // knob still bypasses loadRunOptions validation.
+    Linter linter;
+    linter.addFile(lex("src/util/env.cc",
+                       "const char *readKnob(const char *k) "
+                       "{ return getenv(k); }\n"));
+    linter.addFile(lex("bench/foo.cc",
+                       "void f() { use(readKnob(\"AVF_X\")); }\n"));
+    auto findings = withId(linter.run(), "env-knob-discipline");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].file, "bench/foo.cc");
+    EXPECT_NE(findings[0].message.find("readKnob"),
+              std::string::npos);
+    EXPECT_NE(findings[0].message.find("src/util/env.cc"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].file, "src/util/env.cc");
+}
+
+TEST(AvflintEnvKnob, ConfigLoaderAndItsApiAreSanctioned)
+{
+    // getenv inside the loader itself is the point of the file.
+    EXPECT_TRUE(withId(
+        lintText("src/harness/config_loader.cc",
+                 "void load() { const char *v = "
+                 "getenv(\"AVF_FAST\"); use(v); }\n"),
+        "env-knob-discipline")
+                    .empty());
+    // Callers of a wrapper *defined in* the sanctioned loader are the
+    // recommended fix, not a violation.
+    Linter linter;
+    linter.addFile(lex("src/harness/config_loader.cc",
+                       "RunOptions loadRunOptions() "
+                       "{ check(getenv(\"AVF_FAST\")); }\n"));
+    linter.addFile(lex("bench/foo.cc",
+                       "void f() { auto opts = loadRunOptions(); }\n"));
+    auto findings = withId(linter.run(), "env-knob-discipline");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AvflintEnvKnob, SuppressionCommentIsHonored)
+{
+    EXPECT_TRUE(withId(
+        lintText("src/util/logging.cc",
+                 "// Must be readable before config loads.\n"
+                 "// avflint: allow(env-knob-discipline)\n"
+                 "const char *raw = getenv(\"AVF_LOG_LEVEL\");\n"),
+        "env-knob-discipline")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// lock-discipline                                                   //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintLockDiscipline, FlagsNakedLockAndUnlock)
+{
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "std::mutex m;\n"
+                 "void f() { m.lock(); work(); m.unlock(); }\n"),
+        "lock-discipline");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_NE(findings[0].message.find(".lock()"), std::string::npos);
+    EXPECT_NE(findings[1].message.find(".unlock()"),
+              std::string::npos);
+    EXPECT_EQ(withId(lintText("src/foo.cc",
+                              "void f(Queue &q) { "
+                              "if (q.mtx.try_lock()) { work(); } }\n"),
+                     "lock-discipline")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintLockDiscipline, RaiiLocksAreTheSanctionedForm)
+{
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "std::mutex m;\n"
+                 "void f() { std::lock_guard<std::mutex> g(m); "
+                 "work(); }\n"),
+        "lock-discipline")
+                    .empty());
+    // unique_lock may relock itself: that is still RAII.
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "std::mutex m;\n"
+                 "void f() {\n"
+                 "    std::unique_lock<std::mutex> lk(m);\n"
+                 "    lk.unlock();\n"
+                 "    compute();\n"
+                 "    lk.lock();\n"
+                 "}\n"),
+        "lock-discipline")
+                    .empty());
+    // std::lock(a, b) is a free function, not a member call.
+    EXPECT_TRUE(withId(lintText("src/foo.cc",
+                                "void f() { std::lock(a, b); }\n"),
+                       "lock-discipline")
+                    .empty());
+}
+
+TEST(AvflintLockDiscipline, SuppressionCommentIsHonored)
+{
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "void f(std::mutex &m) {\n"
+                 "    // Handing the lock across an API boundary.\n"
+                 "    // avflint: allow(lock-discipline)\n"
+                 "    m.lock();\n"
+                 "}\n"),
+        "lock-discipline")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
 // Suppressions end-to-end                                           //
 // ---------------------------------------------------------------- //
 
@@ -623,6 +1000,176 @@ TEST(AvflintBaseline, KeyIgnoresLineNumbers)
     Finding late{"src/foo.cc", 99, "checked-io", "msg"};
     EXPECT_EQ(early.key(), late.key());
     EXPECT_NE(early.format(), late.format());
+}
+
+// ---------------------------------------------------------------- //
+// collectFiles                                                      //
+// ---------------------------------------------------------------- //
+
+class AvflintCollectFiles : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        namespace fs = std::filesystem;
+        root = fs::temp_directory_path() / "avflint_collect_test";
+        fs::remove_all(root);
+        for (const char *dir :
+             {"src/sub", "build", "build-release", ".git", "results"})
+            fs::create_directories(root / dir);
+        for (const char *file :
+             {"src/b.cc", "src/a.hh", "src/sub/c.hpp", "src/note.md",
+              "build/gen.cc", "build-release/gen.cc", ".git/hook.cc",
+              "results/out.cc", "top.cpp", "README.md"})
+            std::ofstream((root / file).string()) << "int x;\n";
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(root);
+    }
+
+    std::filesystem::path root;
+};
+
+TEST_F(AvflintCollectFiles, RecursesSkipsAndSorts)
+{
+    auto files = collectFiles(root.string(), {"."});
+    std::vector<std::string> expected = {
+        "src/a.hh", "src/b.cc", "src/sub/c.hpp", "top.cpp"};
+    EXPECT_EQ(files, expected); // build*/VCS/results skipped, sorted
+}
+
+TEST_F(AvflintCollectFiles, AcceptsMixedFileAndDirectoryArgs)
+{
+    auto files = collectFiles(root.string(), {"top.cpp", "src"});
+    std::vector<std::string> expected = {
+        "src/a.hh", "src/b.cc", "src/sub/c.hpp", "top.cpp"};
+    EXPECT_EQ(files, expected);
+    // Non-lintable and missing file arguments drop out quietly.
+    EXPECT_TRUE(
+        collectFiles(root.string(), {"README.md", "gone.cc"}).empty());
+}
+
+TEST_F(AvflintCollectFiles, DeduplicatesOverlappingArgs)
+{
+    auto files = collectFiles(root.string(),
+                              {"src", "src", "src/b.cc"});
+    std::vector<std::string> expected = {
+        "src/a.hh", "src/b.cc", "src/sub/c.hpp"};
+    EXPECT_EQ(files, expected);
+}
+
+// ---------------------------------------------------------------- //
+// JSON report: must round-trip through the strict util/json parser  //
+// ---------------------------------------------------------------- //
+
+Report
+sampleReport()
+{
+    Report r;
+    r.root = ".";
+    r.filesScanned = 2;
+    r.lexParseMicros = 1234;
+    r.checkMicros["determinism"] = 56;
+    r.checkMicros["hot-path-alloc"] = 78;
+    Finding fresh{"src/a.cc", 3, "determinism",
+                  "rand() with \"quotes\" and a \\ backslash",
+                  Severity::Error};
+    Finding old{"src/b.cc", 9, "hot-path-alloc",
+                "push_back in the hot path", Severity::Warn};
+    r.findings = {fresh, old};
+    r.baselined = {false, true};
+    r.staleBaseline = {"src/gone.cc: [exit-site] stale"};
+    return r;
+}
+
+TEST(AvflintJsonReport, RoundTripsThroughStrictParser)
+{
+    std::string text = formatJsonReport(sampleReport());
+    avf::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(avf::json::parse(text, doc, error)) << error;
+
+    const auto *schema = doc.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->text, "avflint-v1");
+    EXPECT_EQ(doc.find("filesScanned")->asUint(), 2u);
+    EXPECT_EQ(doc.find("fresh")->asUint(), 1u);
+    EXPECT_EQ(doc.find("baselined")->asUint(), 1u);
+    ASSERT_NE(doc.find("ok"), nullptr);
+    EXPECT_FALSE(doc.find("ok")->boolean);
+
+    const auto *findings = doc.find("findings");
+    ASSERT_NE(findings, nullptr);
+    ASSERT_EQ(findings->items.size(), 2u);
+    const auto &first = findings->items[0];
+    EXPECT_EQ(first.find("file")->text, "src/a.cc");
+    EXPECT_EQ(first.find("line")->asUint(), 3u);
+    EXPECT_EQ(first.find("check")->text, "determinism");
+    EXPECT_EQ(first.find("severity")->text, "error");
+    EXPECT_FALSE(first.find("baselined")->boolean);
+    // Escapes decode back to the original message bytes.
+    EXPECT_EQ(first.find("message")->text,
+              "rand() with \"quotes\" and a \\ backslash");
+    EXPECT_EQ(findings->items[1].find("severity")->text, "warn");
+    EXPECT_TRUE(findings->items[1].find("baselined")->boolean);
+
+    const auto *stale = doc.find("staleBaseline");
+    ASSERT_NE(stale, nullptr);
+    ASSERT_EQ(stale->items.size(), 1u);
+    EXPECT_EQ(stale->items[0].text,
+              "src/gone.cc: [exit-site] stale");
+}
+
+TEST(AvflintJsonReport, EveryRegisteredCheckAppearsWithTiming)
+{
+    std::string text = formatJsonReport(sampleReport());
+    avf::json::Value doc;
+    std::string error;
+    ASSERT_TRUE(avf::json::parse(text, doc, error)) << error;
+
+    const auto *checks = doc.find("checks");
+    ASSERT_NE(checks, nullptr);
+    const auto &registry = avf::lint::checkRegistry();
+    ASSERT_EQ(checks->items.size(), registry.size());
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+        const auto &entry = checks->items[i];
+        EXPECT_EQ(entry.find("id")->text, registry[i].id);
+        EXPECT_EQ(entry.find("severity")->text,
+                  avf::lint::severityName(registry[i].severity));
+        ASSERT_NE(entry.find("micros"), nullptr);
+        ASSERT_NE(entry.find("findings"), nullptr);
+    }
+    // The per-check timings fed in show up verbatim.
+    auto micros = [&](std::string_view id) -> std::uint64_t {
+        for (const auto &entry : checks->items)
+            if (entry.find("id")->text == id)
+                return entry.find("micros")->asUint();
+        return ~0ull;
+    };
+    EXPECT_EQ(micros("determinism"), 56u);
+    EXPECT_EQ(micros("hot-path-alloc"), 78u);
+}
+
+TEST(AvflintJsonReport, OkReflectsFreshAndStale)
+{
+    Report clean;
+    clean.root = ".";
+    EXPECT_TRUE(clean.ok());
+
+    Report stale;
+    stale.staleBaseline = {"src/x.cc: [determinism] gone"};
+    EXPECT_FALSE(stale.ok()); // the ratchet turns both ways
+
+    Report absorbed = sampleReport();
+    absorbed.baselined = {true, true};
+    EXPECT_EQ(absorbed.freshCount(), 0u);
+    EXPECT_FALSE(absorbed.ok()); // still stale
+    absorbed.staleBaseline.clear();
+    EXPECT_TRUE(absorbed.ok());
 }
 
 // ---------------------------------------------------------------- //

@@ -28,7 +28,10 @@ class RetireCollector : public PipelineObserver
     void
     onRetire(const DynInstr &instr, const RetireInfo &info) override
     {
+        // Test-only collector; runs are a few hundred instructions.
+        // avflint: allow(hot-path-alloc)
         retired.push_back(instr);
+        // avflint: allow(hot-path-alloc)
         infos.push_back(info);
     }
 

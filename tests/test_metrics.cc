@@ -354,6 +354,76 @@ TEST(Report, RejectsMalformedMetricsDocuments)
     EXPECT_NE(error.find("totals"), std::string::npos);
 }
 
+TEST(Report, LoadsAndGatesLintReports)
+{
+    // A minimal but complete avflint-v1 document, as the emitter
+    // writes it (test_avflint.cc round-trips the real emitter; this
+    // covers the read side's validation and the ok gate).
+    const std::string text =
+        "{\"schema\": \"avflint-v1\", \"root\": \".\", "
+        "\"filesScanned\": 1, \"lexParseMicros\": 10, "
+        "\"checks\": [{\"id\": \"determinism\", \"severity\": "
+        "\"error\", \"description\": \"d\", \"findings\": 1, "
+        "\"micros\": 5}], "
+        "\"findings\": [{\"file\": \"src/a.cc\", \"line\": 3, "
+        "\"check\": \"determinism\", \"severity\": \"error\", "
+        "\"baselined\": false, \"message\": \"rand()\"}], "
+        "\"fresh\": 1, \"baselined\": 0, \"staleBaseline\": [], "
+        "\"ok\": false}";
+    json::Value doc;
+    std::string error;
+    ASSERT_TRUE(report::loadLintDoc(text, doc, error)) << error;
+
+    std::ostringstream plain;
+    EXPECT_FALSE(report::printLintReport(plain, doc, false));
+    EXPECT_NE(plain.str().find("src/a.cc:3: [determinism] rand()"),
+              std::string::npos);
+    EXPECT_EQ(plain.str().find("::error"), std::string::npos);
+
+    // --github adds workflow-command annotations for fresh findings.
+    std::ostringstream github;
+    EXPECT_FALSE(report::printLintReport(github, doc, true));
+    EXPECT_NE(github.str().find("::error file=src/a.cc,line=3::"
+                                "[determinism] rand()"),
+              std::string::npos);
+}
+
+TEST(Report, RejectsMalformedLintDocuments)
+{
+    json::Value doc;
+    std::string error;
+
+    EXPECT_FALSE(report::loadLintDoc("not json", doc, error));
+    EXPECT_NE(error.find("offset"), std::string::npos);
+
+    EXPECT_FALSE(report::loadLintDoc(
+        "{\"schema\": \"avflint-v0\", \"checks\": [], "
+        "\"findings\": [], \"staleBaseline\": [], \"ok\": true}",
+        doc, error));
+    EXPECT_NE(error.find("schema"), std::string::npos);
+
+    EXPECT_FALSE(report::loadLintDoc(
+        "{\"schema\": \"avflint-v1\", \"findings\": [], "
+        "\"staleBaseline\": [], \"ok\": true}",
+        doc, error));
+    EXPECT_NE(error.find("checks"), std::string::npos);
+
+    // A finding missing its baselined flag.
+    EXPECT_FALSE(report::loadLintDoc(
+        "{\"schema\": \"avflint-v1\", \"checks\": [], "
+        "\"findings\": [{\"file\": \"a\", \"line\": 1, \"check\": "
+        "\"c\", \"severity\": \"error\", \"message\": \"m\"}], "
+        "\"staleBaseline\": [], \"ok\": true}",
+        doc, error));
+    EXPECT_NE(error.find("baselined"), std::string::npos);
+
+    EXPECT_FALSE(report::loadLintDoc(
+        "{\"schema\": \"avflint-v1\", \"checks\": [], "
+        "\"findings\": [], \"staleBaseline\": [], \"ok\": 1}",
+        doc, error));
+    EXPECT_NE(error.find("ok"), std::string::npos);
+}
+
 TEST(Report, LifecycleViewGroupsByStructureAndLane)
 {
     // Lane-tagged records split into (structure, lane) rows; records

@@ -30,6 +30,7 @@ class RetireCollector : public PipelineObserver
     void
     onRetire(const DynInstr &instr, const RetireInfo &) override
     {
+        // Test-only collector. avflint: allow(hot-path-alloc)
         retired.push_back(instr);
     }
     std::vector<DynInstr> retired;

@@ -1,7 +1,7 @@
 /**
  * @file
  * Unit tests for the util library: PRNG determinism and statistical
- * sanity, bit vector behaviour, env helpers, and string hashing.
+ * sanity, bit vector behaviour, and string hashing.
  */
 
 #include <gtest/gtest.h>
@@ -10,7 +10,6 @@
 #include <set>
 
 #include "util/bitvector.hh"
-#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -231,37 +230,7 @@ TEST(BitVector, ClearAll)
     EXPECT_EQ(bits.count(), 0u);
 }
 
-TEST(Env, IntFallbackAndParse)
-{
-    ::unsetenv("AVF_TEST_INT");
-    EXPECT_EQ(avf::envInt("AVF_TEST_INT", 7), 7);
-    ::setenv("AVF_TEST_INT", "42", 1);
-    EXPECT_EQ(avf::envInt("AVF_TEST_INT", 7), 42);
-    ::setenv("AVF_TEST_INT", "junk", 1);
-    EXPECT_EQ(avf::envInt("AVF_TEST_INT", 7), 7);
-    ::unsetenv("AVF_TEST_INT");
-}
 
-TEST(Env, FlagRecognizesTruthyValues)
-{
-    ::unsetenv("AVF_TEST_FLAG");
-    EXPECT_FALSE(avf::envFlag("AVF_TEST_FLAG"));
-    ::setenv("AVF_TEST_FLAG", "1", 1);
-    EXPECT_TRUE(avf::envFlag("AVF_TEST_FLAG"));
-    ::setenv("AVF_TEST_FLAG", "true", 1);
-    EXPECT_TRUE(avf::envFlag("AVF_TEST_FLAG"));
-    ::setenv("AVF_TEST_FLAG", "0", 1);
-    EXPECT_FALSE(avf::envFlag("AVF_TEST_FLAG"));
-    ::unsetenv("AVF_TEST_FLAG");
-}
 
-TEST(Env, StringFallback)
-{
-    ::unsetenv("AVF_TEST_STR");
-    EXPECT_EQ(avf::envString("AVF_TEST_STR", "dflt"), "dflt");
-    ::setenv("AVF_TEST_STR", "value", 1);
-    EXPECT_EQ(avf::envString("AVF_TEST_STR", "dflt"), "value");
-    ::unsetenv("AVF_TEST_STR");
-}
 
 } // namespace

@@ -16,9 +16,14 @@
  *                                  projected MTTF, arbitration
  *                                  target, throttle state, coverage)
  *   lifecycle FILE.jsonl           lifecycle outcome summary
+ *   lint LINT.json [--github]      avflint --format=json report;
+ *                                  --github adds ::error/::warning
+ *                                  workflow-command annotations
  *
  * Exit status: 0 = report printed, 1 = usage error, 2 = unreadable
- * or malformed input.
+ * or malformed input. `lint` additionally exits 3 when the report
+ * itself is not ok (fresh findings or stale baseline entries), so CI
+ * can distinguish "lint failed" from "report unreadable".
  */
 
 #include <cstdio>
@@ -44,7 +49,8 @@ usage()
         "  phases TRACE.json [--top N]\n"
         "  diff OLD_METRICS.json NEW_METRICS.json\n"
         "  budget METRICS.json [--task NAME]\n"
-        "  lifecycle FILE.jsonl\n");
+        "  lifecycle FILE.jsonl\n"
+        "  lint LINT.json [--github]\n");
     return 1;
 }
 
@@ -154,6 +160,31 @@ main(int argc, char **argv)
         if (!loadOrComplain(argv[2], doc))
             return 2;
         return report::printBudget(std::cout, doc, task) ? 0 : 2;
+    }
+
+    if (command == "lint") {
+        if (argc < 3)
+            return usage();
+        bool github = false;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--github") == 0)
+                github = true;
+            else
+                return usage();
+        }
+        std::string text, error;
+        if (!report::readFile(argv[2], text, error)) {
+            std::fprintf(stderr, "avf-report: %s\n", error.c_str());
+            return 2;
+        }
+        json::Value doc;
+        if (!report::loadLintDoc(text, doc, error)) {
+            std::fprintf(stderr, "avf-report: %s: %s\n", argv[2],
+                         error.c_str());
+            return 2;
+        }
+        return report::printLintReport(std::cout, doc, github)
+            ? 0 : 3;
     }
 
     if (command == "lifecycle") {

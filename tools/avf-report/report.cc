@@ -525,4 +525,169 @@ printLifecycle(std::ostream &out, const std::string &jsonl,
     return true;
 }
 
+bool
+loadLintDoc(const std::string &text, json::Value &doc,
+            std::string &error)
+{
+    if (!json::parse(text, doc, error)) {
+        error = "not valid JSON: " + error;
+        return false;
+    }
+    if (!doc.isObject()) {
+        error = "document is not a JSON object";
+        return false;
+    }
+    const auto *schema = doc.find("schema", json::Value::Kind::String);
+    if (!schema) {
+        error = "missing \"schema\" string";
+        return false;
+    }
+    if (schema->text != "avflint-v1") {
+        error = "unsupported schema '" + schema->text +
+                "' (expected 'avflint-v1')";
+        return false;
+    }
+    const auto *checks = doc.find("checks", json::Value::Kind::Array);
+    if (!checks) {
+        error = "missing \"checks\" array";
+        return false;
+    }
+    for (std::size_t i = 0; i < checks->items.size(); ++i) {
+        const auto &check = checks->items[i];
+        const std::string where = "check " + std::to_string(i);
+        if (!check.isObject()) {
+            error = where + ": not an object";
+            return false;
+        }
+        if (!check.find("id", json::Value::Kind::String) ||
+            !check.find("severity", json::Value::Kind::String)) {
+            error = where + ": missing \"id\"/\"severity\"";
+            return false;
+        }
+        const auto *count = check.find("findings");
+        const auto *micros = check.find("micros");
+        if (!count || !count->isNumber() || !micros ||
+            !micros->isNumber()) {
+            error = where + ": missing numeric "
+                            "\"findings\"/\"micros\"";
+            return false;
+        }
+    }
+    const auto *findings = doc.find("findings",
+                                    json::Value::Kind::Array);
+    if (!findings) {
+        error = "missing \"findings\" array";
+        return false;
+    }
+    for (std::size_t i = 0; i < findings->items.size(); ++i) {
+        const auto &f = findings->items[i];
+        const std::string where = "finding " + std::to_string(i);
+        if (!f.isObject()) {
+            error = where + ": not an object";
+            return false;
+        }
+        if (!f.find("file", json::Value::Kind::String) ||
+            !f.find("check", json::Value::Kind::String) ||
+            !f.find("severity", json::Value::Kind::String) ||
+            !f.find("message", json::Value::Kind::String)) {
+            error = where + ": missing "
+                            "file/check/severity/message strings";
+            return false;
+        }
+        const auto *lineNo = f.find("line");
+        if (!lineNo || !lineNo->isNumber()) {
+            error = where + ": missing numeric \"line\"";
+            return false;
+        }
+        if (!f.find("baselined", json::Value::Kind::Bool)) {
+            error = where + ": missing boolean \"baselined\"";
+            return false;
+        }
+    }
+    const auto *stale = doc.find("staleBaseline",
+                                 json::Value::Kind::Array);
+    if (!stale) {
+        error = "missing \"staleBaseline\" array";
+        return false;
+    }
+    for (const auto &entry : stale->items) {
+        if (!entry.isString()) {
+            error = "staleBaseline: non-string entry";
+            return false;
+        }
+    }
+    if (!doc.find("ok", json::Value::Kind::Bool)) {
+        error = "missing boolean \"ok\"";
+        return false;
+    }
+    return true;
+}
+
+bool
+printLintReport(std::ostream &out, const json::Value &doc,
+                bool github)
+{
+    const auto *files = doc.find("filesScanned");
+    const auto *passMicros = doc.find("lexParseMicros");
+    line(out, "avflint: %llu files, pass 1 (lex+parse+index) %llu us\n",
+         static_cast<unsigned long long>(files ? files->asUint() : 0),
+         static_cast<unsigned long long>(
+             passMicros ? passMicros->asUint() : 0));
+
+    const auto *checks = doc.find("checks");
+    line(out, "%-26s %-5s %8s %8s\n", "check", "sev", "findings",
+         "us");
+    for (const auto &check : checks->items) {
+        line(out, "%-26s %-5s %8llu %8llu\n",
+             check.find("id")->text.c_str(),
+             check.find("severity")->text.c_str(),
+             static_cast<unsigned long long>(
+                 check.find("findings")->asUint()),
+             static_cast<unsigned long long>(
+                 check.find("micros")->asUint()));
+    }
+
+    const auto *findings = doc.find("findings");
+    for (const auto &f : findings->items) {
+        bool baselined = f.find("baselined")->boolean;
+        const std::string &file = f.find("file")->text;
+        unsigned long long lineNo = f.find("line")->asUint();
+        const std::string &check = f.find("check")->text;
+        const std::string &message = f.find("message")->text;
+        line(out, "%s%s:%llu: [%s] %s\n",
+             baselined ? "(baselined) " : "", file.c_str(), lineNo,
+             check.c_str(), message.c_str());
+        if (github && !baselined) {
+            // Workflow-command annotations; the runner renders them
+            // inline on the PR diff. Severity maps directly.
+            bool isError = f.find("severity")->text == "error";
+            line(out, "::%s file=%s,line=%llu::[%s] %s\n",
+                 isError ? "error" : "warning", file.c_str(), lineNo,
+                 check.c_str(), message.c_str());
+        }
+    }
+
+    const auto *stale = doc.find("staleBaseline");
+    for (const auto &entry : stale->items) {
+        line(out, "stale baseline entry: %s\n", entry.text.c_str());
+        if (github) {
+            line(out,
+                 "::error file=tools/avflint/baseline.txt::stale "
+                 "baseline entry (run --update-baseline): %s\n",
+                 entry.text.c_str());
+        }
+    }
+
+    bool ok = doc.find("ok")->boolean;
+    std::size_t fresh = 0;
+    for (const auto &f : findings->items) {
+        if (!f.find("baselined")->boolean)
+            ++fresh;
+    }
+    line(out, "avflint: %zu fresh, %zu baselined, %zu stale — %s\n",
+         fresh, findings->items.size() - fresh, stale->items.size(),
+         ok ? "ok" : "FAIL");
+    return ok;
+}
+
 } // namespace avf::report

@@ -1,6 +1,7 @@
 #include "avflint/checks.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -68,7 +69,8 @@ isAssignOp(const Token &t)
 // ---------------------------------------------------------------- //
 
 void
-checkErrorBit(const SourceFile &src, std::vector<Finding> &out)
+checkErrorBit(const SourceFile &src, const CheckContext &,
+              std::vector<Finding> &out)
 {
     // The kill/carry/merge discipline lives here; everything else
     // must go through the Pipeline / estimator APIs.
@@ -116,7 +118,8 @@ checkErrorBit(const SourceFile &src, std::vector<Finding> &out)
 // ---------------------------------------------------------------- //
 
 void
-checkInjectionPort(const SourceFile &src, std::vector<Finding> &out)
+checkInjectionPort(const SourceFile &src, const CheckContext &,
+                   std::vector<Finding> &out)
 {
     // Sanctioned: the port itself, the plane owners that implement
     // the primitives, and the primitives' own unit tests. Everything
@@ -172,7 +175,8 @@ checkInjectionPort(const SourceFile &src, std::vector<Finding> &out)
 // ---------------------------------------------------------------- //
 
 void
-checkDeterminism(const SourceFile &src, std::vector<Finding> &out)
+checkDeterminism(const SourceFile &src, const CheckContext &,
+                 std::vector<Finding> &out)
 {
     static const std::set<std::string_view> bannedCalls = {
         "rand",    "srand",   "rand_r",  "random_r", "drand48",
@@ -306,7 +310,8 @@ checkDeterminism(const SourceFile &src, std::vector<Finding> &out)
 // ---------------------------------------------------------------- //
 
 void
-checkCheckedIo(const SourceFile &src, std::vector<Finding> &out)
+checkCheckedIo(const SourceFile &src, const CheckContext &,
+               std::vector<Finding> &out)
 {
     static const std::set<std::string_view> ioCalls = {
         "fopen", "fclose", "fread", "fwrite", "fseek", "fflush"};
@@ -349,7 +354,8 @@ checkCheckedIo(const SourceFile &src, std::vector<Finding> &out)
 // ---------------------------------------------------------------- //
 
 void
-checkExitSite(const SourceFile &src, std::vector<Finding> &out)
+checkExitSite(const SourceFile &src, const CheckContext &,
+              std::vector<Finding> &out)
 {
     if (src.path == "src/util/logging.cc")
         return; // panic()/fatal() are the sanctioned exit paths
@@ -380,7 +386,8 @@ checkExitSite(const SourceFile &src, std::vector<Finding> &out)
 // ---------------------------------------------------------------- //
 
 void
-checkIncludeGuard(const SourceFile &src, std::vector<Finding> &out)
+checkIncludeGuard(const SourceFile &src, const CheckContext &,
+                  std::vector<Finding> &out)
 {
     auto len = src.path.size();
     bool header =
@@ -412,7 +419,8 @@ checkIncludeGuard(const SourceFile &src, std::vector<Finding> &out)
 // ---------------------------------------------------------------- //
 
 void
-checkNakedAssert(const SourceFile &src, std::vector<Finding> &out)
+checkNakedAssert(const SourceFile &src, const CheckContext &,
+                 std::vector<Finding> &out)
 {
     for (std::size_t i = 0; i < src.tokens.size(); ++i) {
         const Token &tok = src.tokens[i];
@@ -446,7 +454,8 @@ isSnakeCase(std::string_view name)
 }
 
 void
-checkMetricNames(const SourceFile &src, std::vector<Finding> &out)
+checkMetricNames(const SourceFile &src, const CheckContext &,
+                 std::vector<Finding> &out)
 {
     static const std::set<std::string_view> registrars = {
         "registerCounter", "registerGauge", "registerHistogram",
@@ -544,7 +553,312 @@ checkMetricNames(const SourceFile &src, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------- //
+// shared-state-discipline: unsynchronized writes to static storage. //
+// ---------------------------------------------------------------- //
+
+/**
+ * Files whose whole job is owning process-wide mutable state; their
+ * statics are exempt. Keep this list short — prefer std::atomic or a
+ * guarded_by annotation at the declaration.
+ */
+const std::set<std::string_view> stateOwners = {
+    "src/harness/config_loader.cc"};
+
+/** Token that can end a declarator's type: `int x`, `auto &x`. */
+bool
+declPrefix(const Token &prev)
+{
+    static const std::set<std::string_view> nonTypes = {
+        "return", "else", "do", "throw", "case", "goto", "delete"};
+    return (prev.kind == TokKind::Identifier &&
+            nonTypes.count(prev.text) == 0) ||
+           prev.is("&") || prev.is("*");
+}
+
+/**
+ * True when @p name has a declaration-looking occurrence inside
+ * @p fn's body before token @p before — a local shadowing the static,
+ * e.g. `int count = 0;` ahead of `count += n;`.
+ */
+bool
+shadowedInFunction(const SourceFile &src, const FunctionDef &fn,
+                   const VarDecl &v, std::size_t before)
+{
+    const std::string &name = v.name;
+    for (std::size_t k = fn.bodyBegin + 1;
+         k < before && k < fn.bodyEnd; ++k) {
+        if (!at(src, k).isIdent(name))
+            continue;
+        if (k >= v.stmtBegin && k <= v.stmtEnd)
+            continue; // a function-local static's own declaration
+        const Token &next = at(src, k + 1);
+        if (declPrefix(at(src, k - 1)) &&
+            (next.is("=") || next.is(";") || next.is("{") ||
+             next.is("(") || next.is(",")))
+            return true;
+    }
+    return false;
+}
+
+void
+checkSharedState(const SourceFile &src, const CheckContext &ctx,
+                 std::vector<Finding> &out)
+{
+    if (stateOwners.count(src.path) > 0)
+        return;
+
+    for (const VarDecl &v : ctx.model.statics) {
+        if (v.isConst || v.isAtomic || v.threadLocal || v.isMutex ||
+            v.isLock || v.isCondVar)
+            continue;
+        if (!v.guardedBy.empty()) {
+            if (ctx.model.findMutex(v.guardedBy))
+                continue;
+            out.push_back(
+                {src.path, v.line, "shared-state-discipline",
+                 "guarded_by(" + v.guardedBy + ") on '" + v.name +
+                     "' names no mutex declared in this file; the "
+                     "annotation must point at a real lock"});
+            continue;
+        }
+        // Writes outside the declaration's own initializer.
+        for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+            const Token &tok = src.tokens[i];
+            if (!tok.isIdent(v.name) ||
+                (i >= v.stmtBegin && i <= v.stmtEnd))
+                continue;
+            if (isMemberAccess(at(src, i - 1)))
+                continue; // x.name: some other object's member
+            if (declPrefix(at(src, i - 1)))
+                continue; // `auto name = ...`: declares a local copy
+            bool write = at(src, i - 1).is("++") ||
+                         at(src, i - 1).is("--");
+            std::size_t j = skipSubscript(src, i + 1);
+            if (isAssignOp(at(src, j)) || at(src, j).is("++") ||
+                at(src, j).is("--"))
+                write = true;
+            if (!write)
+                continue;
+            const FunctionDef *fn = ctx.model.enclosingFunction(i);
+            if (fn && shadowedInFunction(src, *fn, v, i))
+                continue;
+            out.push_back(
+                {src.path, tok.line, "shared-state-discipline",
+                 "write to shared static '" + v.name +
+                     "' (declared line " + std::to_string(v.line) +
+                     ") without synchronization; make it std::atomic, "
+                     "annotate the declaration with `avflint: "
+                     "guarded_by(<mutex>)` naming a mutex in this "
+                     "file, or move it into a sanctioned owner file"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// hot-path-alloc: allocation inside per-cycle code.                 //
+// ---------------------------------------------------------------- //
+
+void
+checkHotPathAlloc(const SourceFile &src, const CheckContext &ctx,
+                  std::vector<Finding> &out)
+{
+    static const std::set<std::string_view> allocCalls = {
+        "malloc", "calloc", "realloc", "strdup"};
+    static const std::set<std::string_view> allocTypes = {
+        "string", "vector"};
+    static const std::set<std::string_view> appenders = {
+        "push_back", "emplace_back"};
+
+    // Receivers that reserve capacity anywhere in this file may
+    // append: the sanctioned pattern is reserve() at setup (ctor,
+    // configure) and amortized growth after — that setup function is
+    // rarely the hot body itself.
+    std::set<std::string> reserved;
+    for (const FunctionDef &fn : ctx.model.functions)
+        for (const CallSite &c : fn.calls)
+            if (c.name == "reserve" && !c.receiver.empty())
+                reserved.insert(c.receiver);
+
+    for (const FunctionDef &fn : ctx.model.functions) {
+        if (ctx.index.hotReachable.count(fn.name) == 0)
+            continue;
+        const std::string chain = ctx.index.hotChain(fn.name);
+        const std::string where =
+            chain == fn.name
+                ? "per-cycle hot path '" + fn.name + "'"
+                : "the hot path (" + chain + ")";
+
+        for (std::size_t i = fn.bodyBegin + 1; i < fn.bodyEnd; ++i) {
+            const Token &tok = src.tokens[i];
+            if (tok.kind != TokKind::Identifier)
+                continue;
+
+            if (tok.text == "new") {
+                if (at(src, i - 1).isIdent("operator"))
+                    continue;
+                out.push_back(
+                    {src.path, tok.line, "hot-path-alloc",
+                     "'new' inside " + where + "; per-cycle code "
+                     "must not hit the allocator — preallocate at "
+                     "setup"});
+                continue;
+            }
+
+            if (allocCalls.count(tok.text) > 0 &&
+                at(src, i + 1).is("(") &&
+                !isMemberAccess(at(src, i - 1))) {
+                out.push_back(
+                    {src.path, tok.line, "hot-path-alloc",
+                     "'" + tok.text + "()' inside " + where +
+                         "; per-cycle code must not hit the "
+                         "allocator — preallocate at setup"});
+                continue;
+            }
+
+            if (allocTypes.count(tok.text) > 0) {
+                // `static std::vector<...>` is one-time setup even in
+                // a hot body; walk back over std/:: / cv qualifiers.
+                std::size_t b = i;
+                while (at(src, b - 1).is("::") ||
+                       at(src, b - 1).isIdent("std") ||
+                       at(src, b - 1).isIdent("const"))
+                    --b;
+                if (at(src, b - 1).isIdent("static") ||
+                    at(src, b - 1).isIdent("constexpr"))
+                    continue;
+                std::size_t j = i + 1;
+                if (at(src, j).is("<")) {
+                    int depth = 0;
+                    for (; j < src.tokens.size(); ++j) {
+                        if (at(src, j).is("<"))
+                            ++depth;
+                        else if (at(src, j).is(">") && --depth == 0) {
+                            ++j;
+                            break;
+                        } else if (at(src, j).is(">>") &&
+                                   (depth -= 2) <= 0) {
+                            ++j;
+                            break;
+                        }
+                    }
+                }
+                if (at(src, j).is("&") || at(src, j).is("*"))
+                    continue; // reference/pointer: no construction
+                if (at(src, j).kind == TokKind::Identifier ||
+                    at(src, j).is("(") || at(src, j).is("{"))
+                    out.push_back(
+                        {src.path, tok.line, "hot-path-alloc",
+                         "std::" + tok.text + " constructed inside " +
+                             where + "; reuse a preallocated buffer "
+                             "owned by the caller"});
+                continue;
+            }
+
+            if (appenders.count(tok.text) > 0 &&
+                at(src, i + 1).is("(") &&
+                isMemberAccess(at(src, i - 1))) {
+                std::string recv;
+                if (at(src, i - 2).kind == TokKind::Identifier)
+                    recv = at(src, i - 2).text;
+                if (!recv.empty() && reserved.count(recv) > 0)
+                    continue;
+                out.push_back(
+                    {src.path, tok.line, "hot-path-alloc",
+                     "'" + tok.text + "' on '" +
+                         (recv.empty() ? std::string("<expr>") : recv) +
+                         "' inside " + where + " with no reserve() "
+                         "anywhere in this file; growth reallocates "
+                         "per-cycle — reserve at setup"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// env-knob-discipline: getenv only inside the config loader.        //
+// ---------------------------------------------------------------- //
+
+void
+checkEnvKnob(const SourceFile &src, const CheckContext &ctx,
+             std::vector<Finding> &out)
+{
+    static const std::string sanctioned =
+        "src/harness/config_loader.cc";
+    if (src.path == sanctioned)
+        return;
+
+    for (const FunctionDef &fn : ctx.model.functions) {
+        for (const CallSite &c : fn.calls) {
+            if (!c.receiver.empty())
+                continue; // x.getenv(): somebody else's method
+            if (c.name == "getenv") {
+                out.push_back(
+                    {src.path, c.line, "env-knob-discipline",
+                     "getenv() outside " + sanctioned + "; every "
+                     "knob goes through loadRunOptions so it is "
+                     "validated and recorded once"});
+                continue;
+            }
+            auto w = ctx.index.envWrappers.find(c.name);
+            if (w == ctx.index.envWrappers.end())
+                continue;
+            if (w->second.count(src.path) > 0 ||
+                w->second.count(sanctioned) > 0)
+                continue; // its own file, or a sanctioned-loader API
+            out.push_back(
+                {src.path, c.line, "env-knob-discipline",
+                 "'" + c.name + "' wraps getenv (defined in " +
+                     *w->second.begin() + "), so this call reads the "
+                     "environment outside " + sanctioned +
+                     "; route the knob through loadRunOptions"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// lock-discipline: no naked lock()/unlock() on mutexes.             //
+// ---------------------------------------------------------------- //
+
+void
+checkLockDiscipline(const SourceFile &src, const CheckContext &ctx,
+                    std::vector<Finding> &out)
+{
+    static const std::set<std::string_view> verbs = {
+        "lock", "unlock", "try_lock"};
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier ||
+            verbs.count(tok.text) == 0 || !at(src, i + 1).is("("))
+            continue;
+        if (!isMemberAccess(at(src, i - 1)))
+            continue; // std::lock(a, b) or a declaration
+        std::string recv;
+        if (at(src, i - 2).kind == TokKind::Identifier)
+            recv = at(src, i - 2).text;
+        if (!recv.empty()) {
+            const VarDecl *d = ctx.model.findSync(recv);
+            if (d && d->isLock)
+                continue; // RAII guard object: relocking is its job
+        }
+        out.push_back(
+            {src.path, tok.line, "lock-discipline",
+             "naked '." + tok.text + "()' on '" +
+                 (recv.empty() ? std::string("<expr>") : recv) +
+                 "'; use std::lock_guard / std::unique_lock / "
+                 "std::scoped_lock so the unlock survives early "
+                 "returns and exceptions"});
+    }
+}
+
 } // namespace
+
+std::string_view
+severityName(Severity s)
+{
+    return s == Severity::Warn ? "warn" : "error";
+}
 
 std::string
 Finding::key() const
@@ -565,50 +879,89 @@ checkRegistry()
     static const std::vector<CheckInfo> registry = {
         {"error-bit",
          "error-bit state written outside kill/carry/merge helpers",
-         checkErrorBit},
+         Severity::Error, checkErrorBit},
         {"injection-port-discipline",
          "raw injections or error-plane writes bypassing "
          "core::InjectionPort",
-         checkInjectionPort},
+         Severity::Error, checkInjectionPort},
         {"determinism",
          "hidden entropy, wall-clock reads, unordered iteration",
-         checkDeterminism},
+         Severity::Error, checkDeterminism},
         {"checked-io", "C stdio results silently discarded",
-         checkCheckedIo},
+         Severity::Error, checkCheckedIo},
         {"exit-site", "process exit outside src/util/logging.cc",
-         checkExitSite},
+         Severity::Error, checkExitSite},
         {"include-guard", "headers must carry an include guard",
-         checkIncludeGuard},
+         Severity::Error, checkIncludeGuard},
         {"naked-assert", "assert() where avf_assert is required",
-         checkNakedAssert},
+         Severity::Error, checkNakedAssert},
         {"metric-name-discipline",
          "metric names snake_case, registered once, off hot paths",
-         checkMetricNames},
+         Severity::Error, checkMetricNames},
+        {"shared-state-discipline",
+         "static storage written without atomic/guarded_by/owner",
+         Severity::Error, checkSharedState},
+        {"hot-path-alloc",
+         "allocation inside per-cycle hot paths (call-graph reach)",
+         Severity::Warn, checkHotPathAlloc},
+        {"env-knob-discipline",
+         "getenv (direct or wrapped) outside the config loader",
+         Severity::Error, checkEnvKnob},
+        {"lock-discipline",
+         "naked mutex lock/unlock instead of RAII guards",
+         Severity::Error, checkLockDiscipline},
     };
     return registry;
 }
 
-std::vector<Finding>
-lintSource(const SourceFile &src)
+void
+Linter::addFile(SourceFile src)
 {
+    models.push_back(parseFile(src));
+    sources.push_back(std::move(src));
+}
+
+std::vector<Finding>
+Linter::run()
+{
+    const RepoIndex index = RepoIndex::build(models);
     std::vector<Finding> all;
-    for (const CheckInfo &check : checkRegistry())
-        check.run(src, all);
-    std::vector<Finding> kept;
-    for (Finding &f : all)
-        if (!src.suppressed(f.line, f.id))
-            kept.push_back(std::move(f));
-    std::stable_sort(kept.begin(), kept.end(),
+    for (std::size_t k = 0; k < sources.size(); ++k) {
+        const SourceFile &src = sources[k];
+        const CheckContext ctx{models[k], index};
+        std::vector<Finding> raw;
+        for (const CheckInfo &check : checkRegistry()) {
+            const std::size_t before = raw.size();
+            // Wall time feeds only the report's perf counters, never
+            // results — avflint: allow(determinism) on both reads.
+            const auto t0 = std::chrono::steady_clock::now();
+            check.run(src, ctx, raw);
+            const auto t1 = std::chrono::steady_clock::now(); // avflint: allow(determinism)
+            micros[std::string(check.id)] +=
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    t1 - t0)
+                    .count();
+            for (std::size_t f = before; f < raw.size(); ++f)
+                raw[f].severity = check.severity;
+        }
+        for (Finding &f : raw)
+            if (!src.suppressed(f.line, f.id))
+                all.push_back(std::move(f));
+    }
+    std::stable_sort(all.begin(), all.end(),
                      [](const Finding &a, const Finding &b) {
-                         return a.line < b.line;
+                         return a.file != b.file ? a.file < b.file
+                                                 : a.line < b.line;
                      });
-    return kept;
+    return all;
 }
 
 std::vector<Finding>
 lintText(const std::string &path, std::string_view text)
 {
-    return lintSource(lex(path, text));
+    Linter linter;
+    linter.addFile(lex(path, text));
+    return linter.run();
 }
 
 Baseline

@@ -1,11 +1,21 @@
 /**
  * @file
- * avflint's domain checks. Each check walks a lexed SourceFile and
- * appends findings; `lintSource` runs the whole registry and drops
- * findings covered by `avflint: allow(id)` suppressions. A Baseline
- * ratchets pre-existing debt: findings whose (file, check, message)
- * key appears in the baseline are reported as baselined and do not
- * fail the run, but new findings always do.
+ * avflint's domain checks and the two-pass analysis driver. Pass 1
+ * lexes and parses every input into a FileModel and merges them into
+ * a RepoIndex (cross-file symbol table + call graph); pass 2 runs the
+ * registry over each file with that context and drops findings
+ * covered by `avflint: allow(id)` suppressions. A Baseline ratchets
+ * pre-existing debt: findings whose (file, check, message) key
+ * appears in the baseline are reported as baselined and do not fail
+ * the run, but new findings always do — and entries no longer matched
+ * by any finding are stale and fail the run too.
+ *
+ * Severity: every check is `error` (a contract: fix or carry a
+ * justified allow) except those marked `warn`, whose analysis is a
+ * deliberate over-approximation (e.g. name-based call-graph
+ * reachability). Warnings still gate the run; the severity only
+ * changes the CI annotation level and how liberally a justified
+ * suppression is accepted — see DESIGN.md §8.
  *
  * Checks (ids):
  *   error-bit     direct writes to error-bit state (errorMask,
@@ -26,41 +36,65 @@
  *   naked-assert  assert() where avf_assert (on in release builds)
  *                 is required.
  *   injection-port-discipline
- *                 raw injection primitives (injectRegError,
- *                 injectIqEntryError, injectIqFieldError,
- *                 injectFuError, injectDtlbError, injectError) and
- *                 ErrorPlane mutators (orMask, setMask) called
- *                 outside the sanctioned implementations: the port
- *                 itself (src/core/injection_port.cc), the plane
- *                 owners (src/cpu/, src/mem/, src/util/), and the
- *                 primitives' own unit tests (tests/). Campaign code
- *                 must open tagged lane windows through
- *                 core::InjectionPort so every injection carries a
- *                 lane and a window (see DESIGN.md, "The
- *                 InjectionPort contract").
+ *                 raw injection primitives and ErrorPlane mutators
+ *                 called outside the sanctioned implementations;
+ *                 campaign code must open tagged lane windows through
+ *                 core::InjectionPort (see DESIGN.md).
  *   metric-name-discipline
  *                 literal names passed to the obs/metrics register*
- *                 calls must be snake_case ([a-z][a-z0-9_]*) and
- *                 registered at most once per file, and no register*
- *                 call may appear inside a per-cycle hot path
- *                 (onCycle/onRetire/onErrorHop/step bodies or
- *                 callback arguments). Dynamic (non-literal) names
- *                 are exempt from the spelling and once-only rules —
- *                 the runtime registry validates those.
+ *                 calls must be snake_case, registered at most once
+ *                 per file, and never from a per-cycle hot path.
+ *   shared-state-discipline
+ *                 non-const static-storage variables written outside
+ *                 their initializer must be std::atomic, carry an
+ *                 `avflint: guarded_by(m)` annotation naming a mutex
+ *                 declared in the same file, or live in a sanctioned
+ *                 owner file. A race-detector lite: tsan covers the
+ *                 schedules we happen to run, this covers the code.
+ *   hot-path-alloc  [warn]
+ *                 no new/malloc, no std::string/std::vector
+ *                 construction, and no push_back without a reserve on
+ *                 the same receiver, inside a per-cycle hot path:
+ *                 onCycle/onRetire/onErrorHop/step bodies and every
+ *                 function reachable from them through the intra-repo
+ *                 call graph (name-based, hence warn).
+ *   env-knob-discipline
+ *                 getenv — direct, or through a wrapper function that
+ *                 calls it — anywhere but src/harness/config_loader.cc,
+ *                 so every knob goes through strict loadRunOptions
+ *                 validation.
+ *   lock-discipline
+ *                 naked .lock()/.unlock()/.try_lock() on a mutex;
+ *                 scoped RAII (lock_guard/unique_lock/scoped_lock)
+ *                 only. Calls on a declared RAII lock object are the
+ *                 sanctioned form (unique_lock relock is fine).
  */
 
 #ifndef AVF_TOOLS_AVFLINT_CHECKS_HH
 #define AVF_TOOLS_AVFLINT_CHECKS_HH
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "avflint/index.hh"
 #include "avflint/lexer.hh"
+#include "avflint/parser.hh"
 
 namespace avf::lint
 {
+
+/** Finding weight; both gate the run, CI annotates differently. */
+enum class Severity
+{
+    Error, ///< contract violation: fix it or justify an allow
+    Warn   ///< over-approximate analysis: suppressions are expected
+};
+
+/** Lower-case name for output ("error" / "warn"). */
+std::string_view severityName(Severity s);
 
 /** One diagnostic produced by a check. */
 struct Finding
@@ -69,6 +103,7 @@ struct Finding
     int line = 0;
     std::string id;       ///< check id, e.g. "determinism"
     std::string message;
+    Severity severity = Severity::Error; ///< stamped from registry
 
     /** Baseline key: stable across line-number churn. */
     std::string key() const;
@@ -76,21 +111,59 @@ struct Finding
     std::string format() const;
 };
 
+/** Pass-1 context handed to every check alongside the token stream. */
+struct CheckContext
+{
+    const FileModel &model; ///< this file's symbol model
+    const RepoIndex &index; ///< whole-run cross-file index
+};
+
 /** A registered check. */
 struct CheckInfo
 {
     std::string_view id;
     std::string_view description;
-    void (*run)(const SourceFile &src, std::vector<Finding> &out);
+    Severity severity;
+    void (*run)(const SourceFile &src, const CheckContext &ctx,
+                std::vector<Finding> &out);
 };
 
 /** All checks, in reporting order. */
 const std::vector<CheckInfo> &checkRegistry();
 
-/** Run every check on @p src and filter suppressed findings. */
-std::vector<Finding> lintSource(const SourceFile &src);
+/**
+ * The two-pass driver. addFile() lexes nothing — feed it lexed
+ * SourceFiles — but parses each into a FileModel immediately; run()
+ * builds the RepoIndex over everything added, executes the registry
+ * per file, filters suppressed findings, stamps severities, and
+ * returns all findings sorted by (file, line).
+ */
+class Linter
+{
+  public:
+    /** Parse and take ownership of one lexed file. */
+    void addFile(SourceFile src);
 
-/** Convenience: lex then lint. @p path is repo-relative. */
+    /** Pass 2: run all checks over all added files. */
+    std::vector<Finding> run();
+
+    /** Number of files added. */
+    std::size_t fileCount() const { return sources.size(); }
+
+    /** check id -> accumulated wall micros across run() (for the
+     *  JSON report; never feeds results). */
+    const std::map<std::string, std::int64_t> &checkMicros() const
+    {
+        return micros;
+    }
+
+  private:
+    std::vector<SourceFile> sources;
+    std::vector<FileModel> models;
+    std::map<std::string, std::int64_t> micros;
+};
+
+/** Convenience for tests: lex + single-file two-pass lint. */
 std::vector<Finding> lintText(const std::string &path,
                               std::string_view text);
 
@@ -98,7 +171,8 @@ std::vector<Finding> lintText(const std::string &path,
  * Committed debt ledger. Lines are Finding::key() strings; `#`
  * comments and blank lines are ignored. Matching consumes an entry,
  * so duplicate findings need duplicate lines and entries left over
- * after a run are reported as stale.
+ * after a run are reported as stale — and fail the run, so the
+ * ratchet turns both ways.
  */
 class Baseline
 {

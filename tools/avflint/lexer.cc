@@ -30,8 +30,9 @@ constexpr std::array<std::string_view, 36> multiPuncts = {
 };
 
 /**
- * Scan a comment body for `avflint: allow(a, b, ...)` directives and
- * record every listed id on @p line and @p line + 1 of @p out.
+ * Scan a comment body for `avflint:` directives — `allow(a, b, ...)`
+ * suppressions and `guarded_by(mutex)` annotations — and record each
+ * on @p line and @p line + 1 of @p out.
  */
 void
 recordAllows(SourceFile &out, std::string_view comment, int line)
@@ -44,6 +45,23 @@ recordAllows(SourceFile &out, std::string_view comment, int line)
                std::isspace(static_cast<unsigned char>(comment[pos])))
             ++pos;
         const std::string_view verb = "allow(";
+        const std::string_view guardVerb = "guarded_by(";
+        if (comment.compare(pos, guardVerb.size(), guardVerb) == 0) {
+            pos += guardVerb.size();
+            std::size_t close = comment.find(')', pos);
+            if (close == std::string_view::npos)
+                return;
+            std::string_view id = comment.substr(pos, close - pos);
+            pos = close + 1;
+            std::size_t b = id.find_first_not_of(" \t");
+            if (b == std::string_view::npos)
+                continue;
+            std::size_t e = id.find_last_not_of(" \t");
+            std::string name(id.substr(b, e - b + 1));
+            out.guards[line] = name;
+            out.guards[line + 1] = name;
+            continue;
+        }
         if (comment.compare(pos, verb.size(), verb) != 0)
             continue;
         pos += verb.size();
@@ -78,6 +96,13 @@ SourceFile::suppressed(int line, const std::string &id) const
     if (it == allows.end())
         return false;
     return it->second.count(id) > 0 || it->second.count("all") > 0;
+}
+
+std::string
+SourceFile::guardFor(int line) const
+{
+    auto it = guards.find(line);
+    return it == guards.end() ? std::string{} : it->second;
 }
 
 SourceFile
@@ -138,13 +163,20 @@ lex(std::string path, std::string_view text)
             continue;
         }
 
-        // Raw string literal: (prefix)R"delim( ... )delim".
-        if ((c == 'R' ||
-             ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
-              text[i + 1] == 'R')) &&
-            text.find('"', i) == i + (c == 'R' ? 1 : 2) &&
-            i + (c == 'R' ? 1 : 2) < n) {
-            std::size_t quote = i + (c == 'R' ? 1 : 2);
+        // Raw string literal: (prefix)R"delim( ... )delim", where the
+        // prefix is one of "", u8, u, U, L — all five standard
+        // spellings, so no raw-string body is ever mis-lexed as code.
+        std::size_t rawR = 0; // offset of 'R' within the prefix + 1
+        if (c == 'R')
+            rawR = 1;
+        else if ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
+                 text[i + 1] == 'R')
+            rawR = 2;
+        else if (c == 'u' && i + 2 < n && text[i + 1] == '8' &&
+                 text[i + 2] == 'R')
+            rawR = 3;
+        if (rawR != 0 && i + rawR < n && text[i + rawR] == '"') {
+            std::size_t quote = i + rawR;
             std::size_t open = text.find('(', quote);
             if (open != std::string_view::npos) {
                 std::string close = ")";
@@ -168,6 +200,7 @@ lex(std::string path, std::string_view text)
             ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
              (text[i + 1] == '"' || text[i + 1] == '\''))) {
             std::size_t begin = i;
+            int at = line; // anchor to the opening line, like raw strings
             if (c != '"' && c != '\'') {
                 ++i;
                 c = text[i];
@@ -184,7 +217,7 @@ lex(std::string path, std::string_view text)
             if (i < n)
                 ++i; // closing quote
             push(quote == '"' ? TokKind::String : TokKind::CharLit,
-                 begin, i, line);
+                 begin, i, at);
             continue;
         }
 
@@ -198,6 +231,7 @@ lex(std::string path, std::string_view text)
             if (i < n && (text[i] == '"' || text[i] == '\'') &&
                 (text.substr(begin, i - begin) == "u8")) {
                 char quote = text[i];
+                int at = line;
                 ++i;
                 while (i < n && text[i] != quote) {
                     if (text[i] == '\\' && i + 1 < n)
@@ -209,7 +243,7 @@ lex(std::string path, std::string_view text)
                 if (i < n)
                     ++i;
                 push(quote == '"' ? TokKind::String : TokKind::CharLit,
-                     begin, i, line);
+                     begin, i, at);
                 continue;
             }
             push(TokKind::Identifier, begin, i, line);

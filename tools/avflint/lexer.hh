@@ -3,11 +3,15 @@
  * Lightweight C++ lexer for avflint. Not a parser: it strips comments
  * and string/character literals into dedicated token kinds, recognizes
  * identifiers, numbers, and (longest-match) punctuators, and records
- * line numbers so checks can report `file:line`. Comments are scanned
- * for `avflint: allow(check-id)` suppressions before being dropped;
- * a suppression applies to the line the comment ends on and to the
- * following line, which covers both trailing and stand-alone comment
- * placement.
+ * line numbers so checks can report `file:line`. Multi-line literals
+ * (raw strings, strings with embedded newlines) are anchored to their
+ * *opening* line, so findings point at where the literal starts.
+ * Comments are scanned for two `avflint:` directives before being
+ * dropped: `allow(check-id, ...)` suppressions and
+ * `guarded_by(mutex)` annotations (consumed by the
+ * shared-state-discipline check). Each directive applies to the line
+ * the comment ends on and to the following line, which covers both
+ * trailing and stand-alone comment placement.
  */
 
 #ifndef AVF_TOOLS_AVFLINT_LEXER_HH
@@ -54,9 +58,15 @@ struct SourceFile
     std::vector<Token> tokens;
     /** line -> check-ids allowed on that line ("all" = every check). */
     std::map<int, std::set<std::string>> allows;
+    /** line -> mutex named by an `avflint: guarded_by(m)` annotation
+     *  covering that line (the comment's line and the next). */
+    std::map<int, std::string> guards;
 
     /** True when `avflint: allow(id)` covers @p line for @p id. */
     bool suppressed(int line, const std::string &id) const;
+
+    /** Mutex named by a guarded_by annotation covering @p line, or "". */
+    std::string guardFor(int line) const;
 };
 
 /**

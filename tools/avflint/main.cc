@@ -1,17 +1,23 @@
 /**
  * @file
  * avflint CLI: lint the repository's sources against the domain
- * checks in checks.cc.
+ * checks in checks.cc, using the two-pass engine (pass 1: lex +
+ * parse every file and build the cross-file RepoIndex; pass 2: run
+ * the registry with that context).
  *
  *   avflint [--root DIR] [--baseline FILE] [--update-baseline]
- *           [--list-checks] [--quiet] <path>...
+ *           [--format=text|json] [--list-checks] [--quiet] <path>...
  *
- * Exit status: 0 when every finding is suppressed or baselined,
- * 1 when new findings exist, 2 on usage errors. The baseline is a
- * ratchet — running with --update-baseline rewrites it from the
- * current findings, which should only ever shrink it.
+ * Exit status: 0 when every finding is suppressed or baselined and
+ * no baseline entry is stale, 1 when new findings exist OR the
+ * baseline has stale entries (the ratchet turns both ways — debt
+ * that is paid off must leave the ledger), 2 on usage errors.
+ * `--update-baseline` rewrites the ledger from the current findings;
+ * `--format=json` emits the machine-readable report (schema
+ * "avflint-v1", see report.hh) on stdout for CI.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +27,7 @@
 
 #include "avflint/checks.hh"
 #include "avflint/lexer.hh"
+#include "avflint/report.hh"
 
 namespace
 {
@@ -34,7 +41,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--root DIR] [--baseline FILE] [--update-baseline]\n"
-        "          [--list-checks] [--quiet] <path>...\n"
+        "          [--format=text|json] [--list-checks] [--quiet]\n"
+        "          <path>...\n"
         "Paths are files or directories, relative to --root (default:\n"
         "current directory).\n",
         argv0);
@@ -48,6 +56,7 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     std::string baselinePath;
+    std::string format = "text";
     bool updateBaseline = false;
     bool quiet = false;
     std::vector<std::string> paths;
@@ -60,13 +69,25 @@ main(int argc, char **argv)
             baselinePath = argv[++i];
         } else if (arg == "--update-baseline") {
             updateBaseline = true;
+        } else if (arg.compare(0, 9, "--format=") == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json") {
+                std::fprintf(stderr,
+                             "%s: unknown format '%s' (text|json)\n",
+                             argv[0], format.c_str());
+                return 2;
+            }
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--list-checks") {
             for (const auto &check : avf::lint::checkRegistry())
-                std::printf("%-14s %s\n",
-                            std::string(check.id).c_str(),
-                            std::string(check.description).c_str());
+                std::printf(
+                    "%-26s %-5s %s\n",
+                    std::string(check.id).c_str(),
+                    std::string(
+                        avf::lint::severityName(check.severity))
+                        .c_str(),
+                    std::string(check.description).c_str());
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
@@ -81,17 +102,29 @@ main(int argc, char **argv)
     }
     if (paths.empty())
         return usage(argv[0]);
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        if (!std::filesystem::exists(std::filesystem::path(root) / p,
+                                     ec)) {
+            std::fprintf(stderr, "%s: no such path under --root: %s\n",
+                         argv[0], p.c_str());
+            return 2;
+        }
+    }
 
     Baseline baseline;
     if (!baselinePath.empty() && !updateBaseline)
         baseline = Baseline::fromFile(baselinePath);
 
-    std::vector<Finding> fresh;
-    std::size_t baselined = 0;
-    std::size_t filesScanned = 0;
+    const bool json = format == "json";
 
-    for (const std::string &rel :
-         avf::lint::collectFiles(root, paths)) {
+    // Pass 1: lex + parse everything. Wall time is recorded only
+    // for the report's perf fields, never results.
+    avf::lint::Linter linter;
+    const auto passStart = std::chrono::steady_clock::now(); // avflint: allow(determinism)
+    std::vector<std::string> files =
+        avf::lint::collectFiles(root, paths);
+    for (const std::string &rel : files) {
         std::ifstream in(std::filesystem::path(root) / rel,
                          std::ios::binary);
         if (!in) {
@@ -101,26 +134,45 @@ main(int argc, char **argv)
         }
         std::ostringstream text;
         text << in.rdbuf();
-        ++filesScanned;
-        for (Finding &f : avf::lint::lintText(rel, text.str())) {
-            if (baseline.matches(f)) {
-                ++baselined;
-                if (!quiet)
-                    std::printf("%s (baselined)\n",
-                                f.format().c_str());
-            } else {
-                fresh.push_back(std::move(f));
-            }
+        linter.addFile(avf::lint::lex(rel, text.str()));
+    }
+    const auto passEnd = std::chrono::steady_clock::now(); // avflint: allow(determinism)
+
+    // Pass 2: run the registry with cross-file context.
+    avf::lint::Report report;
+    report.root = root;
+    report.filesScanned = files.size();
+    report.lexParseMicros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            passEnd - passStart)
+            .count();
+    report.findings = linter.run();
+    report.checkMicros = linter.checkMicros();
+
+    std::vector<Finding> fresh;
+    std::size_t baselined = 0;
+    report.baselined.reserve(report.findings.size());
+    for (const Finding &f : report.findings) {
+        const bool absorbed = baseline.matches(f);
+        report.baselined.push_back(absorbed);
+        if (absorbed) {
+            ++baselined;
+            if (!quiet && !json)
+                std::printf("%s (baselined)\n", f.format().c_str());
+        } else {
+            fresh.push_back(f);
         }
     }
+    report.staleBaseline = baseline.unmatched();
 
-    for (const Finding &f : fresh)
-        std::printf("%s\n", f.format().c_str());
+    if (!json)
+        for (const Finding &f : fresh)
+            std::printf("%s\n", f.format().c_str());
 
-    for (const std::string &stale : baseline.unmatched())
+    for (const std::string &stale : report.staleBaseline)
         std::fprintf(stderr,
-                     "avflint: note: stale baseline entry (fixed? "
-                     "remove it): %s\n",
+                     "avflint: stale baseline entry (fixed? remove "
+                     "it, or run --update-baseline): %s\n",
                      stale.c_str());
 
     if (updateBaseline) {
@@ -145,17 +197,23 @@ main(int argc, char **argv)
                          baselinePath.c_str());
             return 2;
         }
-        std::fprintf(stderr,
-                     "avflint: wrote %zu entries to %s\n",
+        std::fprintf(stderr, "avflint: wrote %zu entries to %s\n",
                      fresh.size(), baselinePath.c_str());
         return 0;
     }
 
-    if (!quiet || !fresh.empty())
+    if (json)
+        std::fputs(avf::lint::formatJsonReport(report).c_str(),
+                   stdout);
+
+    if (!quiet || !fresh.empty() || !report.staleBaseline.empty())
         std::fprintf(stderr,
-                     "avflint: %zu new finding%s, %zu baselined "
-                     "(%zu files scanned)\n",
+                     "avflint: %zu new finding%s, %zu baselined, "
+                     "%zu stale baseline entr%s (%zu files "
+                     "scanned)\n",
                      fresh.size(), fresh.size() == 1 ? "" : "s",
-                     baselined, filesScanned);
-    return fresh.empty() ? 0 : 1;
+                     baselined, report.staleBaseline.size(),
+                     report.staleBaseline.size() == 1 ? "y" : "ies",
+                     files.size());
+    return report.ok() ? 0 : 1;
 }

@@ -1,0 +1,536 @@
+#include "avflint/parser.hh"
+
+#include <set>
+
+namespace avf::lint
+{
+
+namespace
+{
+
+/** tokens[i] or an empty sentinel when out of range. */
+const Token &
+at(const SourceFile &src, std::size_t i)
+{
+    static const Token none{TokKind::Punct, "", 0};
+    return i < src.tokens.size() ? src.tokens[i] : none;
+}
+
+const std::set<std::string_view> mutexTypes = {
+    "mutex",        "timed_mutex",  "recursive_mutex",
+    "shared_mutex", "shared_timed_mutex", "recursive_timed_mutex"};
+const std::set<std::string_view> lockTypes = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+const std::set<std::string_view> condVarTypes = {
+    "condition_variable", "condition_variable_any"};
+
+/** Keywords that look like calls but are not. */
+const std::set<std::string_view> notCalls = {
+    "if",       "for",         "while",       "switch",
+    "catch",    "sizeof",      "alignof",     "alignas",
+    "decltype", "noexcept",    "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "new",  "delete",
+    "throw",    "static_assert"};
+
+/** Statement-leading keywords that rule out a declaration. */
+const std::set<std::string_view> controlKeywords = {
+    "if",   "for",  "while",    "switch", "do",   "else",
+    "try",  "catch", "return",  "case",   "default", "goto",
+    "break", "continue", "throw"};
+
+/** Post-signature qualifiers that may precede a function body. */
+const std::set<std::string_view> bodyQualifiers = {
+    "const", "noexcept", "override", "final", "mutable", "try"};
+
+struct BraceClass
+{
+    enum Kind
+    {
+        Namespace,
+        Class,
+        Function,
+        BlockInit,  ///< brace initializer — statement continues
+        Block       ///< control / lambda / unclassified
+    } kind = Block;
+    std::string name;
+    std::string qualifier;
+};
+
+/** Index of the `(` matching the `)` at @p close, or npos. */
+std::size_t
+matchParenBack(const SourceFile &src, std::size_t close)
+{
+    int depth = 0;
+    for (std::size_t k = close + 1; k-- > 0;) {
+        if (at(src, k).is(")"))
+            ++depth;
+        else if (at(src, k).is("(") && --depth == 0)
+            return k;
+    }
+    return std::string_view::npos;
+}
+
+/**
+ * Classify the `{` at token @p i by looking back at the statement
+ * head. @p stmtStart is the index of the first token after the last
+ * statement boundary (`;`, `{`, `}`) the caller saw.
+ */
+BraceClass
+classifyBrace(const SourceFile &src, std::size_t i,
+              std::size_t stmtStart)
+{
+    BraceClass out;
+
+    // Immediate look-back: qualifiers, then the shape of the token
+    // before the brace.
+    std::size_t j = i;
+    while (j > 0 && at(src, j - 1).kind == TokKind::Identifier &&
+           bodyQualifiers.count(at(src, j - 1).text) > 0)
+        --j;
+    const Token &before = at(src, j - 1);
+    if (before.is("]"))
+        return out; // parameterless lambda body
+    if (before.is("=") || before.is(",") || before.is("(") ||
+        before.is("{")) {
+        out.kind = BraceClass::BlockInit;
+        return out;
+    }
+    if (before.is(")")) {
+        std::size_t open = matchParenBack(src, j - 1);
+        if (open != std::string_view::npos) {
+            const Token &head = at(src, open - 1);
+            if (head.is("]"))
+                return out; // lambda with parameter list
+            if (head.kind == TokKind::Identifier &&
+                controlKeywords.count(head.text) > 0)
+                return out; // if/for/while/switch/catch
+        }
+    }
+
+    // Statement-head scan.
+    if (stmtStart >= i)
+        return out;
+    const Token &first = at(src, stmtStart);
+    if (first.isIdent("namespace")) {
+        for (std::size_t k = stmtStart + 1; k < i; ++k)
+            out.name += at(src, k).text;
+        out.kind = BraceClass::Namespace;
+        return out;
+    }
+    if (first.isIdent("extern") &&
+        at(src, stmtStart + 1).kind == TokKind::String) {
+        out.kind = BraceClass::Namespace; // extern "C" { ... }
+        return out;
+    }
+    if (first.kind == TokKind::Identifier &&
+        controlKeywords.count(first.text) > 0)
+        return out;
+
+    // `class Foo : public Bar {` (also struct/union/enum) before any
+    // parenthesis means a type body; the name is the identifier after
+    // the last class-kind keyword.
+    for (std::size_t k = stmtStart; k < i; ++k) {
+        const Token &t = at(src, k);
+        if (t.is("(") || t.is("="))
+            break;
+        if (t.isIdent("class") || t.isIdent("struct") ||
+            t.isIdent("union") || t.isIdent("enum")) {
+            std::size_t nameAt = k + 1;
+            if (at(src, nameAt).isIdent("class") ||
+                at(src, nameAt).isIdent("struct"))
+                ++nameAt; // enum class
+            // Skip alignas(..)/attributes conservatively.
+            if (at(src, nameAt).kind == TokKind::Identifier)
+                out.name = at(src, nameAt).text;
+            out.kind = BraceClass::Class;
+            return out;
+        }
+    }
+
+    // A function definition: the first top-level `(` in the head,
+    // preceded by the function's (possibly qualified) name. A `=`
+    // before it means an initializer instead.
+    int depth = 0;
+    for (std::size_t k = stmtStart; k < i; ++k) {
+        const Token &t = at(src, k);
+        if (t.is("=") && depth == 0) {
+            out.kind = BraceClass::BlockInit;
+            return out;
+        }
+        if (t.is(")") && depth == 0)
+            return out; // head starts mid-parenthesis (for-loop tail)
+        if (t.is("(")) {
+            if (depth++ > 0)
+                continue;
+            const Token &name = at(src, k - 1);
+            if (name.kind == TokKind::Identifier &&
+                controlKeywords.count(name.text) == 0 &&
+                notCalls.count(name.text) == 0) {
+                out.kind = BraceClass::Function;
+                out.name = name.text;
+                if (at(src, k - 2).is("::") &&
+                    at(src, k - 3).kind == TokKind::Identifier)
+                    out.qualifier = at(src, k - 3).text;
+                return out;
+            }
+            if (name.kind == TokKind::Punct && !name.text.empty() &&
+                at(src, k - 2).isIdent("operator")) {
+                out.kind = BraceClass::Function;
+                out.name = "operator" + name.text;
+                return out;
+            }
+            return out;
+        }
+        if (t.is(")"))
+            --depth;
+    }
+    return out;
+}
+
+/** True for std::atomic<...> and the atomic_* aliases. */
+bool
+isAtomicSpelling(std::string_view text)
+{
+    return text == "atomic" || text == "atomic_flag" ||
+           text.compare(0, 7, "atomic_") == 0;
+}
+
+} // namespace
+
+const FunctionDef *
+FileModel::enclosingFunction(std::size_t tok) const
+{
+    const FunctionDef *best = nullptr;
+    for (const FunctionDef &fn : functions)
+        if (fn.bodyBegin < tok && tok < fn.bodyEnd &&
+            (!best || fn.bodyBegin > best->bodyBegin))
+            best = &fn;
+    return best;
+}
+
+const VarDecl *
+FileModel::findSync(const std::string &name) const
+{
+    for (const VarDecl &v : syncDecls)
+        if (v.name == name)
+            return &v;
+    return nullptr;
+}
+
+const VarDecl *
+FileModel::findMutex(const std::string &name) const
+{
+    for (const VarDecl &v : syncDecls)
+        if (v.isMutex && v.name == name)
+            return &v;
+    return nullptr;
+}
+
+FileModel
+parseFile(const SourceFile &src)
+{
+    FileModel out;
+    out.path = src.path;
+    const std::size_t n = src.tokens.size();
+
+    // Preprocessor directives play by different rules (no semicolons,
+    // free braces in macro bodies); mark their tokens — `#` to end of
+    // line, following backslash continuations — and skip them.
+    std::vector<char> directive(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!at(src, i).is("#") || directive[i])
+            continue;
+        int curLine = at(src, i).line;
+        std::size_t last = i;
+        for (std::size_t k = i; k < n; ++k) {
+            if (at(src, k).line == curLine) {
+                directive[k] = 1;
+                last = k;
+            } else if (at(src, last).is("\\")) {
+                curLine = at(src, k).line;
+                directive[k] = 1;
+                last = k;
+            } else {
+                break;
+            }
+        }
+    }
+
+    struct Scope
+    {
+        BraceClass::Kind kind;
+        std::string name;
+        std::size_t fnIndex; // valid when kind == Function
+    };
+    std::vector<Scope> stack{{BraceClass::Namespace, "", 0}};
+
+    auto innermostFunction = [&]() -> std::size_t {
+        for (std::size_t s = stack.size(); s-- > 0;)
+            if (stack[s].kind == BraceClass::Function)
+                return stack[s].fnIndex;
+        return std::string_view::npos;
+    };
+    auto enclosingClass = [&]() -> std::string {
+        for (std::size_t s = stack.size(); s-- > 0;)
+            if (stack[s].kind == BraceClass::Class)
+                return stack[s].name;
+        return {};
+    };
+
+    // The current statement, as token indices, for declaration
+    // analysis at the terminating `;`.
+    std::vector<std::size_t> stmt;
+    std::size_t stmtStart = 0;
+
+    auto analyzeDecl = [&](const std::vector<std::size_t> &s) {
+        if (s.empty())
+            return;
+        std::size_t p = 0;
+        VarDecl v;
+        bool skip = false;
+        // Leading storage-class / cv keywords carry the flags.
+        while (p < s.size()) {
+            const Token &t = at(src, s[p]);
+            if (t.kind != TokKind::Identifier)
+                break;
+            if (t.text == "static")
+                v.isStatic = true;
+            else if (t.text == "thread_local")
+                v.threadLocal = true;
+            else if (t.text == "const" || t.text == "constexpr" ||
+                     t.text == "constinit")
+                v.isConst = true;
+            else if (t.text == "inline" || t.text == "volatile" ||
+                     t.text == "mutable")
+                ; // irrelevant here
+            else
+                break;
+            ++p;
+        }
+        if (p >= s.size())
+            return;
+        const Token &head = at(src, s[p]);
+        if (head.kind != TokKind::Identifier)
+            return;
+        static const std::set<std::string_view> notDecl = {
+            "using",  "typedef", "extern",  "template", "friend",
+            "class",  "struct",  "union",   "enum",     "namespace",
+            "public", "private", "protected", "operator", "goto",
+            "static_assert", "asm", "return"};
+        if (notDecl.count(head.text) > 0 ||
+            controlKeywords.count(head.text) > 0)
+            return;
+        const bool namespaceScope =
+            stack.back().kind == BraceClass::Namespace;
+        const bool classScope = stack.back().kind == BraceClass::Class;
+        const bool localScope = !namespaceScope && !classScope;
+        // Find the initializer marker; `(` at namespace/class scope
+        // means a function declaration, not a variable.
+        int depth = 0;
+        std::size_t marker = s.size();
+        for (std::size_t k = p; k < s.size(); ++k) {
+            const Token &t = at(src, s[k]);
+            if (depth == 0 &&
+                (t.is("=") || t.is("{") || t.is("["))) {
+                marker = k;
+                break;
+            }
+            if (t.is("(")) {
+                if (depth == 0) {
+                    if (!localScope)
+                        skip = true;
+                    marker = k;
+                    break;
+                }
+                ++depth;
+            } else if (t.is(")")) {
+                if (--depth < 0)
+                    return;
+            } else if (t.is("<")) {
+                ++depth;
+            } else if (t.is(">")) {
+                if (--depth < 0)
+                    return;
+            } else if (t.is(">>")) {
+                if ((depth -= 2) < 0)
+                    return;
+            }
+        }
+        if (skip)
+            return;
+        // The declared name: last identifier before the marker.
+        std::size_t nameAt = std::string_view::npos;
+        for (std::size_t k = marker; k-- > p;)
+            if (at(src, s[k]).kind == TokKind::Identifier) {
+                nameAt = k;
+                break;
+            }
+        if (nameAt == std::string_view::npos || nameAt == p)
+            return; // no name, or a bare expression with no type
+        v.name = at(src, s[nameAt]).text;
+        for (std::size_t k = p; k < nameAt; ++k) {
+            const Token &t = at(src, s[k]);
+            if (!v.type.empty() && t.kind == TokKind::Identifier)
+                v.type += ' ';
+            v.type += t.text;
+            if (t.kind != TokKind::Identifier)
+                continue;
+            if (isAtomicSpelling(t.text))
+                v.isAtomic = true;
+            else if (mutexTypes.count(t.text) > 0)
+                v.isMutex = true;
+            else if (lockTypes.count(t.text) > 0)
+                v.isLock = true;
+            else if (condVarTypes.count(t.text) > 0)
+                v.isCondVar = true;
+        }
+        v.line = at(src, s[0]).line;
+        v.namespaceScope = namespaceScope;
+        v.stmtBegin = s.front();
+        v.stmtEnd = s.back();
+        v.guardedBy = src.guardFor(v.line);
+        if (v.sharedStorage())
+            out.statics.push_back(v);
+        if (v.isMutex || v.isLock || v.isCondVar)
+            out.syncDecls.push_back(v);
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (directive[i]) {
+            stmtStart = i + 1;
+            continue;
+        }
+        const Token &tok = src.tokens[i];
+
+        if (tok.is("{")) {
+            BraceClass bc = classifyBrace(src, i, stmtStart);
+            if (bc.kind == BraceClass::BlockInit) {
+                stmt.push_back(i);
+                stack.push_back({bc.kind, "", 0});
+                continue;
+            }
+            if (bc.kind == BraceClass::Function) {
+                FunctionDef fn;
+                fn.name = bc.name;
+                fn.qualifier = bc.qualifier.empty()
+                                   ? enclosingClass()
+                                   : bc.qualifier;
+                fn.line = tok.line;
+                fn.bodyBegin = i;
+                fn.bodyEnd = n ? n - 1 : 0;
+                out.functions.push_back(std::move(fn));
+                stack.push_back({bc.kind, bc.name,
+                                 out.functions.size() - 1});
+            } else {
+                stack.push_back({bc.kind, bc.name, 0});
+            }
+            stmt.clear();
+            stmtStart = i + 1;
+            continue;
+        }
+        if (tok.is("}")) {
+            if (stack.size() > 1) {
+                Scope popped = stack.back();
+                stack.pop_back();
+                if (popped.kind == BraceClass::Function)
+                    out.functions[popped.fnIndex].bodyEnd = i;
+                if (popped.kind != BraceClass::BlockInit) {
+                    stmt.clear();
+                    stmtStart = i + 1;
+                }
+            }
+            continue;
+        }
+        if (tok.is(";")) {
+            // Declarations live at namespace/class scope; inside
+            // functions only `static` locals are modelled.
+            const BraceClass::Kind k = stack.back().kind;
+            if (k == BraceClass::Namespace || k == BraceClass::Class ||
+                (!stmt.empty() && at(src, stmt[0]).isIdent("static")))
+                analyzeDecl(stmt);
+            stmt.clear();
+            stmtStart = i + 1;
+            continue;
+        }
+
+        stmt.push_back(i);
+
+        // Call sites, attributed to the innermost function body.
+        if (tok.kind == TokKind::Identifier && at(src, i + 1).is("(") &&
+            notCalls.count(tok.text) == 0 &&
+            controlKeywords.count(tok.text) == 0) {
+            std::size_t fnIdx = innermostFunction();
+            if (fnIdx != std::string_view::npos) {
+                const Token &prev = at(src, i - 1);
+                CallSite call;
+                bool isCall = true;
+                if (prev.is(".") || prev.is("->")) {
+                    if (at(src, i - 2).kind == TokKind::Identifier)
+                        call.receiver = at(src, i - 2).text;
+                } else if (prev.kind == TokKind::Identifier &&
+                           prev.text != "return" &&
+                           prev.text != "else" && prev.text != "do" &&
+                           prev.text != "throw" &&
+                           prev.text != "case") {
+                    isCall = false; // `Type name(...)`: a declaration
+                }
+                if (isCall) {
+                    call.name = tok.text;
+                    call.tok = i;
+                    call.line = tok.line;
+                    out.functions[fnIdx].calls.push_back(
+                        std::move(call));
+                }
+            }
+        }
+    }
+
+    // Sync-typed declarations at any scope (locals included):
+    // `type<...> name` with the usual ref/pointer decorations.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier)
+            continue;
+        bool mutexT = mutexTypes.count(tok.text) > 0;
+        bool lockT = lockTypes.count(tok.text) > 0;
+        bool condT = condVarTypes.count(tok.text) > 0;
+        if (!mutexT && !lockT && !condT)
+            continue;
+        std::size_t j = i + 1;
+        if (at(src, j).is("<")) {
+            int depth = 0;
+            for (; j < n; ++j) {
+                if (at(src, j).is("<"))
+                    ++depth;
+                else if (at(src, j).is(">") && --depth == 0) {
+                    ++j;
+                    break;
+                } else if (at(src, j).is(">>") && (depth -= 2) <= 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        while (at(src, j).is("&") || at(src, j).is("*"))
+            ++j;
+        if (at(src, j).kind != TokKind::Identifier)
+            continue;
+        if (out.findSync(at(src, j).text))
+            continue;
+        VarDecl v;
+        v.name = at(src, j).text;
+        v.type = tok.text;
+        v.line = at(src, j).line;
+        v.stmtBegin = i;
+        v.stmtEnd = j;
+        v.isMutex = mutexT;
+        v.isLock = lockT;
+        v.isCondVar = condT;
+        v.guardedBy = src.guardFor(at(src, i).line);
+        out.syncDecls.push_back(std::move(v));
+    }
+
+    return out;
+}
+
+} // namespace avf::lint

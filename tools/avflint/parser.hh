@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Scope/flow-aware parse layer over the avflint lexer: pass 1 of the
+ * two-pass analysis engine. One forward walk over a lexed file tracks
+ * brace scopes (namespace / class / function / plain block), and from
+ * that recognizes function definitions (free, qualified
+ * `Class::method`, class-inline, constructors with member-init
+ * lists), collects the call sites inside each body, and records the
+ * declarations the checks care about: namespace-scope and
+ * static-storage variables (with const / atomic / thread_local /
+ * mutex flags and any `avflint: guarded_by(m)` annotation) and
+ * sync-typed names (mutexes, RAII locks, condition variables) at any
+ * scope.
+ *
+ * This is deliberately not a C++ parser — no templates, no overload
+ * resolution, no types beyond spelling. It is the smallest model
+ * that lets checks ask "is this token inside a function body, and
+ * which one?", "what does this function call?", and "what storage
+ * does this name have?". Anything it cannot classify degrades to a
+ * plain block, never to a crash: like the lexer, it must survive
+ * arbitrary malformed input.
+ */
+
+#ifndef AVF_TOOLS_AVFLINT_PARSER_HH
+#define AVF_TOOLS_AVFLINT_PARSER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "avflint/lexer.hh"
+
+namespace avf::lint
+{
+
+/** One call expression inside a function body. */
+struct CallSite
+{
+    std::string name;     ///< bare callee name (last component)
+    std::string receiver; ///< `x` in `x.name(...)` / `x->name(...)`
+    std::size_t tok = 0;  ///< token index of the callee name
+    int line = 0;
+};
+
+/** One function (or method) definition with a body in this file. */
+struct FunctionDef
+{
+    std::string name;      ///< bare name, e.g. "step"
+    std::string qualifier; ///< `Pipeline` for `Pipeline::step`; ""
+    int line = 0;
+    std::size_t bodyBegin = 0; ///< token index of the opening `{`
+    std::size_t bodyEnd = 0;   ///< token index of the matching `}`
+    std::vector<CallSite> calls;
+};
+
+/** A declaration with the properties the checks ask about. */
+struct VarDecl
+{
+    std::string name;
+    std::string type; ///< joined declaration-prefix spelling
+    int line = 0;
+    /** Token span of the whole declaration statement (incl. init). */
+    std::size_t stmtBegin = 0, stmtEnd = 0;
+    bool namespaceScope = false; ///< declared at namespace scope
+    bool isStatic = false;       ///< carries the `static` keyword
+    bool threadLocal = false;
+    bool isConst = false;  ///< const / constexpr / constinit
+    bool isAtomic = false; ///< std::atomic<...> or atomic_* alias
+    bool isMutex = false;  ///< std::*mutex family
+    bool isLock = false;   ///< lock_guard/unique_lock/scoped_lock/shared_lock
+    bool isCondVar = false;
+    std::string guardedBy; ///< mutex named by a guarded_by annotation
+
+    /** Static storage duration: shared across the whole process. */
+    bool sharedStorage() const { return namespaceScope || isStatic; }
+};
+
+/** Per-file symbol model produced by parseFile(). */
+struct FileModel
+{
+    std::string path;
+    std::vector<FunctionDef> functions;
+    /** Namespace-scope variables plus `static` locals and members. */
+    std::vector<VarDecl> statics;
+    /** Mutex / lock / condvar declarations at any scope. */
+    std::vector<VarDecl> syncDecls;
+
+    /** Innermost function whose body covers @p tok, or nullptr. */
+    const FunctionDef *enclosingFunction(std::size_t tok) const;
+    /** First sync decl named @p name, or nullptr. */
+    const VarDecl *findSync(const std::string &name) const;
+    /** First *mutex* decl named @p name, or nullptr. */
+    const VarDecl *findMutex(const std::string &name) const;
+};
+
+/** Build the symbol model for one lexed file. Never fails. */
+FileModel parseFile(const SourceFile &src);
+
+} // namespace avf::lint
+
+#endif // AVF_TOOLS_AVFLINT_PARSER_HH
