@@ -19,9 +19,16 @@
 #                and sanity-parses ci_METRICS.json / ci_TRACE.json,
 #                and a closed-loop scenario_budget_storm run whose
 #                decision trail `avf-report budget` renders back
-#   all          tier1 + lint + tidy + ubsan + tsan (bench-smoke is
-#                opt-in: its numbers are machine-dependent, so it has
-#                its own CI job that never gates on them)
+#   serve-smoke  the kill-and-resume gate: start avf-serve, submit a
+#                campaign over the socket, kill -9 the daemon
+#                mid-campaign, restart with --resume, and diff the
+#                final JSONL feed byte-for-byte against an
+#                uninterrupted batch run — at 1 AND 4 worker
+#                processes
+#   lanes-equiv  lane-vs-serial equivalence suite (ctest -L lanes)
+#                under the default lane count and AVF_LANES=1
+#   all          tier1 + lint + tidy + ubsan + tsan (bench-smoke and
+#                serve-smoke are opt-in: each has its own CI job)
 #
 # The avflint_repo test fails on any finding that is neither fixed,
 # suppressed inline with a justification, nor already recorded in
@@ -30,7 +37,7 @@
 set -eu
 
 usage() {
-    echo "usage: scripts/ci.sh [--stage tier1|lint|tidy|ubsan|tsan|bench-smoke|all] [build-dir]"
+    echo "usage: scripts/ci.sh [--stage tier1|lint|tidy|ubsan|tsan|bench-smoke|serve-smoke|lanes-equiv|all] [build-dir]"
 }
 
 STAGE=all
@@ -170,6 +177,92 @@ run_bench_smoke() {
     echo "bench-smoke: control-loop decision trail round-trip ok"
 }
 
+# Poll a status round-trip until the daemon in $1 answers (up to
+# 60 s — a --resume restart finishes its campaigns before listening).
+wait_for_daemon() {
+    i=0
+    while ! "$SERVE" status --dir "$1" > /dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 600 ]; then
+            echo "ci.sh: daemon in $1 never answered" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+run_serve_smoke() {
+    echo "=== serve-smoke: kill -9 + --resume vs uninterrupted batch ==="
+    configure_and_build "$BUILD-serve" -DCMAKE_BUILD_TYPE=Release
+    SERVE="$BUILD-serve/tools/avf-serve/avf-serve"
+    REPORT="$BUILD-serve/tools/avf-report/avf-report"
+    # The same campaign everywhere; m*n is sized so the 6 slices take
+    # a few seconds — long enough that the SIGKILL below reliably
+    # lands mid-campaign, short enough for a CI smoke stage.
+    CAMPAIGN="--name smoke --benchmark bzip2 --intervals 12
+              --slice-intervals 2 --m 20000 --n 400 --seed-salt 3"
+    for PROCS in 1 4; do
+        echo "--- serve-smoke: $PROCS worker process(es) ---"
+        STATE="$BUILD-serve/serve-state-$PROCS"
+        REFDIR="$BUILD-serve/serve-ref-$PROCS"
+        rm -rf "$STATE" "$REFDIR"
+        mkdir -p "$STATE" "$REFDIR"
+        # Uninterrupted reference run, no daemon involved.
+        # $CAMPAIGN is expanded unquoted on purpose: it is a flag list.
+        "$SERVE" batch --dir "$REFDIR" --procs "$PROCS" $CAMPAIGN
+        # Daemon: submit over the socket, wait until at least one
+        # slice is durable, then SIGKILL it mid-campaign.
+        "$SERVE" serve --dir "$STATE" --procs "$PROCS" &
+        DPID=$!
+        wait_for_daemon "$STATE"
+        "$SERVE" submit --dir "$STATE" $CAMPAIGN
+        i=0
+        while [ "$i" -lt 300 ]; do
+            if grep -q '"slices_done":[1-9]' \
+                "$STATE/smoke.ckpt.json" 2>/dev/null; then
+                break
+            fi
+            i=$((i + 1)); sleep 0.1
+        done
+        kill -9 "$DPID" 2>/dev/null || true
+        wait "$DPID" 2>/dev/null || true
+        echo "serve-smoke: daemon killed; state at the kill instant:"
+        "$REPORT" serve-status "$STATE"
+        # Restart with --resume: the daemon finishes the campaign
+        # before listening, so a status round-trip succeeding means
+        # the resume is done. Drop the stale socket file first so
+        # clients cannot connect to the corpse's address.
+        rm -f "$STATE/serve.sock"
+        "$SERVE" serve --dir "$STATE" --procs "$PROCS" --resume &
+        DPID=$!
+        wait_for_daemon "$STATE"
+        "$SERVE" status --dir "$STATE"
+        "$SERVE" shutdown --dir "$STATE"
+        wait "$DPID"
+        # The resumed feed must be byte-identical to the
+        # uninterrupted reference, and still well-formed to the
+        # reader.
+        cmp "$STATE/smoke.feed.jsonl" "$REFDIR/smoke.feed.jsonl"
+        "$REPORT" tail "$STATE/smoke.feed.jsonl" > /dev/null
+        echo "serve-smoke: $PROCS-proc resumed feed byte-identical"
+    done
+    # Cross-shard identity: the 1- and 4-process reference runs must
+    # agree byte-for-byte too.
+    cmp "$BUILD-serve/serve-ref-1/smoke.feed.jsonl" \
+        "$BUILD-serve/serve-ref-4/smoke.feed.jsonl"
+    echo "serve-smoke: feeds byte-identical across shard counts"
+}
+
+run_lanes_equiv() {
+    echo "=== lanes-equiv: lane-vs-serial equivalence suite ==="
+    configure_and_build "$BUILD"
+    # Once under the default lane plane, once forced serial: the
+    # equivalence tests compare lane results against the serial
+    # baseline internally, and the env knob must not perturb either.
+    ctest --test-dir "$BUILD" -L lanes --output-on-failure
+    AVF_LANES=1 ctest --test-dir "$BUILD" -L lanes --output-on-failure
+}
+
 case "$STAGE" in
   all)
     run_tier1
@@ -195,6 +288,12 @@ case "$STAGE" in
     ;;
   bench-smoke|bench)
     run_bench_smoke
+    ;;
+  serve-smoke|serve)
+    run_serve_smoke
+    ;;
+  lanes-equiv|lanes)
+    run_lanes_equiv
     ;;
   *)
     echo "ci.sh: unknown stage '$STAGE'" >&2

@@ -11,13 +11,59 @@
 #ifndef AVF_CORE_AVF_ESTIMATOR_HH
 #define AVF_CORE_AVF_ESTIMATOR_HH
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cpu/observer.hh"
 
 namespace avf::core
 {
+
+/**
+ * Plain-data snapshot of one estimator's accumulated reporting state:
+ * the per-interval estimates plus the named counters and values a
+ * resumed service needs to keep reporting where the original left
+ * off. Snapshots are taken at quiesce points (interval boundaries or
+ * end of run); in-flight microarchitectural window state is
+ * deliberately NOT captured — the serve layer's crash-resume
+ * recomputes an interrupted slice from its config, which is both
+ * cheaper and exactly deterministic (see DESIGN.md §13).
+ *
+ * Entry order is fixed per family, so equal states serialize to equal
+ * bytes through harness/task_codec.
+ */
+struct EstimatorState
+{
+    /** Producing estimator's name(); restore requires a match. */
+    std::string name;
+    /** Monotonic counters (injections, failures, cursors, ...). */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    /** Real-valued state (model weights, boundary snapshots, ...). */
+    std::vector<std::pair<std::string, double>> values;
+    /** Completed per-interval estimates at snapshot time. */
+    std::vector<double> estimates;
+
+    /** Counter by name; 0 when absent. */
+    std::uint64_t counterValue(std::string_view key) const
+    {
+        for (const auto &[name_, v] : counters)
+            if (name_ == key)
+                return v;
+        return 0;
+    }
+
+    /** Value by name; 0.0 when absent. */
+    double valueOf(std::string_view key) const
+    {
+        for (const auto &[name_, v] : values)
+            if (name_ == key)
+                return v;
+        return 0.0;
+    }
+};
 
 /**
  * An AVF estimator attached to the pipeline as an observer. Estimates
@@ -37,6 +83,19 @@ class AvfEstimator : public cpu::PipelineObserver
 
     /** Best estimate over the current (incomplete) interval. */
     virtual double partialAvf() const = 0;
+
+    /** Copy the accumulated reporting state (see EstimatorState). */
+    virtual EstimatorState snapshotState() const = 0;
+
+    /**
+     * Restore a state produced by the same family's snapshotState().
+     * Throws std::invalid_argument when @p state names a different
+     * estimator — restore consumes wire/checkpoint data, so a
+     * mismatch is an input error, not a programmer error. After a
+     * successful restore the accessors report the snapshot's numbers
+     * and new intervals accumulate on top.
+     */
+    virtual void restoreState(const EstimatorState &state) = 0;
 };
 
 } // namespace avf::core

@@ -1,5 +1,7 @@
 #include "core/occupancy_estimator.hh"
 
+#include <stdexcept>
+
 #include "util/logging.hh"
 
 namespace avf::core
@@ -50,6 +52,27 @@ OccupancyEstimator::partialAvf() const
         pipeline.config().totalIqEntries());
     return static_cast<double>(delta) /
            (static_cast<double>(elapsed) * capacity);
+}
+
+EstimatorState
+OccupancyEstimator::snapshotState() const
+{
+    EstimatorState state;
+    state.name = name();
+    state.counters = {{"last_occupancy_sum", lastOccupancySum}};
+    state.estimates = results;
+    return state;
+}
+
+void
+OccupancyEstimator::restoreState(const EstimatorState &state)
+{
+    if (state.name != name())
+        throw std::invalid_argument(
+            "estimator state for '" + state.name +
+            "' cannot restore into '" + name() + "'");
+    lastOccupancySum = state.counterValue("last_occupancy_sum");
+    results = state.estimates;
 }
 
 } // namespace avf::core

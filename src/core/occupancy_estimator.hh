@@ -50,6 +50,10 @@ class OccupancyEstimator : public AvfEstimator
     /** Mean occupancy fraction over the open interval so far. */
     double partialAvf() const override;
 
+    /** The occupancy-sum snapshot and the completed estimates. */
+    EstimatorState snapshotState() const override;
+    void restoreState(const EstimatorState &state) override;
+
   private:
     const cpu::Pipeline &pipeline;
     Cycle intervalLen;

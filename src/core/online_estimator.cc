@@ -1,5 +1,7 @@
 #include "core/online_estimator.hh"
 
+#include <stdexcept>
+
 #include "util/logging.hh"
 
 namespace avf::core
@@ -79,6 +81,46 @@ OnlineAvfEstimator::partialAvf() const
     return injections ? static_cast<double>(failures) /
                         static_cast<double>(injections)
                       : 0.0;
+}
+
+EstimatorState
+OnlineAvfEstimator::snapshotState() const
+{
+    EstimatorState state;
+    state.name = name();
+    state.counters = {
+        {"injections", injections},
+        {"failures", failures},
+        {"lifetime_injections", lifetimeInjections},
+        {"lifetime_failures", lifetimeFailures},
+        {"live_injections", liveInjections},
+        {"windows_closed", windowsClosed},
+        {"opened_this_interval", openedThisInterval},
+        {"cursor", static_cast<std::uint64_t>(cursor)},
+    };
+    state.estimates = results;
+    return state;
+}
+
+void
+OnlineAvfEstimator::restoreState(const EstimatorState &state)
+{
+    if (state.name != name())
+        throw std::invalid_argument(
+            "estimator state for '" + state.name +
+            "' cannot restore into '" + name() + "'");
+    injections = static_cast<std::uint32_t>(
+        state.counterValue("injections"));
+    failures = static_cast<std::uint32_t>(
+        state.counterValue("failures"));
+    lifetimeInjections = state.counterValue("lifetime_injections");
+    lifetimeFailures = state.counterValue("lifetime_failures");
+    liveInjections = state.counterValue("live_injections");
+    windowsClosed = state.counterValue("windows_closed");
+    openedThisInterval = static_cast<std::uint32_t>(
+        state.counterValue("opened_this_interval"));
+    cursor = static_cast<int>(state.counterValue("cursor"));
+    results = state.estimates;
 }
 
 Site

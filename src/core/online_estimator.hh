@@ -157,6 +157,14 @@ class OnlineAvfEstimator : public AvfEstimator
     /** AVF over the windows completed so far in the open interval. */
     double partialAvf() const override;
 
+    /**
+     * Accumulated reporting state: interval and lifetime counters,
+     * the round-robin cursor, and the completed estimates. In-flight
+     * lane windows are not captured (see EstimatorState).
+     */
+    EstimatorState snapshotState() const override;
+    void restoreState(const EstimatorState &state) override;
+
     /** Resolved concurrent-window count (config.lanes, 0 -> 1). */
     int laneCount() const
     {

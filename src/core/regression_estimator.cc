@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "trace/instruction.hh"
 #include "util/logging.hh"
@@ -202,6 +203,46 @@ void
 RegressionEstimator::setModel(LinearAvfModel newModel)
 {
     model = std::move(newModel);
+    cached.clear();
+}
+
+EstimatorState
+RegressionEstimator::snapshotState() const
+{
+    EstimatorState state;
+    state.name = name();
+    state.counters = {{"trained", model.trained() ? 1u : 0u}};
+    if (model.trained()) {
+        const FeatureVector &w = model.weights();
+        state.values.reserve(w.size());
+        for (int i = 0; i < numRegressionFeatures; ++i)
+            state.values.emplace_back(
+                "w" + std::to_string(i),
+                w[static_cast<std::size_t>(i)]);
+    }
+    state.estimates = estimates();
+    return state;
+}
+
+void
+RegressionEstimator::restoreState(const EstimatorState &state)
+{
+    if (state.name != name())
+        throw std::invalid_argument(
+            "estimator state for '" + state.name +
+            "' cannot restore into '" + name() + "'");
+    if (!state.counterValue("trained")) {
+        model = LinearAvfModel{};
+        cached.clear();
+        return;
+    }
+    FeatureVector w{};
+    for (int i = 0; i < numRegressionFeatures; ++i)
+        w[static_cast<std::size_t>(i)] =
+            state.valueOf("w" + std::to_string(i));
+    LinearAvfModel restored;
+    restored.setWeights(w);
+    model = restored;
     cached.clear();
 }
 

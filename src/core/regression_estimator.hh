@@ -103,6 +103,17 @@ class LinearAvfModel
     /** Fitted weights (intercept first). */
     const FeatureVector &weights() const { return coeff; }
 
+    /**
+     * Install weights directly (marks the model trained). The
+     * restore path for serve checkpoints: a calibration fitted in
+     * one process is reinstalled in another without refitting.
+     */
+    void setWeights(const FeatureVector &w)
+    {
+        coeff = w;
+        isTrained = true;
+    }
+
     /** True once fit() has run. */
     bool trained() const { return isTrained; }
 
@@ -149,6 +160,16 @@ class RegressionEstimator : public AvfEstimator
 
     /** Install a (trained) model; predictions recompute lazily. */
     void setModel(LinearAvfModel model);
+
+    /**
+     * The calibration (model weights + trained flag), not the
+     * feature history: predictions always recompute lazily from the
+     * local collector, so a restored estimator reports exactly what
+     * a same-calibration estimator over the same pipeline would. The
+     * snapshot's estimates field is informational only.
+     */
+    EstimatorState snapshotState() const override;
+    void restoreState(const EstimatorState &state) override;
 
     /** Raw per-interval feature rows (for offline fitting). */
     const std::vector<FeatureVector> &features() const

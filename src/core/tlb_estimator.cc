@@ -1,5 +1,7 @@
 #include "core/tlb_estimator.hh"
 
+#include <stdexcept>
+
 #include "util/logging.hh"
 
 namespace avf::core
@@ -101,6 +103,37 @@ TlbAvfEstimator::partialAvf() const
     return injections ? static_cast<double>(failures) /
                         static_cast<double>(injections)
                       : 0.0;
+}
+
+EstimatorState
+TlbAvfEstimator::snapshotState() const
+{
+    EstimatorState state;
+    state.name = name();
+    state.counters = {
+        {"injections", injections},
+        {"failures", failures},
+        {"lifetime_injections", lifetimeInjections},
+        {"cursor", static_cast<std::uint64_t>(cursor)},
+    };
+    state.estimates = results;
+    return state;
+}
+
+void
+TlbAvfEstimator::restoreState(const EstimatorState &state)
+{
+    if (state.name != name())
+        throw std::invalid_argument(
+            "estimator state for '" + state.name +
+            "' cannot restore into '" + name() + "'");
+    injections = static_cast<std::uint32_t>(
+        state.counterValue("injections"));
+    failures = static_cast<std::uint32_t>(
+        state.counterValue("failures"));
+    lifetimeInjections = state.counterValue("lifetime_injections");
+    cursor = static_cast<int>(state.counterValue("cursor"));
+    results = state.estimates;
 }
 
 } // namespace avf::core

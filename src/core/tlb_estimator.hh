@@ -76,6 +76,13 @@ class TlbAvfEstimator : public AvfEstimator
     /** Total injections fired. */
     std::uint64_t totalInjections() const { return lifetimeInjections; }
 
+    /**
+     * Counters, cursor, and completed estimates; the open window
+     * itself is not captured (see EstimatorState).
+     */
+    EstimatorState snapshotState() const override;
+    void restoreState(const EstimatorState &state) override;
+
   private:
     cpu::Pipeline &pipeline;
     TlbEstimatorConfig conf;

@@ -1,6 +1,7 @@
 #include "core/utilization_estimator.hh"
 
 #include <cctype>
+#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -58,6 +59,27 @@ UtilizationEstimator::partialAvf() const
         pipeline.config().unitsIn(fuClass));
     return static_cast<double>(delta) /
            (static_cast<double>(elapsed) * units);
+}
+
+EstimatorState
+UtilizationEstimator::snapshotState() const
+{
+    EstimatorState state;
+    state.name = name();
+    state.counters = {{"last_busy", lastBusy}};
+    state.estimates = results;
+    return state;
+}
+
+void
+UtilizationEstimator::restoreState(const EstimatorState &state)
+{
+    if (state.name != name())
+        throw std::invalid_argument(
+            "estimator state for '" + state.name +
+            "' cannot restore into '" + name() + "'");
+    lastBusy = state.counterValue("last_busy");
+    results = state.estimates;
 }
 
 } // namespace avf::core

@@ -50,6 +50,10 @@ class UtilizationEstimator : public AvfEstimator
     /** Mean utilization over the open interval so far. */
     double partialAvf() const override;
 
+    /** The busy-counter snapshot and the completed estimates. */
+    EstimatorState snapshotState() const override;
+    void restoreState(const EstimatorState &state) override;
+
   private:
     const cpu::Pipeline &pipeline;
     cpu::FuClass fuClass;

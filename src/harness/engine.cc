@@ -39,18 +39,23 @@ ExperimentEngine::onTaskDone(ProgressFn callback)
     progress = std::move(callback);
 }
 
+void
+deriveTaskSeeds(ExperimentConfig &config, std::uint64_t salt,
+                std::size_t index)
+{
+    // Seeds derive from the submission index, never from scheduling
+    // order, so re-seeded campaigns stay deterministic at any thread
+    // (or, through the serve sharder, process) count.
+    Rng derive(salt ^ (0x9e3779b97f4a7c15ull * (index + 1)));
+    config.profile.seed = derive.next();
+    config.online.seed = derive.next();
+}
+
 std::size_t
 ExperimentEngine::submit(std::string name, ExperimentConfig config)
 {
-    if (opts.seedSalt != 0) {
-        // Seeds derive from the submission index, never from
-        // scheduling order, so re-seeded campaigns stay deterministic
-        // at any thread count.
-        Rng derive(opts.seedSalt ^
-                   (0x9e3779b97f4a7c15ull * (batch.size() + 1)));
-        config.profile.seed = derive.next();
-        config.online.seed = derive.next();
-    }
+    if (opts.seedSalt != 0)
+        deriveTaskSeeds(config, opts.seedSalt, batch.size());
     // A campaign-level metrics prefix opts every task in; a config
     // that already asked for metrics keeps them either way.
     if (!opts.metricsPrefix.empty())

@@ -119,6 +119,16 @@ struct TaskResult
 };
 
 /**
+ * Re-derive @p config's workload and estimator seeds from
+ * (@p salt, @p index) — the engine's seed rule for re-seeded
+ * campaigns, factored out so other schedulers (the avf-serve slice
+ * sharder) assign byte-identical seeds to the task at a given index
+ * without going through submit(). @p salt must be nonzero.
+ */
+void deriveTaskSeeds(ExperimentConfig &config, std::uint64_t salt,
+                     std::size_t index);
+
+/**
  * Parallel, deterministic experiment runner.
  *
  * Usage:

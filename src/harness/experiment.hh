@@ -99,6 +99,13 @@ struct ExperimentConfig
      * RunOptions::mttfBudgetHours is positive.
      */
     ControlConfig control;
+    /**
+     * Snapshot every estimator's reporting state into
+     * ExperimentResult::estimatorStates after the run (see
+     * core::EstimatorState). Used by the serve layer's checkpoints;
+     * purely post-run, so estimates are byte-identical either way.
+     */
+    bool snapshotEstimators = false;
 };
 
 /** One estimation interval's worth of results. */
@@ -191,6 +198,14 @@ struct ExperimentResult
     obs::MetricsSnapshot metrics;
     /** Control-loop digest (enabled == false when control was off). */
     ControlSummary control;
+    /**
+     * Post-run estimator state snapshots (empty unless
+     * ExperimentConfig::snapshotEstimators). Roster order: the five
+     * online estimators (structure order), utilization FXU, FPU,
+     * occupancy, then a synthetic "port" entry carrying the shared
+     * InjectionPort's reserved/open lane masks.
+     */
+    std::vector<core::EstimatorState> estimatorStates;
 
     /** Extract one per-interval series. */
     std::vector<double> onlineSeries(core::Structure s) const;

@@ -1,0 +1,579 @@
+#include "harness/task_codec.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "harness/export.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace avf::harness::codec
+{
+
+void
+appendExactDouble(std::string &out, double value)
+{
+    // %.17g round-trips every finite double through strtod exactly;
+    // non-finite values have no JSON spelling and nothing in a task
+    // result may produce one.
+    avf_assert(std::isfinite(value),
+               "task codec: non-finite double");
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+}
+
+namespace
+{
+
+void
+appendUint(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    out += buf;
+}
+
+void
+appendString(std::string &out, std::string_view text)
+{
+    out += '"';
+    out += jsonEscape(text);
+    out += '"';
+}
+
+void
+appendDoubles(std::string &out, const double *values,
+              std::size_t count)
+{
+    out += '[';
+    for (std::size_t i = 0; i < count; ++i) {
+        if (i)
+            out += ',';
+        appendExactDouble(out, values[i]);
+    }
+    out += ']';
+}
+
+void
+appendDoubles(std::string &out, const std::vector<double> &values)
+{
+    appendDoubles(out, values.data(), values.size());
+}
+
+} // namespace
+
+void
+appendEstimatorState(std::string &out,
+                     const core::EstimatorState &state)
+{
+    out += "{\"name\":";
+    appendString(out, state.name);
+    out += ",\"counters\":[";
+    for (std::size_t i = 0; i < state.counters.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '[';
+        appendString(out, state.counters[i].first);
+        out += ',';
+        appendUint(out, state.counters[i].second);
+        out += ']';
+    }
+    out += "],\"values\":[";
+    for (std::size_t i = 0; i < state.values.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '[';
+        appendString(out, state.values[i].first);
+        out += ',';
+        appendExactDouble(out, state.values[i].second);
+        out += ']';
+    }
+    out += "],\"estimates\":";
+    appendDoubles(out, state.estimates);
+    out += '}';
+}
+
+void
+appendMetricsSnapshot(std::string &out,
+                      const obs::MetricsSnapshot &metrics)
+{
+    out += "{\"counters\":[";
+    for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '[';
+        appendString(out, metrics.counters[i].first);
+        out += ',';
+        appendUint(out, metrics.counters[i].second);
+        out += ']';
+    }
+    out += "],\"gauges\":[";
+    for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '[';
+        appendString(out, metrics.gauges[i].first);
+        out += ',';
+        appendExactDouble(out, metrics.gauges[i].second);
+        out += ']';
+    }
+    out += "],\"histograms\":[";
+    for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+        if (i)
+            out += ',';
+        const auto &hist = metrics.histograms[i].second;
+        out += '[';
+        appendString(out, metrics.histograms[i].first);
+        out += ",{\"lo\":";
+        appendExactDouble(out, hist.lo);
+        out += ",\"hi\":";
+        appendExactDouble(out, hist.hi);
+        out += ",\"bins\":[";
+        for (std::size_t b = 0; b < hist.bins.size(); ++b) {
+            if (b)
+                out += ',';
+            appendUint(out, hist.bins[b]);
+        }
+        out += "],\"underflow\":";
+        appendUint(out, hist.underflow);
+        out += ",\"overflow\":";
+        appendUint(out, hist.overflow);
+        out += ",\"total\":";
+        appendUint(out, hist.total);
+        out += "}]";
+    }
+    out += "],\"series\":[";
+    for (std::size_t i = 0; i < metrics.series.size(); ++i) {
+        if (i)
+            out += ',';
+        out += '[';
+        appendString(out, metrics.series[i].first);
+        out += ',';
+        appendDoubles(out, metrics.series[i].second);
+        out += ']';
+    }
+    out += "]}";
+}
+
+// ------------------------------------------------------------------ //
+// Decode helpers: each returns false after setting @p errorOut.       //
+// ------------------------------------------------------------------ //
+
+namespace
+{
+
+bool
+fail(std::string &errorOut, const std::string &what)
+{
+    errorOut = "task codec: " + what;
+    return false;
+}
+
+bool
+readDoubles(const json::Value &value, std::vector<double> &out,
+            std::string &errorOut, const char *what)
+{
+    if (!value.isArray())
+        return fail(errorOut, std::string(what) + " not an array");
+    out.clear();
+    out.reserve(value.items.size());
+    for (const auto &item : value.items) {
+        if (!item.isNumber())
+            return fail(errorOut,
+                        std::string(what) + " holds a non-number");
+        out.push_back(item.asDouble());
+    }
+    return true;
+}
+
+bool
+readFixedDoubles(const json::Value &value, double *out,
+                 std::size_t count, std::string &errorOut,
+                 const char *what)
+{
+    if (!value.isArray() || value.items.size() != count)
+        return fail(errorOut,
+                    std::string(what) + " needs exactly " +
+                        std::to_string(count) + " numbers");
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!value.items[i].isNumber())
+            return fail(errorOut,
+                        std::string(what) + " holds a non-number");
+        out[i] = value.items[i].asDouble();
+    }
+    return true;
+}
+
+bool
+readNamedPairs(
+    const json::Value &value,
+    std::vector<std::pair<std::string, std::uint64_t>> &out,
+    std::string &errorOut, const char *what)
+{
+    if (!value.isArray())
+        return fail(errorOut, std::string(what) + " not an array");
+    out.clear();
+    out.reserve(value.items.size());
+    for (const auto &item : value.items) {
+        if (!item.isArray() || item.items.size() != 2 ||
+            !item.items[0].isString() || !item.items[1].isNumber())
+            return fail(errorOut,
+                        std::string(what) + " entry malformed");
+        out.emplace_back(item.items[0].text, item.items[1].asUint());
+    }
+    return true;
+}
+
+bool
+readNamedDoublePairs(
+    const json::Value &value,
+    std::vector<std::pair<std::string, double>> &out,
+    std::string &errorOut, const char *what)
+{
+    if (!value.isArray())
+        return fail(errorOut, std::string(what) + " not an array");
+    out.clear();
+    out.reserve(value.items.size());
+    for (const auto &item : value.items) {
+        if (!item.isArray() || item.items.size() != 2 ||
+            !item.items[0].isString() || !item.items[1].isNumber())
+            return fail(errorOut,
+                        std::string(what) + " entry malformed");
+        out.emplace_back(item.items[0].text,
+                         item.items[1].asDouble());
+    }
+    return true;
+}
+
+bool
+readUintField(const json::Value &object, const char *key,
+              std::uint64_t &out, std::string &errorOut)
+{
+    const json::Value *value = object.find(key);
+    if (!value || !value->isNumber())
+        return fail(errorOut,
+                    std::string("missing number '") + key + "'");
+    out = value->asUint();
+    return true;
+}
+
+bool
+readDoubleField(const json::Value &object, const char *key,
+                double &out, std::string &errorOut)
+{
+    const json::Value *value = object.find(key);
+    if (!value || !value->isNumber())
+        return fail(errorOut,
+                    std::string("missing number '") + key + "'");
+    out = value->asDouble();
+    return true;
+}
+
+} // namespace
+
+bool
+decodeEstimatorState(const json::Value &value,
+                     core::EstimatorState &out,
+                     std::string &errorOut)
+{
+    if (!value.isObject())
+        return fail(errorOut, "state not an object");
+    const json::Value *name =
+        value.find("name", json::Value::Kind::String);
+    if (!name)
+        return fail(errorOut, "state missing name");
+    out.name = name->text;
+    const json::Value *counters = value.find("counters");
+    const json::Value *values = value.find("values");
+    const json::Value *estimates = value.find("estimates");
+    if (!counters || !values || !estimates)
+        return fail(errorOut, "state missing a section");
+    return readNamedPairs(*counters, out.counters, errorOut,
+                          "state counters") &&
+           readNamedDoublePairs(*values, out.values, errorOut,
+                                "state values") &&
+           readDoubles(*estimates, out.estimates, errorOut,
+                       "state estimates");
+}
+
+bool
+decodeMetricsSnapshot(const json::Value &value,
+                      obs::MetricsSnapshot &out,
+                      std::string &errorOut)
+{
+    if (!value.isObject())
+        return fail(errorOut, "metrics not an object");
+    out.enabled = true;
+    const json::Value *counters = value.find("counters");
+    const json::Value *gauges = value.find("gauges");
+    const json::Value *histograms = value.find("histograms");
+    const json::Value *series = value.find("series");
+    if (!counters || !gauges || !histograms || !series)
+        return fail(errorOut, "metrics missing a section");
+    if (!readNamedPairs(*counters, out.counters, errorOut,
+                        "metrics counters") ||
+        !readNamedDoublePairs(*gauges, out.gauges, errorOut,
+                              "metrics gauges"))
+        return false;
+    if (!histograms->isArray())
+        return fail(errorOut, "metrics histograms not an array");
+    out.histograms.clear();
+    out.histograms.reserve(histograms->items.size());
+    for (const auto &item : histograms->items) {
+        if (!item.isArray() || item.items.size() != 2 ||
+            !item.items[0].isString() || !item.items[1].isObject())
+            return fail(errorOut, "metrics histogram malformed");
+        const json::Value &body = item.items[1];
+        stats::HistogramSnapshot hist;
+        if (!readDoubleField(body, "lo", hist.lo, errorOut) ||
+            !readDoubleField(body, "hi", hist.hi, errorOut) ||
+            !readUintField(body, "underflow", hist.underflow,
+                           errorOut) ||
+            !readUintField(body, "overflow", hist.overflow,
+                           errorOut) ||
+            !readUintField(body, "total", hist.total, errorOut))
+            return false;
+        const json::Value *bins = body.find("bins");
+        if (!bins || !bins->isArray())
+            return fail(errorOut, "histogram missing bins");
+        hist.bins.reserve(bins->items.size());
+        for (const auto &bin : bins->items) {
+            if (!bin.isNumber())
+                return fail(errorOut, "histogram bin not a number");
+            hist.bins.push_back(bin.asUint());
+        }
+        out.histograms.emplace_back(item.items[0].text,
+                                    std::move(hist));
+    }
+    if (!series->isArray())
+        return fail(errorOut, "metrics series not an array");
+    out.series.clear();
+    out.series.reserve(series->items.size());
+    for (const auto &item : series->items) {
+        if (!item.isArray() || item.items.size() != 2 ||
+            !item.items[0].isString())
+            return fail(errorOut, "metrics series malformed");
+        std::vector<double> points;
+        if (!readDoubles(item.items[1], points, errorOut,
+                         "series points"))
+            return false;
+        out.series.emplace_back(item.items[0].text,
+                                std::move(points));
+    }
+    return true;
+}
+
+std::string
+encodeTaskResult(const TaskResult &task)
+{
+    std::string out;
+    // Sized for small campaigns; larger results grow amortized.
+    out.reserve(512);
+    out += "{\"v\":\"";
+    out += taskCodecVersion;
+    out += "\",\"index\":";
+    appendUint(out, task.index);
+    out += ",\"name\":";
+    appendString(out, task.name);
+    out += ",\"error_text\":";
+    appendString(out, task.errorText);
+    if (!task.ok()) {
+        out += '}';
+        return out;
+    }
+
+    const ExperimentResult &result = task.result;
+    out += ",\"result\":{\"benchmark\":";
+    appendString(out, result.benchmark);
+    out += ",\"intervals\":[";
+    for (std::size_t k = 0; k < result.intervals.size(); ++k) {
+        if (k)
+            out += ',';
+        const IntervalResult &row = result.intervals[k];
+        out += "{\"online\":";
+        appendDoubles(out, row.online.data(), row.online.size());
+        out += ",\"softarch\":";
+        appendDoubles(out, row.softarch.data(), row.softarch.size());
+        out += ",\"utilization\":";
+        appendDoubles(out, row.utilization.data(),
+                      row.utilization.size());
+        out += ",\"occupancy\":";
+        appendExactDouble(out, row.occupancy);
+        out += '}';
+    }
+    out += "],\"features\":[";
+    for (std::size_t k = 0; k < result.features.size(); ++k) {
+        if (k)
+            out += ',';
+        appendDoubles(out, result.features[k].data(),
+                      result.features[k].size());
+    }
+    const RunSummary &summary = result.summary;
+    out += "],\"summary\":{\"ipc\":";
+    appendExactDouble(out, summary.ipc);
+    out += ",\"branch_accuracy\":";
+    appendExactDouble(out, summary.branchAccuracy);
+    out += ",\"l1d_miss_rate\":";
+    appendExactDouble(out, summary.l1dMissRate);
+    out += ",\"l2_miss_rate\":";
+    appendExactDouble(out, summary.l2MissRate);
+    out += ",\"dtlb_miss_rate\":";
+    appendExactDouble(out, summary.dtlbMissRate);
+    out += ",\"cycles\":";
+    appendUint(out, summary.cycles);
+    out += ",\"retired\":";
+    appendUint(out, summary.retired);
+    out += ",\"lifecycle_records\":";
+    appendUint(out, summary.lifecycleRecords);
+    out += ",\"lifecycle_failures\":";
+    appendUint(out, summary.lifecycleFailures);
+    out += ",\"lifecycle_killed\":";
+    appendUint(out, summary.lifecycleKilled);
+    out += ",\"lifecycle_expired\":";
+    appendUint(out, summary.lifecycleExpired);
+    out += "},\"states\":[";
+    for (std::size_t i = 0; i < result.estimatorStates.size(); ++i) {
+        if (i)
+            out += ',';
+        appendEstimatorState(out, result.estimatorStates[i]);
+    }
+    out += ']';
+    if (result.metrics.enabled) {
+        out += ",\"metrics\":";
+        appendMetricsSnapshot(out, result.metrics);
+    }
+    out += "}}";
+    return out;
+}
+
+bool
+decodeTaskResult(std::string_view line, TaskResult &out,
+                 std::string &errorOut)
+{
+    json::Value doc;
+    std::string parseError;
+    if (!json::parse(line, doc, parseError))
+        return fail(errorOut, parseError);
+    if (!doc.isObject())
+        return fail(errorOut, "top level not an object");
+    const json::Value *version =
+        doc.find("v", json::Value::Kind::String);
+    if (!version || version->text != taskCodecVersion)
+        return fail(errorOut, "unknown codec version");
+
+    out = TaskResult{};
+    std::uint64_t index = 0;
+    if (!readUintField(doc, "index", index, errorOut))
+        return false;
+    out.index = static_cast<std::size_t>(index);
+    const json::Value *name =
+        doc.find("name", json::Value::Kind::String);
+    const json::Value *errorText =
+        doc.find("error_text", json::Value::Kind::String);
+    if (!name || !errorText)
+        return fail(errorOut, "missing name or error_text");
+    out.name = name->text;
+    out.errorText = errorText->text;
+    if (!out.ok())
+        return true; // failed task: no result payload to decode
+
+    const json::Value *result = doc.find("result");
+    if (!result || !result->isObject())
+        return fail(errorOut, "missing result object");
+    const json::Value *benchmark =
+        result->find("benchmark", json::Value::Kind::String);
+    if (!benchmark)
+        return fail(errorOut, "missing benchmark");
+    out.result.benchmark = benchmark->text;
+
+    const json::Value *intervals = result->find("intervals");
+    if (!intervals || !intervals->isArray())
+        return fail(errorOut, "missing intervals");
+    out.result.intervals.clear();
+    out.result.intervals.reserve(intervals->items.size());
+    for (const auto &item : intervals->items) {
+        if (!item.isObject())
+            return fail(errorOut, "interval not an object");
+        IntervalResult row;
+        const json::Value *online = item.find("online");
+        const json::Value *softarch = item.find("softarch");
+        const json::Value *utilization = item.find("utilization");
+        if (!online || !softarch || !utilization ||
+            !readFixedDoubles(*online, row.online.data(),
+                              row.online.size(), errorOut,
+                              "interval online") ||
+            !readFixedDoubles(*softarch, row.softarch.data(),
+                              row.softarch.size(), errorOut,
+                              "interval softarch") ||
+            !readFixedDoubles(*utilization, row.utilization.data(),
+                              row.utilization.size(), errorOut,
+                              "interval utilization") ||
+            !readDoubleField(item, "occupancy", row.occupancy,
+                             errorOut))
+            return errorOut.empty()
+                       ? fail(errorOut, "interval missing a series")
+                       : false;
+        out.result.intervals.push_back(row);
+    }
+
+    const json::Value *features = result->find("features");
+    if (!features || !features->isArray())
+        return fail(errorOut, "missing features");
+    out.result.features.clear();
+    out.result.features.reserve(features->items.size());
+    for (const auto &item : features->items) {
+        core::FeatureVector row{};
+        if (!readFixedDoubles(item, row.data(), row.size(), errorOut,
+                              "feature row"))
+            return false;
+        out.result.features.push_back(row);
+    }
+
+    const json::Value *summary = result->find("summary");
+    if (!summary || !summary->isObject())
+        return fail(errorOut, "missing summary");
+    RunSummary &sum = out.result.summary;
+    if (!readDoubleField(*summary, "ipc", sum.ipc, errorOut) ||
+        !readDoubleField(*summary, "branch_accuracy",
+                         sum.branchAccuracy, errorOut) ||
+        !readDoubleField(*summary, "l1d_miss_rate", sum.l1dMissRate,
+                         errorOut) ||
+        !readDoubleField(*summary, "l2_miss_rate", sum.l2MissRate,
+                         errorOut) ||
+        !readDoubleField(*summary, "dtlb_miss_rate",
+                         sum.dtlbMissRate, errorOut) ||
+        !readUintField(*summary, "cycles", sum.cycles, errorOut) ||
+        !readUintField(*summary, "retired", sum.retired, errorOut) ||
+        !readUintField(*summary, "lifecycle_records",
+                       sum.lifecycleRecords, errorOut) ||
+        !readUintField(*summary, "lifecycle_failures",
+                       sum.lifecycleFailures, errorOut) ||
+        !readUintField(*summary, "lifecycle_killed",
+                       sum.lifecycleKilled, errorOut) ||
+        !readUintField(*summary, "lifecycle_expired",
+                       sum.lifecycleExpired, errorOut))
+        return false;
+
+    const json::Value *states = result->find("states");
+    if (!states || !states->isArray())
+        return fail(errorOut, "missing states");
+    out.result.estimatorStates.clear();
+    out.result.estimatorStates.reserve(states->items.size());
+    for (const auto &item : states->items) {
+        core::EstimatorState state;
+        if (!decodeEstimatorState(item, state, errorOut))
+            return false;
+        out.result.estimatorStates.push_back(std::move(state));
+    }
+
+    if (const json::Value *metrics = result->find("metrics")) {
+        if (!decodeMetricsSnapshot(*metrics, out.result.metrics,
+                                   errorOut))
+            return false;
+    }
+    return true;
+}
+
+} // namespace avf::harness::codec

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Wire codec for engine task results — the serve layer's process
+ * boundary. A forked worker encodes each finished TaskResult as one
+ * line of strict JSON; the parent decodes it with the util/json
+ * parser and merges in submission order, exactly as the in-process
+ * engine would.
+ *
+ * Byte-identity contract: doubles are printed with %.17g, which
+ * strtod() parses back to the identical bit pattern, so a value that
+ * crosses the wire equals the value that did not. The serve sharder
+ * leans on this the other way around: it routes EVERY result through
+ * the codec — even at one worker process — so the feed bytes are the
+ * same at any shard count by construction, not by accident.
+ *
+ * Deliberately partial: the codec carries the deterministic fields
+ * (result payload, estimator states, metrics snapshot, error text)
+ * and drops the wall-clock side channel (wallMs/startNs/endNs/worker)
+ * and the exception pointer, which cannot cross a process boundary
+ * and must never influence deterministic output anyway.
+ */
+
+#ifndef AVF_HARNESS_TASK_CODEC_HH
+#define AVF_HARNESS_TASK_CODEC_HH
+
+#include <string>
+#include <string_view>
+
+#include "harness/engine.hh"
+#include "util/json.hh"
+
+namespace avf::harness::codec
+{
+
+/** Codec schema tag, first key of every encoded line. */
+inline constexpr std::string_view taskCodecVersion = "avf-task-v1";
+
+/** Append @p value as %.17g (round-trip exact) to @p out. */
+void appendExactDouble(std::string &out, double value);
+
+/**
+ * Append one estimator state as a JSON object (fixed key order:
+ * name, counters, values, estimates). Shared by the task wire format
+ * and the serve checkpoint writer so both serialize states to the
+ * same bytes.
+ */
+void appendEstimatorState(std::string &out,
+                          const core::EstimatorState &state);
+
+/** Decode an object written by appendEstimatorState(). */
+bool decodeEstimatorState(const json::Value &value,
+                          core::EstimatorState &out,
+                          std::string &errorOut);
+
+/**
+ * Append a metrics snapshot as a JSON object (counters, gauges,
+ * histograms, series; registration order preserved).
+ */
+void appendMetricsSnapshot(std::string &out,
+                           const obs::MetricsSnapshot &metrics);
+
+/** Decode an object written by appendMetricsSnapshot(); sets
+ *  out.enabled = true. */
+bool decodeMetricsSnapshot(const json::Value &value,
+                           obs::MetricsSnapshot &out,
+                           std::string &errorOut);
+
+/**
+ * Encode one task as a single line of JSON (no trailing newline).
+ * The task's result is encoded in full when ok(); a failed task
+ * carries only its error text.
+ */
+std::string encodeTaskResult(const TaskResult &task);
+
+/**
+ * Decode a line produced by encodeTaskResult().
+ *
+ * @param line one encoded task, without the newline.
+ * @param out receives the task on success; unspecified on failure.
+ * @param errorOut receives a diagnostic on failure.
+ * @return true on success.
+ */
+bool decodeTaskResult(std::string_view line, TaskResult &out,
+                      std::string &errorOut);
+
+} // namespace avf::harness::codec
+
+#endif // AVF_HARNESS_TASK_CODEC_HH

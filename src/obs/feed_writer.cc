@@ -1,0 +1,123 @@
+#include "obs/feed_writer.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace avf::obs
+{
+
+namespace
+{
+
+std::string
+ioError(const std::string &path, const char *what)
+{
+    return "feed '" + path + "': " + what + ": " +
+           std::strerror(errno);
+}
+
+} // namespace
+
+FeedWriter::~FeedWriter()
+{
+    close();
+}
+
+void
+FeedWriter::close()
+{
+    if (!stream)
+        return;
+    // Destructor-path close: nothing durable is promised past the
+    // last flushSync(), so a failing close only loses bytes the
+    // contract already treats as volatile.
+    (void)std::fclose(stream);
+    stream = nullptr;
+}
+
+bool
+FeedWriter::create(const std::string &path, std::string &errorOut)
+{
+    close();
+    filePath = path;
+    written = 0;
+    stream = std::fopen(path.c_str(), "wb");
+    if (!stream) {
+        errorOut = ioError(path, "open failed");
+        return false;
+    }
+    return true;
+}
+
+bool
+FeedWriter::resume(const std::string &path,
+                   std::uint64_t durableBytes, std::string &errorOut)
+{
+    close();
+    filePath = path;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        errorOut = ioError(path, "stat failed");
+        return false;
+    }
+    if (static_cast<std::uint64_t>(st.st_size) < durableBytes) {
+        errorOut = "feed '" + path + "': file is shorter than the " +
+                   "checkpointed offset — feed and checkpoint " +
+                   "disagree, refusing to resume";
+        return false;
+    }
+    // Drop any torn tail past the checkpoint (a SIGKILL can land
+    // mid-write), then append from the durable offset.
+    if (::truncate(path.c_str(), static_cast<off_t>(durableBytes)) !=
+        0) {
+        errorOut = ioError(path, "truncate failed");
+        return false;
+    }
+    stream = std::fopen(path.c_str(), "ab");
+    if (!stream) {
+        errorOut = ioError(path, "open failed");
+        return false;
+    }
+    written = durableBytes;
+    return true;
+}
+
+bool
+FeedWriter::appendLine(std::string_view line, std::string &errorOut)
+{
+    if (!stream) {
+        errorOut = "feed: append on a closed writer";
+        return false;
+    }
+    if (std::fwrite(line.data(), 1, line.size(), stream) !=
+        line.size() ||
+        std::fputc('\n', stream) == EOF) {
+        errorOut = ioError(filePath, "write failed");
+        return false;
+    }
+    written += line.size() + 1;
+    return true;
+}
+
+bool
+FeedWriter::flushSync(std::string &errorOut)
+{
+    if (!stream) {
+        errorOut = "feed: flush on a closed writer";
+        return false;
+    }
+    if (std::fflush(stream) != 0) {
+        errorOut = ioError(filePath, "flush failed");
+        return false;
+    }
+    if (::fsync(::fileno(stream)) != 0) {
+        errorOut = ioError(filePath, "fsync failed");
+        return false;
+    }
+    return true;
+}
+
+} // namespace avf::obs

@@ -1,0 +1,134 @@
+#include "serve/campaign.hh"
+
+#include <algorithm>
+
+#include "obs/feed_writer.hh"
+#include "serve/sharder.hh"
+
+namespace avf::serve
+{
+
+namespace
+{
+
+/**
+ * Run @p checkpoint's campaign from slicesDone to completion against
+ * an already-positioned feed writer, checkpointing every K slices
+ * and finishing with the summary row.
+ */
+bool
+runFromCheckpoint(Checkpoint &checkpoint, const StatePaths &paths,
+                  obs::FeedWriter &feed, int workers,
+                  std::string &errorOut)
+{
+    const CampaignSpec &spec = checkpoint.campaign;
+    const std::string ckptPath = paths.checkpointPath(spec.name);
+    const std::uint64_t slices = spec.numSlices();
+    const auto every = static_cast<std::uint64_t>(
+        spec.checkpointEverySlices);
+
+    while (checkpoint.slicesDone < slices) {
+        std::uint64_t batchEnd =
+            std::min(slices, checkpoint.slicesDone + every);
+        bool ok = runShardedSlices(
+            spec, checkpoint.slicesDone, batchEnd, workers,
+            [&](const harness::TaskResult &task,
+                std::string &sliceError) {
+                auto slice = static_cast<std::uint64_t>(task.index);
+                std::uint64_t base =
+                    slice *
+                    static_cast<std::uint64_t>(spec.sliceIntervals);
+                for (std::size_t k = 0;
+                     k < task.result.intervals.size(); ++k) {
+                    if (!feed.appendLine(
+                            feedIntervalLine(
+                                base + k, slice,
+                                task.result.intervals[k]),
+                            sliceError))
+                        return false;
+                }
+                foldSliceIntoRollup(checkpoint.rollup, task);
+                checkpoint.lastStates = task.result.estimatorStates;
+                if (spec.metrics)
+                    checkpoint.metricsTotals.mergeTotals(
+                        task.result.metrics);
+                return true;
+            },
+            errorOut);
+        if (!ok)
+            return false;
+        // Durability order matters: the feed must be on disk before
+        // the checkpoint that claims it is.
+        if (!feed.flushSync(errorOut))
+            return false;
+        checkpoint.slicesDone = batchEnd;
+        checkpoint.feedBytes = feed.bytesWritten();
+        if (!saveCheckpoint(checkpoint, ckptPath, errorOut))
+            return false;
+    }
+
+    if (!feed.appendLine(feedSummaryLine(checkpoint.rollup),
+                         errorOut) ||
+        !feed.flushSync(errorOut))
+        return false;
+    checkpoint.feedBytes = feed.bytesWritten();
+    checkpoint.complete = true;
+    return saveCheckpoint(checkpoint, ckptPath, errorOut);
+}
+
+} // namespace
+
+bool
+prepareCampaign(const CampaignSpec &spec, const StatePaths &paths,
+                std::string &errorOut)
+{
+    obs::FeedWriter feed;
+    if (!feed.create(paths.feedPath(spec.name), errorOut))
+        return false;
+    if (!feed.appendLine(feedHeaderLine(spec), errorOut) ||
+        !feed.flushSync(errorOut))
+        return false;
+
+    Checkpoint checkpoint;
+    checkpoint.campaign = spec;
+    checkpoint.slicesDone = 0;
+    checkpoint.feedBytes = feed.bytesWritten();
+    checkpoint.metricsTotals.enabled = spec.metrics;
+    return saveCheckpoint(checkpoint,
+                          paths.checkpointPath(spec.name), errorOut);
+}
+
+bool
+runCampaignFresh(const CampaignSpec &spec, const StatePaths &paths,
+                 int workers, std::string &errorOut)
+{
+    if (!prepareCampaign(spec, paths, errorOut))
+        return false;
+    return resumeCampaign(spec.name, paths, workers, errorOut);
+}
+
+bool
+resumeCampaign(const std::string &name, const StatePaths &paths,
+               int workers, std::string &errorOut)
+{
+    Checkpoint checkpoint;
+    if (!loadCheckpoint(paths.checkpointPath(name), checkpoint,
+                        errorOut))
+        return false;
+    if (checkpoint.campaign.name != name) {
+        errorOut = "checkpoint names campaign '" +
+                   checkpoint.campaign.name + "', expected '" + name +
+                   "'";
+        return false;
+    }
+    if (checkpoint.complete)
+        return true;
+    obs::FeedWriter feed;
+    if (!feed.resume(paths.feedPath(name), checkpoint.feedBytes,
+                     errorOut))
+        return false;
+    return runFromCheckpoint(checkpoint, paths, feed, workers,
+                             errorOut);
+}
+
+} // namespace avf::serve

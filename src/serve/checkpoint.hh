@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Campaign checkpoints: the durable record that makes a SIGKILLed
+ * daemon resumable with a byte-identical feed tail.
+ *
+ * A checkpoint does NOT capture mid-simulation state — it records
+ * which slices are durably in the feed (slicesDone), the feed's
+ * durable byte count at that point, the campaign rollup, and the
+ * last slice's estimator states + merged metrics totals for
+ * observability. Resume truncates the feed to feedBytes (dropping
+ * any torn line), then recomputes the remaining slices from their
+ * configs; slice determinism makes the re-appended bytes identical
+ * to the ones a crash destroyed (DESIGN.md §13).
+ *
+ * Writes are atomic: serialize to <path>.tmp, fsync, rename. A crash
+ * between those steps leaves either the old or the new checkpoint,
+ * never a torn one.
+ */
+
+#ifndef AVF_SERVE_CHECKPOINT_HH
+#define AVF_SERVE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/avf_estimator.hh"
+#include "obs/metrics.hh"
+#include "serve/protocol.hh"
+
+namespace avf::serve
+{
+
+/** Checkpoint schema tag. */
+inline constexpr std::string_view checkpointSchemaVersion =
+    "avf-serve-ckpt-v1";
+
+/** One campaign's durable progress record. */
+struct Checkpoint
+{
+    /** The campaign, verbatim; resume re-derives everything else. */
+    CampaignSpec campaign;
+    /** Slices whose feed rows are durable. */
+    std::uint64_t slicesDone = 0;
+    /** Durable feed size in bytes (the resume truncation point). */
+    std::uint64_t feedBytes = 0;
+    /** True once the summary row is durable — nothing left to do. */
+    bool complete = false;
+    /** Aggregates over the first slicesDone slices. */
+    CampaignRollup rollup;
+    /** The last completed slice's estimator states (incl. the
+     *  synthetic port entry); empty before the first slice. */
+    std::vector<core::EstimatorState> lastStates;
+    /** Merged metrics totals (enabled only with campaign.metrics). */
+    obs::MetricsSnapshot metricsTotals;
+};
+
+/** Serialize to one JSON document (fixed key order, %.17g). */
+std::string encodeCheckpoint(const Checkpoint &checkpoint);
+
+/** Parse a document produced by encodeCheckpoint(). */
+bool decodeCheckpoint(std::string_view text, Checkpoint &out,
+                      std::string &errorOut);
+
+/** Atomic durable write: <path>.tmp + fsync + rename. */
+bool saveCheckpoint(const Checkpoint &checkpoint,
+                    const std::string &path, std::string &errorOut);
+
+/** Read and decode @p path. */
+bool loadCheckpoint(const std::string &path, Checkpoint &out,
+                    std::string &errorOut);
+
+} // namespace avf::serve
+
+#endif // AVF_SERVE_CHECKPOINT_HH

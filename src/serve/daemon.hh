@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The resident avf-serve daemon. Single-threaded by design: it
+ * accepts one connection at a time, answers one line-delimited JSON
+ * request per connection, and runs submitted campaigns inline
+ * between accepts — parallelism comes from the process sharder, not
+ * from threads, which keeps the fork() sites trivially safe and the
+ * daemon state trivially race-free.
+ *
+ * Crash contract: a submit is acknowledged only after the campaign's
+ * feed header and initial checkpoint are durable, so any accepted
+ * campaign survives a SIGKILL at any later instant; restarting with
+ * --resume finishes every incomplete campaign (byte-identical feed
+ * tail) before the socket starts listening again.
+ */
+
+#ifndef AVF_SERVE_DAEMON_HH
+#define AVF_SERVE_DAEMON_HH
+
+#include <string>
+
+#include "serve/campaign.hh"
+
+namespace avf::serve
+{
+
+/** Daemon configuration (CLI flags only — no env knobs). */
+struct DaemonOptions
+{
+    /** State directory: socket, feeds, checkpoints. Must exist. */
+    std::string stateDir;
+    /** Worker processes per campaign. */
+    int workers = 1;
+    /** Finish incomplete checkpointed campaigns before listening. */
+    bool resume = false;
+};
+
+/**
+ * Run the daemon until a shutdown request (or an unrecoverable
+ * socket error). @return process exit code: 0 on clean shutdown,
+ * 1 on error.
+ */
+int runDaemon(const DaemonOptions &options);
+
+/**
+ * Client side: connect to the daemon's socket under @p stateDir,
+ * send one request line, and return the one-line response.
+ * @return false with @p errorOut set on connect/transport failure.
+ */
+bool sendRequest(const std::string &stateDir,
+                 const std::string &requestLine,
+                 std::string &responseOut, std::string &errorOut);
+
+} // namespace avf::serve
+
+#endif // AVF_SERVE_DAEMON_HH

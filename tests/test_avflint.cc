@@ -456,6 +456,52 @@ TEST(AvflintExitSite, AllowsLoggingAndScopedNames)
 }
 
 // ---------------------------------------------------------------- //
+// fork-safety                                                       //
+// ---------------------------------------------------------------- //
+
+TEST(AvflintForkSafety, FlagsForkOutsideTheSharder)
+{
+    EXPECT_EQ(withId(lintText("src/harness/engine.cc",
+                              "void f() { pid_t p = fork(); }\n"),
+                     "fork-safety")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("src/serve/daemon.cc",
+                              "void f() { pid_t p = ::fork(); }\n"),
+                     "fork-safety")
+                  .size(),
+              1u);
+    EXPECT_EQ(withId(lintText("tools/foo/main.cc",
+                              "void f() { if (vfork() == 0) {} }\n"),
+                     "fork-safety")
+                  .size(),
+              1u);
+}
+
+TEST(AvflintForkSafety, AllowsTheSharderAndScopedNames)
+{
+    EXPECT_TRUE(withId(lintText("src/serve/sharder.cc",
+                                "void f() { pid_t p = ::fork(); }\n"),
+                       "fork-safety")
+                    .empty());
+    EXPECT_TRUE(withId(lintText("x.cc",
+                                "void f() { Repo::fork(); "
+                                "process.fork(); }\n"),
+                       "fork-safety")
+                    .empty());
+}
+
+TEST(AvflintForkSafety, SuppressionCommentIsHonored)
+{
+    auto findings = withId(
+        lintText("tests/test_serve.cc",
+                 "// avflint: allow(fork-safety): test double\n"
+                 "pid_t p = fork();\n"),
+        "fork-safety");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------- //
 // include-guard                                                     //
 // ---------------------------------------------------------------- //
 

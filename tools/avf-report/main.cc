@@ -19,6 +19,14 @@
  *   lint LINT.json [--github]      avflint --format=json report;
  *                                  --github adds ::error/::warning
  *                                  workflow-command annotations
+ *   tail FEED.jsonl [--follow] [--max-polls N]
+ *                                  render an avf-serve campaign feed;
+ *                                  --follow keeps polling a feed that
+ *                                  is still being written until the
+ *                                  summary row lands (or N empty
+ *                                  polls pass)
+ *   serve-status DIR               per-campaign checkpoint progress
+ *                                  of a serve state directory
  *
  * Exit status: 0 = report printed, 1 = usage error, 2 = unreadable
  * or malformed input. `lint` additionally exits 3 when the report
@@ -32,6 +40,7 @@
 #include <string>
 
 #include "report.hh"
+#include "serve_report.hh"
 
 namespace
 {
@@ -50,7 +59,9 @@ usage()
         "  diff OLD_METRICS.json NEW_METRICS.json\n"
         "  budget METRICS.json [--task NAME]\n"
         "  lifecycle FILE.jsonl\n"
-        "  lint LINT.json [--github]\n");
+        "  lint LINT.json [--github]\n"
+        "  tail FEED.jsonl [--follow] [--max-polls N]\n"
+        "  serve-status DIR\n");
     return 1;
 }
 
@@ -198,6 +209,42 @@ main(int argc, char **argv)
         if (!report::printLifecycle(std::cout, text, error)) {
             std::fprintf(stderr, "avf-report: %s: %s\n", argv[2],
                          error.c_str());
+            return 2;
+        }
+        return 0;
+    }
+
+    if (command == "tail") {
+        if (argc < 3)
+            return usage();
+        bool follow = false;
+        int maxPolls = 150;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--follow") == 0)
+                follow = true;
+            else if (std::strcmp(argv[i], "--max-polls") == 0 &&
+                     i + 1 < argc)
+                maxPolls = std::atoi(argv[++i]);
+            else
+                return usage();
+        }
+        if (maxPolls < 1)
+            return usage();
+        std::string error;
+        if (!report::printFeedTail(std::cout, argv[2], follow,
+                                   maxPolls, error)) {
+            std::fprintf(stderr, "avf-report: %s\n", error.c_str());
+            return 2;
+        }
+        return 0;
+    }
+
+    if (command == "serve-status") {
+        if (argc != 3)
+            return usage();
+        std::string error;
+        if (!report::printServeStatus(std::cout, argv[2], error)) {
+            std::fprintf(stderr, "avf-report: %s\n", error.c_str());
             return 2;
         }
         return 0;

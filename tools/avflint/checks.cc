@@ -382,6 +382,39 @@ checkExitSite(const SourceFile &src, const CheckContext &,
 }
 
 // ---------------------------------------------------------------- //
+// fork-safety: process fan-out only in the serve sharder.           //
+// ---------------------------------------------------------------- //
+
+void
+checkForkSafety(const SourceFile &src, const CheckContext &,
+                std::vector<Finding> &out)
+{
+    if (src.path == "src/serve/sharder.cc")
+        return; // the sanctioned process-sharding fan-out point
+
+    static const std::set<std::string_view> forks = {"fork", "vfork"};
+
+    for (std::size_t i = 0; i < src.tokens.size(); ++i) {
+        const Token &tok = src.tokens[i];
+        if (tok.kind != TokKind::Identifier ||
+            forks.count(tok.text) == 0 || !at(src, i + 1).is("("))
+            continue;
+        const Token &prev = at(src, i - 1);
+        if (isMemberAccess(prev))
+            continue; // someone's .fork() method
+        if (prev.is("::") &&
+            at(src, i - 2).kind == TokKind::Identifier)
+            continue; // Foo::fork(), not the syscall
+        out.push_back(
+            {src.path, tok.line, "fork-safety",
+             "'" + tok.text + "()' outside src/serve/sharder.cc; "
+             "process fan-out lives in the sharder so every child "
+             "inherits known state (single-threaded parent, owned "
+             "pipe, _exit on every path)"});
+    }
+}
+
+// ---------------------------------------------------------------- //
 // include-guard: headers must be re-include safe.                   //
 // ---------------------------------------------------------------- //
 
@@ -891,6 +924,9 @@ checkRegistry()
          Severity::Error, checkCheckedIo},
         {"exit-site", "process exit outside src/util/logging.cc",
          Severity::Error, checkExitSite},
+        {"fork-safety",
+         "fork()/vfork() outside the serve process sharder",
+         Severity::Error, checkForkSafety},
         {"include-guard", "headers must carry an include guard",
          Severity::Error, checkIncludeGuard},
         {"naked-assert", "assert() where avf_assert is required",
