@@ -8,6 +8,7 @@
 
 #include "micro.hh"
 
+#include "core/injection_port.hh"
 #include "cpu/dyn_instr.hh"
 #include "obs/lifecycle.hh"
 
@@ -47,7 +48,7 @@ AVF_MICROBENCH(lifecycle_record_append)
                            cpu::ErrorHop::OverwriteKill);
         tracker.closeRecord(core::Structure::REG,
                             core::channelOf(core::Structure::REG),
-                            now + 40);
+                            now + 40, core::Outcome{});
         now += 50;
     }
 }

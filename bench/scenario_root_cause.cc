@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Scenario bench: root-cause attribution of a hot loop. The workload
+ * alternates between a tight loop phase (few static branch sites,
+ * long dependency chains, almost nothing dead) and a streaming scan
+ * phase (many branch sites, heavy masking). The attribution tracker
+ * charges every failed injection window to the retiring instruction
+ * that carried the corrupted bit out of the machine, so the loop's
+ * handful of back-branch PCs should dominate the failure budget —
+ * the per-instruction accountability view the `avf-report
+ * root-cause` verb renders from the exported ROOTCAUSE.json.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/config_loader.hh"
+#include "harness/engine.hh"
+#include "harness/experiment.hh"
+#include "harness/export.hh"
+#include "obs/attribution.hh"
+#include "stats/table_printer.hh"
+#include "trace/instruction.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace avf;
+using namespace avf::harness;
+
+/** Branch PCs sit at 0x10000 + 4 * site (trace/synthetic.cc). */
+constexpr Addr branchPcBase = 0x10000;
+constexpr int hotLoopSites = 4;
+
+/** Tight hot loop alternating with a well-masked streaming scan. */
+trace::WorkloadProfile
+hotLoopProfile()
+{
+    trace::WorkloadProfile profile;
+    profile.name = "root_cause";
+
+    trace::PhaseParams loop;
+    loop.branchFrac = 0.30;
+    loop.numBranchSites = hotLoopSites;
+    loop.deadFrac = 0.02;
+    loop.depRecency = 0.65;
+    loop.streamFrac = 0.0;
+
+    trace::PhaseParams scan;
+    scan.branchFrac = 0.05;
+    scan.numBranchSites = 64;
+    scan.deadFrac = 0.45;
+    scan.depRecency = 0.15;
+    scan.streamFrac = 0.9;
+
+    profile.base = loop;
+    profile.phases.push_back({loop, 300'000});
+    profile.phases.push_back({scan, 300'000});
+    return profile;
+}
+
+std::string
+hex(Addr pc)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "0x%llx",
+                  static_cast<unsigned long long>(pc));
+    return buffer;
+}
+
+} // namespace
+
+int
+main()
+{
+    using stats::TablePrinter;
+
+    auto options = loadRunOptions(24);
+    ExperimentConfig conf;
+    conf.profile = hotLoopProfile();
+    conf.numIntervals = options.intervals;
+    conf.attribution.enabled = true;
+
+    ExperimentEngine engine(options);
+    engine.submit("hot_loop", conf);
+    auto tasks = engine.collect();
+    auto &task = tasks.front();
+    if (!task.ok())
+        fatal("hot_loop failed: %s", task.errorText.c_str());
+
+    const obs::AttributionSnapshot &attr = task.result.attribution;
+    const std::uint64_t failures = attr.totalFailures();
+    const std::uint64_t windows = attr.totalWindows();
+    std::printf("Scenario: root-cause attribution (%llu failures "
+                "over %llu injection windows, %zu blame sites)\n\n",
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(windows),
+                attr.rows.size());
+    if (failures == 0)
+        fatal("no failures to attribute; the loop phase should "
+              "produce plenty");
+
+    // Fold the table to per-instruction identity (pc, op), summing
+    // over units and phases — the `root-cause` verb's default view.
+    std::map<std::pair<Addr, int>, std::uint64_t> perInstr;
+    std::uint64_t loopFailures = 0;
+    for (const obs::AttributionRow &row : attr.rows) {
+        if (row.pc == 0)
+            continue;
+        perInstr[{row.pc, row.op}] += row.failures;
+        if (row.pc >= branchPcBase &&
+            row.pc < branchPcBase + 4 * hotLoopSites)
+            loopFailures += row.failures;
+    }
+    std::vector<std::pair<std::pair<Addr, int>, std::uint64_t>>
+        ranked(perInstr.begin(), perInstr.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second > b.second;
+                     });
+
+    TablePrinter top("Top blamed instructions");
+    top.setHeader({"pc", "op", "failures", "share"});
+    const std::size_t shown = std::min<std::size_t>(ranked.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto &[key, count] = ranked[i];
+        top.addRow({hex(key.first),
+                    std::string(trace::opClassName(
+                        static_cast<trace::OpClass>(key.second))),
+                    std::to_string(count),
+                    TablePrinter::pct(
+                        100.0 * static_cast<double>(count) /
+                            static_cast<double>(failures))});
+    }
+    top.print();
+
+    TablePrinter units("Failure accountability by unit");
+    units.setHeader({"unit", "windows", "live", "failures", "rate"});
+    for (std::size_t u = 0; u < attr.units.size(); ++u) {
+        std::uint64_t uWindows = 0, uLive = 0, uFailures = 0;
+        for (const obs::AttributionRow &row : attr.rows) {
+            if (row.unit != u)
+                continue;
+            uWindows += row.windows;
+            uLive += row.live;
+            uFailures += row.failures;
+        }
+        double rate = uWindows
+            ? static_cast<double>(uFailures) /
+                  static_cast<double>(uWindows)
+            : 0.0;
+        units.addRow({attr.units[u], std::to_string(uWindows),
+                      std::to_string(uLive),
+                      std::to_string(uFailures),
+                      TablePrinter::num(rate, 4)});
+    }
+    units.print();
+
+    const double loopShare = 100.0 *
+        static_cast<double>(loopFailures) /
+        static_cast<double>(failures);
+    std::printf("\nHot-loop back-branches (%d sites at %s+) carry "
+                "%.1f%% of all attributed failures.\n",
+                hotLoopSites, hex(branchPcBase).c_str(), loopShare);
+
+    exportCampaignRootCause("scenario_root_cause", engine, tasks);
+
+    std::printf("\nReading: the loop phase's few static branches "
+                "retire most of the corrupted bits, so a handful of "
+                "PCs own the failure budget while the scan phase's "
+                "masked mass (dead values, streaming stores) shows "
+                "up as windows without blame. Run `avf-report "
+                "root-cause` on the exported ROOTCAUSE.json (set "
+                "AVF_METRICS) for the --by structure/opcode/phase "
+                "views of the same table.\n");
+    return 0;
+}

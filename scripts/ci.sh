@@ -17,8 +17,10 @@
 #                BENCH_micro.json next to the build dir, plus a
 #                metrics-enabled fig3_accuracy smoke run that emits
 #                and sanity-parses ci_METRICS.json / ci_TRACE.json,
-#                and a closed-loop scenario_budget_storm run whose
-#                decision trail `avf-report budget` renders back
+#                a closed-loop scenario_budget_storm run whose
+#                decision trail `avf-report budget` renders back,
+#                and a scenario_root_cause run whose ci_ROOTCAUSE.json
+#                every `avf-report root-cause` grouping renders back
 #   serve-smoke  the kill-and-resume gate: start avf-serve, submit a
 #                campaign over the socket, kill -9 the daemon
 #                mid-campaign, restart with --resume, and diff the
@@ -175,6 +177,20 @@ run_bench_smoke() {
         "$BUILD-bench/ci_control_METRICS.json" --task controlled \
         > /dev/null
     echo "bench-smoke: control-loop decision trail round-trip ok"
+    echo "=== bench-smoke: root-cause attribution scenario ==="
+    # The hot-loop scenario exports ci_ROOTCAUSE.json; every
+    # `avf-report root-cause` grouping must render it back.
+    AVF_FAST=1 AVF_METRICS="$BUILD-bench/ci" \
+        "$BUILD-bench/bench/scenario_root_cause" > /dev/null
+    "$BUILD-bench/tools/avf-report/avf-report" root-cause \
+        "$BUILD-bench/ci_ROOTCAUSE.json" --top 5 > /dev/null
+    for BY in structure opcode phase; do
+        "$BUILD-bench/tools/avf-report/avf-report" root-cause \
+            "$BUILD-bench/ci_ROOTCAUSE.json" --by "$BY" > /dev/null
+    done
+    "$BUILD-bench/tools/avf-report/avf-report" root-cause \
+        "$BUILD-bench/ci_ROOTCAUSE.json" --json > /dev/null
+    echo "bench-smoke: ci_ROOTCAUSE.json round-trip ok"
 }
 
 # Poll a status round-trip until the daemon in $1 answers (up to
@@ -199,8 +215,12 @@ run_serve_smoke() {
     # The same campaign everywhere; m*n is sized so the 6 slices take
     # a few seconds — long enough that the SIGKILL below reliably
     # lands mid-campaign, short enough for a CI smoke stage.
+    # --root-cause rides along so the byte-compares below also cover
+    # the attribution rollup (feed row + checkpoint) across procs
+    # and kill -9 + --resume.
     CAMPAIGN="--name smoke --benchmark bzip2 --intervals 12
-              --slice-intervals 2 --m 20000 --n 400 --seed-salt 3"
+              --slice-intervals 2 --m 20000 --n 400 --seed-salt 3
+              --root-cause"
     for PROCS in 1 4; do
         echo "--- serve-smoke: $PROCS worker process(es) ---"
         STATE="$BUILD-serve/serve-state-$PROCS"

@@ -70,6 +70,14 @@ InjectionPort::fire(const Site &site, ErrorMask bit)
 {
     if (site.kind == Site::Kind::Dtlb)
         return pipeline.injectDtlbError(site.entry, bit);
+    if (site.kind == Site::Kind::FetchBuf)
+        return pipeline.injectFetchBufError(site.entry, bit)
+                   ? InjectOutcome::Occupied
+                   : InjectOutcome::Opened;
+    if (site.kind == Site::Kind::RenameMap)
+        return pipeline.injectRenameMapError(site.entry, bit);
+    if (site.kind == Site::Kind::BranchPred)
+        return pipeline.injectBranchPredError(site.entry, bit);
 
     switch (site.structure) {
       case Structure::REG:
@@ -122,6 +130,8 @@ InjectionPort::open(LaneId lane, const Site &site, Cycle now)
     ++state.serial;
     state.openedAt = now;
     state.failCycle = 0;
+    state.failPc = 0;
+    state.failOp = -1;
     state.site = site;
 
     InjectOutcome inject = fire(site, laneBit(lane));
@@ -159,6 +169,8 @@ InjectionPort::closed(const WindowHandle &handle)
     out.lane = handle.lane;
     out.openedAt = state.openedAt;
     out.failCycle = state.failCycle;
+    out.failPc = state.failPc;
+    out.failOp = state.failOp;
     out.site = state.site;
     return out;
 }
@@ -187,6 +199,10 @@ InjectionPort::onRetire(const cpu::DynInstr &instr,
         Lane &state = laneAt(lane);
         state.failed = true;
         state.failCycle = instr.retireCycle;
+        // The blame trail: which trace instruction carried the bit
+        // out. First failure wins, same rule as failCycle.
+        state.failPc = instr.in.pc;
+        state.failOp = static_cast<int>(instr.in.op);
         failedLanes |= laneBit(lane);
     }
 }

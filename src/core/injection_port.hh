@@ -53,14 +53,20 @@ namespace avf::core
  * Where an injection lands. Structure sites address the five pipeline
  * structures (entry = register / IQ entry / unit index, structure-
  * local); Dtlb sites address data-TLB entry slots. field >= 0 selects
- * field-granular IQ injection (Section 3.6).
+ * field-granular IQ injection (Section 3.6). The extended-coverage
+ * kinds (FetchBuf / RenameMap / BranchPred) address the structures
+ * the pipeline models but the paper never estimates; they ignore the
+ * structure member the same way Dtlb does.
  */
 struct Site
 {
     enum class Kind : int
     {
-        Structure, ///< one of the core::Structure targets
-        Dtlb       ///< a data-TLB entry slot
+        Structure,  ///< one of the core::Structure targets
+        Dtlb,       ///< a data-TLB entry slot
+        FetchBuf,   ///< a fetch/instruction-buffer slot
+        RenameMap,  ///< a rename-map slot (architectural register)
+        BranchPred  ///< a branch-predictor counter slot
     };
 
     Kind kind = Kind::Structure;
@@ -105,6 +111,15 @@ struct Outcome
     Cycle openedAt = 0;
     /** Cycle of the first failure retirement (valid when failed). */
     Cycle failCycle = 0;
+    /**
+     * Blame identity of the failure: trace PC and opcode class of
+     * the retiring instruction that carried the lane's bit out.
+     * failOp holds the trace::OpClass as an int, -1 when the window
+     * closed without a failure. This is what the attribution layer
+     * keys root-cause tables on (obs/attribution.hh).
+     */
+    Addr failPc = 0;
+    int failOp = -1;
     /** Where the injection landed. */
     Site site;
 };
@@ -191,6 +206,9 @@ class InjectionPort : public cpu::PipelineObserver
         std::uint64_t serial = 0;
         Cycle openedAt = 0;
         Cycle failCycle = 0;
+        /** Blame identity of the latched failure (see Outcome). */
+        Addr failPc = 0;
+        int failOp = -1;
         Site site;
     };
 

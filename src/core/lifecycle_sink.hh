@@ -17,6 +17,8 @@
 namespace avf::core
 {
 
+struct Outcome;
+
 /** Receiver of injection-lifecycle open/close notifications. */
 class LifecycleSink
 {
@@ -45,8 +47,15 @@ class LifecycleSink
      * The window that the open injection on @p lane belonged to just
      * closed; the sink stamps the final outcome from what it observed
      * (failure retirement, overwrite kill, or expiry at @p now).
+     *
+     * @param outcome what the injection port observed for the
+     *        window, including the blame identity of the failing
+     *        retirement (Outcome::failPc / failOp) — the attribution
+     *        layer keys on it, and the lifecycle tracker cross-checks
+     *        it against its own observation of the same stream.
      */
-    virtual void closeRecord(Structure s, LaneId lane, Cycle now) = 0;
+    virtual void closeRecord(Structure s, LaneId lane, Cycle now,
+                             const Outcome &outcome) = 0;
 };
 
 } // namespace avf::core

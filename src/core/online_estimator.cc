@@ -194,7 +194,7 @@ OnlineAvfEstimator::windowBoundary(Cycle now)
             ++lifetimeFailures;
         }
         if (sink)
-            sink->closeRecord(target, slot.lane, now);
+            sink->closeRecord(target, slot.lane, now, outcome);
         if (injections == conf.n) {
             // One estimate per completed interval of n injections.
             // avflint: allow(hot-path-alloc)

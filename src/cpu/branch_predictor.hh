@@ -60,12 +60,52 @@ class BranchPredictor
     /** Reset statistics (tables keep training). */
     void clearStats() { statsData = PredictorStats{}; }
 
+    // ---- error-bit plane over the counter table ----
+    //
+    // Predictor state is architecturally masked in this model: a
+    // flipped counter can only change a prediction, never a retired
+    // value, so an injected bit never reaches a failure point. It
+    // either dies when the next update overwrites its entry
+    // (tracked in killedBits) or survives untouched to the window
+    // close. The plane is pure metadata — predictions and timing are
+    // computed from the counters alone, so an armed plane perturbs
+    // nothing (the byte-identity contracts rely on that).
+
+    /** Counter-table slots available for injection. */
+    int numSlots() const { return static_cast<int>(table.size()); }
+
+    /**
+     * OR @p mask into the error bits of table slot @p slot.
+     * @return Rejected when @p slot is out of range, else Occupied
+     *         (a counter always holds trained state).
+     */
+    InjectOutcome injectError(int slot, ErrorMask mask);
+
+    /** Error bits currently resident on @p slot. */
+    ErrorMask errorAt(int slot) const;
+
+    /**
+     * Lanes whose injected bits were overwritten by a counter update
+     * since the last clearErrors() of those lanes.
+     */
+    ErrorMask killedMask() const { return killedBits; }
+
+    /** Sweep @p mask lanes out of the plane and the killed latch. */
+    void clearErrors(ErrorMask mask);
+
   private:
     std::vector<std::uint8_t> table;
     std::uint32_t indexMask;
     std::uint32_t historyMask;
     std::uint32_t history = 0;
     PredictorStats statsData;
+
+    /** Per-slot error bits, one word per counter. */
+    std::vector<ErrorMask> tableError;
+    /** Union of all resident bits: zero skips the hot-path check. */
+    ErrorMask errAny = 0;
+    /** Lanes killed by counter updates since their last clear. */
+    ErrorMask killedBits = 0;
 };
 
 } // namespace avf::cpu

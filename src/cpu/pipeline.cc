@@ -535,6 +535,11 @@ Pipeline::tryDispatchOne(const FetchedInstr &fetched)
     instr.fetchCycle = fetched.fetchCycle;
     instr.dispatchCycle = currentCycle;
     instr.mispredicted = fetched.mispredicted;
+    // Fetch-buffer corruption rides into the machine on the
+    // instruction itself; from here the bits propagate exactly like
+    // an IQ-entry injection (and must be swept from the ROB).
+    instr.errorMask = fetched.error;
+    errInRobSq |= fetched.error;
     instr.iq = iq;
     instr.fu = fuFor(in.op);
 
@@ -681,6 +686,7 @@ Pipeline::fetchStage()
         fetched.in = *pendingInstr;
         fetched.fetchCycle = currentCycle;
         fetched.mispredicted = false;
+        fetched.error = 0;
         pendingInstr.reset();
 
         bool ends_fetch = false;
@@ -835,7 +841,70 @@ Pipeline::clearErrorChannels(ErrorMask mask)
         errInRobSq &= keep;
     }
 
+    // Fetch buffer: same summary-gated strided sweep.
+    if (errInFetchBuf & mask) {
+        ErrorMask keep = static_cast<ErrorMask>(~mask);
+        for (auto &fetched : fetchBuffer)
+            fetched.error &= keep;
+        errInFetchBuf &= keep;
+    }
+
+    predictor.clearErrors(mask);
     hierarchy.dtlbMutable().clearErrors(mask);
+}
+
+bool
+Pipeline::injectFetchBufError(int slot, ErrorMask mask)
+{
+    avf_assert(slot >= 0 && slot < conf.fetchBufferEntries,
+               "injectFetchBufError target %d out of range", slot);
+    if (slot >= static_cast<int>(fetchBuffer.size()))
+        return false; // empty slot: injection masked
+    fetchBuffer[static_cast<std::size_t>(slot)].error |= mask;
+    errInFetchBuf |= mask;
+    return true;
+}
+
+InjectOutcome
+Pipeline::injectRenameMapError(int archReg, ErrorMask mask)
+{
+    if (archReg < 0 || archReg >= trace::numArchRegs)
+        return InjectOutcome::Rejected;
+    // A map slot always names a live architectural value, so the
+    // injection is never trivially masked.
+    int phys = rename.mapOf(static_cast<RegIndex>(archReg));
+    regError.orMask(static_cast<std::size_t>(phys), mask);
+    return InjectOutcome::Occupied;
+}
+
+int
+Pipeline::numRenameMapSlots() const
+{
+    return trace::numArchRegs;
+}
+
+InjectOutcome
+Pipeline::injectBranchPredError(int slot, ErrorMask mask)
+{
+    return predictor.injectError(slot, mask);
+}
+
+int
+Pipeline::numBranchPredSlots() const
+{
+    return predictor.numSlots();
+}
+
+ErrorMask
+Pipeline::branchPredErrorAt(int slot) const
+{
+    return predictor.errorAt(slot);
+}
+
+ErrorMask
+Pipeline::branchPredKilledMask() const
+{
+    return predictor.killedMask();
 }
 
 InjectOutcome

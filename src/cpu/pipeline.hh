@@ -175,6 +175,56 @@ class Pipeline
     /** dTLB entry slots available for injection. */
     int numDtlbSlots() const;
 
+    // ---- extended-coverage injection surfaces (the structures the
+    //      paper models but never estimates; see obs::CoverageProbe) --
+
+    /**
+     * Inject an error into fetch-buffer slot @p slot (0 = oldest
+     * buffered instruction). A corrupted buffered instruction
+     * dispatches erroneous: its error bits ride the DynInstr exactly
+     * like an IQ-entry injection.
+     *
+     * @return true when the slot held an instruction (injection can
+     *         matter); false when it was empty (masked).
+     */
+    bool injectFetchBufError(int slot, ErrorMask mask);
+
+    /** Fetch-buffer slots available for injection (capacity). */
+    int numFetchBufSlots() const { return conf.fetchBufferEntries; }
+
+    /**
+     * Inject an error into rename-map slot @p archReg: the value
+     * reached through the corrupted mapping — the physical register
+     * the slot currently names — is treated as erroneous (a flipped
+     * map bit steers every consumer to the wrong register, which the
+     * plane models at value granularity, conservatively).
+     *
+     * @return Occupied (a map slot always names a register) or
+     *         Rejected when @p archReg is out of range.
+     */
+    InjectOutcome injectRenameMapError(int archReg, ErrorMask mask);
+
+    /** Rename-map slots available for injection (arch registers). */
+    int numRenameMapSlots() const;
+
+    /**
+     * Inject an error into branch-predictor counter slot @p slot.
+     * Predictor state is architecturally masked (a flip can change
+     * timing, never a retired value), so the bit either dies when an
+     * update overwrites its entry — query branchPredKilledMask() —
+     * or sits in the plane until swept.
+     */
+    InjectOutcome injectBranchPredError(int slot, ErrorMask mask);
+
+    /** Predictor counter slots available for injection. */
+    int numBranchPredSlots() const;
+
+    /** Error bits resident on predictor slot @p slot. */
+    ErrorMask branchPredErrorAt(int slot) const;
+
+    /** Lanes whose predictor bits were overwritten by updates. */
+    ErrorMask branchPredKilledMask() const;
+
     // ---- dynamic adaptation knobs ----
 
     /**
@@ -243,6 +293,8 @@ class Pipeline
         trace::TraceInstruction in;
         Cycle fetchCycle;
         bool mispredicted;
+        /** Error bits injected into this buffer slot. */
+        ErrorMask error;
     };
 
     // pipeline stages, called in reverse order each cycle
@@ -303,6 +355,8 @@ class Pipeline
      * clearErrorChannels() after it swept the channels out.
      */
     ErrorMask errInRobSq = 0;
+    /** Same conservative summary for the fetch buffer's slots. */
+    ErrorMask errInFetchBuf = 0;
 
     // store queue (circular)
     std::vector<SqEntry> storeQueue;

@@ -112,6 +112,18 @@ lanesFromEnv()
     return lanes;
 }
 
+int
+tailPollMsFromEnv()
+{
+    // 200 ms default: fast enough to feel live on a terminal, slow
+    // enough to cost nothing. 1..60000 keeps typos (0, ms-vs-s
+    // confusions) from spinning a core or freezing the tail.
+    int ms = envPositiveIntStrict("AVF_TAIL_POLL_MS", 200);
+    if (ms > 60'000)
+        fatal("AVF_TAIL_POLL_MS=%d exceeds 60000 (one minute)", ms);
+    return ms;
+}
+
 RunOptions
 loadRunOptions(int paperDefaultIntervals)
 {

@@ -77,6 +77,11 @@ ExperimentConfig loadExperimentConfig(const KeyValueFile &file);
  *                      zero, or negative is fatal()). Unset keeps
  *                      the control loop fully disabled and campaign
  *                      stdout byte-identical to uncontrolled runs.
+ *   AVF_TAIL_POLL_MS=<ms>
+ *                      `avf-report tail --follow` poll period in
+ *                      milliseconds (1..60000, default 200; see
+ *                      tailPollMsFromEnv()). Display-side only:
+ *                      never touches simulation output.
  *
  * Malformed values — non-numeric, negative, or zero AVF_INTERVALS,
  * unrecognized AVF_FAST / AVF_LIFECYCLE, malformed AVF_METRICS — are
@@ -94,6 +99,14 @@ RunOptions loadRunOptions(int paperDefaultIntervals = 100);
  * instead of through loadRunOptions().
  */
 int lanesFromEnv();
+
+/**
+ * Resolve AVF_TAIL_POLL_MS: the `avf-report tail --follow` poll
+ * period in milliseconds (strict positive integer, 1..60000; junk is
+ * fatal()). Default 200 ms. Lives here so every env knob flows
+ * through the same strict loader (avflint's env-knob discipline).
+ */
+int tailPollMsFromEnv();
 
 } // namespace avf::harness
 

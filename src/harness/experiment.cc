@@ -12,7 +12,9 @@
 #include "cpu/pipeline.hh"
 #include "harness/config_loader.hh"
 #include "harness/engine.hh"
+#include "obs/attribution.hh"
 #include "obs/control_feed.hh"
+#include "obs/coverage_probe.hh"
 #include "reliability/budget_arbiter.hh"
 #include "softarch/ace_analyzer.hh"
 #include "trace/synthetic.hh"
@@ -304,10 +306,56 @@ runExperimentDirect(const ExperimentConfig &config)
         tracker = std::make_unique<obs::LifecycleTracker>(lc_conf);
         pipeline.addObserver(tracker.get()); // onRetire failure watch
         pipeline.setHopSink(tracker.get());  // onErrorHop fast path
+    }
+
+    // Root-cause attribution: every closed window is charged to a
+    // blame site (unit, phase, PC, op). Three coverage probes extend
+    // injection to the structures the estimator roster never touches
+    // — fetch buffer, rename map, branch predictor — each on its own
+    // reserved lane (5 estimators x <= 12 lanes + 3 probes <= 63, so
+    // the lane budget always closes). Probe N is the interval's
+    // boundary count: one probe estimate per estimation interval.
+    std::unique_ptr<obs::AttributionTracker> attribution;
+    std::vector<std::unique_ptr<obs::CoverageProbe>> probes;
+    if (config.attribution.enabled) {
+        obs::AttributionConfig at_conf = config.attribution;
+        if (at_conf.phaseCycles == 0)
+            at_conf.phaseCycles = interval_len;
+        if (at_conf.phaseCount == 0)
+            at_conf.phaseCount =
+                static_cast<std::uint32_t>(config.numIntervals);
+        attribution =
+            std::make_unique<obs::AttributionTracker>(at_conf);
+        obs::CoverageProbeConfig probe_conf;
+        probe_conf.m = config.online.m;
+        probe_conf.n = static_cast<std::uint32_t>(boundaries);
+        for (int t = 0; t < obs::numCoverageTargets; ++t) {
+            probes.push_back(std::make_unique<obs::CoverageProbe>(
+                pipeline, port, *attribution,
+                static_cast<obs::CoverageTarget>(t), probe_conf));
+            pipeline.addObserver(probes.back().get());
+        }
+    }
+
+    // Estimator sink wiring: the lifecycle tracker and the
+    // attribution tracker both watch through the one sink slot each
+    // estimator has, teed when both are on.
+    std::unique_ptr<obs::LifecycleTee> sink_tee;
+    core::LifecycleSink *estimator_sink = nullptr;
+    if (tracker && attribution) {
+        sink_tee = std::make_unique<obs::LifecycleTee>(*tracker,
+                                                       *attribution);
+        estimator_sink = sink_tee.get();
+    } else if (tracker) {
+        estimator_sink = tracker.get();
+    } else if (attribution) {
+        estimator_sink = attribution.get();
+    }
+    if (estimator_sink) {
         for (int s = 0; s < core::numStructures; ++s) {
             static_cast<core::OnlineAvfEstimator *>(
                 estimators[static_cast<std::size_t>(s)].get())
-                ->setLifecycleSink(tracker.get());
+                ->setLifecycleSink(estimator_sink);
         }
     }
 
@@ -428,6 +476,8 @@ runExperimentDirect(const ExperimentConfig &config)
         result.summary.lifecycleExpired =
             result.lifecycle.totalWithOutcome(obs::Outcome::Expired);
     }
+    if (attribution)
+        result.attribution = attribution->snapshot();
     if (controller) {
         auto &ctl = result.control;
         ctl.enabled = true;
@@ -462,9 +512,12 @@ runExperimentDirect(const ExperimentConfig &config)
         // for the shared port's lane masks (diagnostic — resume
         // re-reserves lanes by rebuilding the roster, it never
         // replays masks).
-        result.estimatorStates.reserve(estimators.size() + 1);
+        result.estimatorStates.reserve(estimators.size() +
+                                       probes.size() + 1);
         for (const auto &est : estimators)
             result.estimatorStates.push_back(est->snapshotState());
+        for (const auto &probe : probes)
+            result.estimatorStates.push_back(probe->snapshotState());
         core::EstimatorState port_state;
         port_state.name = "port";
         port_state.counters = {

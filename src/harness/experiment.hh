@@ -26,6 +26,7 @@
 #include "core/regression_estimator.hh"
 #include "core/structures.hh"
 #include "cpu/config.hh"
+#include "obs/attribution.hh"
 #include "obs/lifecycle.hh"
 #include "obs/metrics.hh"
 #include "trace/workload_profile.hh"
@@ -84,6 +85,19 @@ struct ExperimentConfig
      * estimates are byte-identical either way.
      */
     obs::LifecycleConfig lifecycle;
+    /**
+     * Root-cause attribution (obs/attribution.hh). When enabled,
+     * every closed injection window — the five online estimators'
+     * plus three extended-coverage probes over the fetch buffer,
+     * rename map, and branch predictor — is charged to a blame site
+     * (unit, phase, PC, opcode class) and the table lands on
+     * ExperimentResult::attribution. phaseCycles == 0 inherits the
+     * run's estimation interval length; phaseCount == 0 inherits
+     * numIntervals. The probes inject on their own reserved lanes,
+     * so the five structures' AVF estimates are byte-identical
+     * either way.
+     */
+    obs::AttributionConfig attribution;
     /**
      * Populate ExperimentResult::metrics (obs/metrics.hh) from the
      * estimator roster, pipeline, and lifecycle counters after the
@@ -189,6 +203,13 @@ struct ExperimentResult
      */
     obs::LifecycleSummary lifecycle;
     /**
+     * Root-cause attribution table (enabled == false when the run
+     * was configured without ExperimentConfig::attribution). Rows in
+     * canonical (unit, phase, pc, op) order; merges submission-order
+     * across campaign tasks.
+     */
+    obs::AttributionSnapshot attribution;
+    /**
      * Metrics snapshot (enabled == false when the run was configured
      * without ExperimentConfig::metrics). Deterministic by
      * construction: every value is a function of (trace, seed,
@@ -202,7 +223,8 @@ struct ExperimentResult
      * Post-run estimator state snapshots (empty unless
      * ExperimentConfig::snapshotEstimators). Roster order: the five
      * online estimators (structure order), utilization FXU, FPU,
-     * occupancy, then a synthetic "port" entry carrying the shared
+     * occupancy, the coverage probes (when attribution is enabled),
+     * then a synthetic "port" entry carrying the shared
      * InjectionPort's reserved/open lane masks.
      */
     std::vector<core::EstimatorState> estimatorStates;

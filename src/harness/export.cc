@@ -6,9 +6,11 @@
 #include <sstream>
 
 #include "core/structures.hh"
+#include "obs/attribution.hh"
 #include "obs/lifecycle.hh"
 #include "obs/trace_export.hh"
 #include "stats/histogram.hh"
+#include "trace/instruction.hh"
 #include "util/logging.hh"
 #include "util/timing.hh"
 
@@ -208,6 +210,23 @@ writeLifecycleJsonl(const ExperimentResult &result,
 
     std::FILE *file = openOrDie(path);
     std::string bench = jsonEscape(result.benchmark);
+
+    // First line: a legend record naming the hop kinds and outcomes
+    // the record lines key their objects on, so a reader never has
+    // to hard-code the cpu::ErrorHop taxonomy. Readers distinguish
+    // it by its "legend" key (record lines have none).
+    std::fprintf(file, "{\"legend\": true, \"hop_kinds\": [");
+    for (int h = 0; h < cpu::numErrorHops; ++h)
+        std::fprintf(file, "%s\"%s\"", h ? ", " : "",
+                     cpu::errorHopName(static_cast<cpu::ErrorHop>(h)));
+    std::fprintf(file, "], \"outcomes\": [");
+    for (int o = 0; o < obs::numOutcomes; ++o) {
+        auto oname = obs::outcomeName(static_cast<obs::Outcome>(o));
+        std::fprintf(file, "%s\"%.*s\"", o ? ", " : "",
+                     static_cast<int>(oname.size()), oname.data());
+    }
+    std::fprintf(file, "]}\n");
+
     for (int s = 0; s < core::numStructures; ++s) {
         const auto &sum =
             result.lifecycle.structures[static_cast<std::size_t>(s)];
@@ -221,7 +240,7 @@ writeLifecycleJsonl(const ExperimentResult &result,
                 "\"entry\": %d, \"field\": %d, \"live\": %s, "
                 "\"inject_cycle\": %llu, \"close_cycle\": %llu, "
                 "\"outcome_cycle\": %llu, \"outcome\": \"%.*s\", "
-                "\"latency\": %llu, \"hops\": {",
+                "\"latency\": %llu, ",
                 bench.c_str(), static_cast<int>(name.size()),
                 name.data(), rec.lane, rec.entry, rec.field,
                 rec.live ? "true" : "false",
@@ -230,6 +249,17 @@ writeLifecycleJsonl(const ExperimentResult &result,
                 static_cast<unsigned long long>(rec.outcomeCycle),
                 static_cast<int>(oname.size()), oname.data(),
                 static_cast<unsigned long long>(rec.latency()));
+            // Blame identity of failure records ("-"/0 otherwise).
+            auto opname =
+                rec.blameOp >= 0
+                    ? trace::opClassName(
+                          static_cast<trace::OpClass>(rec.blameOp))
+                    : std::string_view("-");
+            std::fprintf(
+                file, "\"blame_pc\": %llu, \"blame_op\": \"%.*s\", "
+                "\"hops\": {",
+                static_cast<unsigned long long>(rec.blamePc),
+                static_cast<int>(opname.size()), opname.data());
             for (int h = 0; h < cpu::numErrorHops; ++h) {
                 std::fprintf(
                     file, "%s\"%s\": %u", h ? ", " : "",
@@ -349,6 +379,51 @@ writeTraceJson(const std::string &path, const std::string &campaign,
     out.close();
     if (!out)
         fatal("error closing '%s'", path.c_str());
+}
+
+void
+writeRootCauseJson(const std::string &path,
+                   const std::string &campaign,
+                   const std::vector<TaskResult> &tasks)
+{
+    // Submission-order fold, like writeMetricsJson's totals: the
+    // bytes are identical at any worker count by construction.
+    obs::AttributionSnapshot totals;
+    for (const auto &task : tasks) {
+        if (task.ok())
+            totals.mergeFrom(task.result.attribution);
+    }
+    if (!totals.enabled)
+        fatal("writeRootCauseJson('%s'): no task carries attribution "
+              "data (run with attribution enabled)",
+              path.c_str());
+
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << "{\n  \"schema\": \"" << obs::rootCauseSchemaVersion
+        << "\",\n  \"campaign\": \"" << jsonEscape(campaign)
+        << "\",\n  \"attribution\": ";
+    totals.writeJson(out, 2);
+    out << "\n}\n";
+    out.close();
+    if (!out)
+        fatal("error closing '%s'", path.c_str());
+}
+
+bool
+exportCampaignRootCause(const std::string &campaign,
+                        const ExperimentEngine &engine,
+                        const std::vector<TaskResult> &tasks)
+{
+    const std::string &prefix = engine.options().metricsPrefix;
+    if (prefix.empty())
+        return false;
+    const std::string path = prefix + "_ROOTCAUSE.json";
+    writeRootCauseJson(path, campaign, tasks);
+    // stderr, not stdout: campaign stdout is byte-compared.
+    inform("root-cause: wrote %s", path.c_str());
+    return true;
 }
 
 bool

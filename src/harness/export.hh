@@ -76,6 +76,31 @@ void writeMetricsJson(const std::string &path,
                       const std::vector<TaskResult> &tasks);
 
 /**
+ * Write a campaign's root-cause attribution tables as one
+ * `avf-rootcause-v1` JSON document: the submission-order fold of
+ * every task's AttributionSnapshot (obs/attribution.hh), so the
+ * bytes are identical at any worker count. fatal() when no task
+ * carries attribution data and on I/O errors.
+ */
+void writeRootCauseJson(const std::string &path,
+                        const std::string &campaign,
+                        const std::vector<TaskResult> &tasks);
+
+/**
+ * Companion to exportCampaignMetrics() for attribution campaigns:
+ * when the engine was built with a RunOptions::metricsPrefix
+ * (AVF_METRICS), write <prefix>_ROOTCAUSE.json and report the path
+ * on stderr. Written separately from the metrics pair so a bench can
+ * export attribution without clobbering another campaign's
+ * <prefix>_METRICS.json.
+ *
+ * @return true when the file was written, false when metrics are off.
+ */
+bool exportCampaignRootCause(const std::string &campaign,
+                             const ExperimentEngine &engine,
+                             const std::vector<TaskResult> &tasks);
+
+/**
  * Write the campaign's wall-clock story as Chrome/Perfetto
  * trace_event JSON (obs/trace_export.hh): one "X" span per task on
  * its worker's lane, a synthetic per-task-phase lane built from a

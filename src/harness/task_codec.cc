@@ -157,6 +157,40 @@ appendMetricsSnapshot(std::string &out,
     out += "]}";
 }
 
+void
+appendAttributionSnapshot(std::string &out,
+                          const obs::AttributionSnapshot &attr)
+{
+    out += "{\"units\":[";
+    for (std::size_t i = 0; i < attr.units.size(); ++i) {
+        if (i)
+            out += ',';
+        appendString(out, attr.units[i]);
+    }
+    out += "],\"rows\":[";
+    for (std::size_t i = 0; i < attr.rows.size(); ++i) {
+        if (i)
+            out += ',';
+        const obs::AttributionRow &row = attr.rows[i];
+        out += '[';
+        appendUint(out, row.unit);
+        out += ',';
+        appendUint(out, row.phase);
+        out += ',';
+        appendUint(out, row.pc);
+        out += ',';
+        out += std::to_string(row.op); // signed: -1 = no blame op
+        out += ',';
+        appendUint(out, row.windows);
+        out += ',';
+        appendUint(out, row.live);
+        out += ',';
+        appendUint(out, row.failures);
+        out += ']';
+    }
+    out += "]}";
+}
+
 // ------------------------------------------------------------------ //
 // Decode helpers: each returns false after setting @p errorOut.       //
 // ------------------------------------------------------------------ //
@@ -365,6 +399,54 @@ decodeMetricsSnapshot(const json::Value &value,
     return true;
 }
 
+bool
+decodeAttributionSnapshot(const json::Value &value,
+                          obs::AttributionSnapshot &out,
+                          std::string &errorOut)
+{
+    if (!value.isObject())
+        return fail(errorOut, "attribution not an object");
+    out.enabled = true;
+    const json::Value *units = value.find("units");
+    const json::Value *rows = value.find("rows");
+    if (!units || !rows || !units->isArray() || !rows->isArray())
+        return fail(errorOut, "attribution missing a section");
+    out.units.clear();
+    out.units.reserve(units->items.size());
+    for (const auto &item : units->items) {
+        if (!item.isString())
+            return fail(errorOut,
+                        "attribution unit not a string");
+        out.units.push_back(item.text);
+    }
+    out.rows.clear();
+    out.rows.reserve(rows->items.size());
+    for (const auto &item : rows->items) {
+        if (!item.isArray() || item.items.size() != 7)
+            return fail(errorOut, "attribution row malformed");
+        for (const auto &field : item.items) {
+            if (!field.isNumber())
+                return fail(errorOut,
+                            "attribution row holds a non-number");
+        }
+        obs::AttributionRow row;
+        row.unit =
+            static_cast<std::uint32_t>(item.items[0].asUint());
+        row.phase =
+            static_cast<std::uint32_t>(item.items[1].asUint());
+        row.pc = item.items[2].asUint();
+        row.op = static_cast<int>(item.items[3].asDouble());
+        row.windows = item.items[4].asUint();
+        row.live = item.items[5].asUint();
+        row.failures = item.items[6].asUint();
+        if (row.unit >= out.units.size())
+            return fail(errorOut,
+                        "attribution row names an unknown unit");
+        out.rows.push_back(row);
+    }
+    return true;
+}
+
 std::string
 encodeTaskResult(const TaskResult &task)
 {
@@ -443,6 +525,10 @@ encodeTaskResult(const TaskResult &task)
     if (result.metrics.enabled) {
         out += ",\"metrics\":";
         appendMetricsSnapshot(out, result.metrics);
+    }
+    if (result.attribution.enabled) {
+        out += ",\"attribution\":";
+        appendAttributionSnapshot(out, result.attribution);
     }
     out += "}}";
     return out;
@@ -571,6 +657,11 @@ decodeTaskResult(std::string_view line, TaskResult &out,
     if (const json::Value *metrics = result->find("metrics")) {
         if (!decodeMetricsSnapshot(*metrics, out.result.metrics,
                                    errorOut))
+            return false;
+    }
+    if (const json::Value *attr = result->find("attribution")) {
+        if (!decodeAttributionSnapshot(*attr, out.result.attribution,
+                                       errorOut))
             return false;
     }
     return true;

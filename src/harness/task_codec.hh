@@ -66,6 +66,20 @@ bool decodeMetricsSnapshot(const json::Value &value,
                            std::string &errorOut);
 
 /**
+ * Append an attribution snapshot as a JSON object: unit names in
+ * registration order, rows as compact 7-number arrays
+ * [unit, phase, pc, op, windows, live, failures] in canonical order.
+ */
+void appendAttributionSnapshot(std::string &out,
+                               const obs::AttributionSnapshot &attr);
+
+/** Decode an object written by appendAttributionSnapshot(); sets
+ *  out.enabled = true. */
+bool decodeAttributionSnapshot(const json::Value &value,
+                               obs::AttributionSnapshot &out,
+                               std::string &errorOut);
+
+/**
  * Encode one task as a single line of JSON (no trailing newline).
  * The task's result is encoded in full when ok(); a failed task
  * carries only its error text.

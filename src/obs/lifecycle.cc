@@ -3,6 +3,7 @@
 #include <bit>
 #include <numeric>
 
+#include "core/injection_port.hh"
 #include "core/online_estimator.hh"
 #include "util/logging.hh"
 
@@ -141,6 +142,8 @@ LifecycleTracker::openRecord(Structure s, LaneId lane, int entry,
     openLaneMask |= laneBit(lane);
     win.failed = false;
     win.sawKill = false;
+    win.blamePc = 0;
+    win.blameOp = -1;
     win.rec = LifecycleRecord{};
     win.rec.structure = s;
     win.rec.lane = lane;
@@ -151,12 +154,22 @@ LifecycleTracker::openRecord(Structure s, LaneId lane, int entry,
 }
 
 void
-LifecycleTracker::closeRecord(Structure s, LaneId lane, Cycle now)
+LifecycleTracker::closeRecord(Structure s, LaneId lane, Cycle now,
+                              const core::Outcome &outcome)
 {
     OpenWindow &win = windowAt(lane);
     avf_assert(openLaneMask & laneBit(lane),
                "lifecycle close without an open record on lane %d",
                lane);
+    // The port and this tracker watch the same retirement stream
+    // independently; disagreement on whether (or where) the window
+    // failed means one of them mis-latched — same fatality class as
+    // reconcile().
+    avf_assert(outcome.failed == win.failed,
+               "lifecycle/port failure disagreement on lane %d", lane);
+    avf_assert(!win.failed || (outcome.failPc == win.blamePc &&
+                               outcome.failOp == win.blameOp),
+               "lifecycle/port blame disagreement on lane %d", lane);
     std::string_view byName = structureName(s);
     std::string_view openerName = structureName(win.rec.structure);
     avf_assert(win.rec.structure == s,
@@ -171,6 +184,8 @@ LifecycleTracker::closeRecord(Structure s, LaneId lane, Cycle now)
     if (win.failed) {
         rec.outcome = win.failureKind;
         rec.outcomeCycle = win.failCycle;
+        rec.blamePc = win.blamePc;
+        rec.blameOp = win.blameOp;
     } else if (win.sawKill) {
         rec.outcome = Outcome::Killed;
         rec.outcomeCycle = win.killCycle;
@@ -212,6 +227,8 @@ LifecycleTracker::onRetire(const cpu::DynInstr &instr,
             continue;
         win.failed = true;
         win.failCycle = instr.retireCycle;
+        win.blamePc = instr.in.pc;
+        win.blameOp = static_cast<int>(instr.in.op);
         switch (instr.in.op) {
           case trace::OpClass::Store:
             win.failureKind = Outcome::FailureStore;

@@ -135,6 +135,13 @@ struct LifecycleRecord
     Cycle outcomeCycle = 0;
     /** Final outcome. */
     Outcome outcome = Outcome::Expired;
+    /**
+     * Blame identity: trace PC and opcode class (trace::OpClass as
+     * int) of the retiring instruction that carried the bit out.
+     * Zero / -1 when the window closed without a failure.
+     */
+    Addr blamePc = 0;
+    int blameOp = -1;
     /** Hop events observed on this record, by cpu::ErrorHop kind. */
     std::array<std::uint32_t, cpu::numErrorHops> hops{};
 
@@ -208,7 +215,8 @@ class LifecycleTracker : public cpu::PipelineObserver,
     // ---- core::LifecycleSink ----
     void openRecord(core::Structure s, LaneId lane, int entry,
                     int field, bool live, Cycle now) override;
-    void closeRecord(core::Structure s, LaneId lane, Cycle now) override;
+    void closeRecord(core::Structure s, LaneId lane, Cycle now,
+                     const core::Outcome &outcome) override;
 
     // ---- cpu::PipelineObserver ----
     void onRetire(const cpu::DynInstr &instr,
@@ -240,6 +248,9 @@ class LifecycleTracker : public cpu::PipelineObserver,
         Cycle failCycle = 0;
         Cycle killCycle = 0;
         Outcome failureKind = Outcome::Expired;
+        /** Blame identity of the latched failure retirement. */
+        Addr blamePc = 0;
+        int blameOp = -1;
         LifecycleRecord rec;
     };
 

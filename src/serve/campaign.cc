@@ -52,6 +52,9 @@ runFromCheckpoint(Checkpoint &checkpoint, const StatePaths &paths,
                 if (spec.metrics)
                     checkpoint.metricsTotals.mergeTotals(
                         task.result.metrics);
+                if (spec.rootCause)
+                    checkpoint.attributionTotals.mergeFrom(
+                        task.result.attribution);
                 return true;
             },
             errorOut);
@@ -67,6 +70,13 @@ runFromCheckpoint(Checkpoint &checkpoint, const StatePaths &paths,
             return false;
     }
 
+    // The attribution rollup precedes the summary row so a tail
+    // reader sees the blame table before the campaign's last line.
+    if (spec.rootCause &&
+        !feed.appendLine(
+            feedAttributionLine(checkpoint.attributionTotals),
+            errorOut))
+        return false;
     if (!feed.appendLine(feedSummaryLine(checkpoint.rollup),
                          errorOut) ||
         !feed.flushSync(errorOut))
@@ -94,6 +104,7 @@ prepareCampaign(const CampaignSpec &spec, const StatePaths &paths,
     checkpoint.slicesDone = 0;
     checkpoint.feedBytes = feed.bytesWritten();
     checkpoint.metricsTotals.enabled = spec.metrics;
+    checkpoint.attributionTotals.enabled = spec.rootCause;
     return saveCheckpoint(checkpoint,
                           paths.checkpointPath(spec.name), errorOut);
 }

@@ -115,6 +115,8 @@ encodeCheckpoint(const Checkpoint &checkpoint)
                static_cast<std::uint64_t>(c.checkpointEverySlices));
     out += ",\"metrics\":";
     out += c.metrics ? "true" : "false";
+    out += ",\"root_cause\":";
+    out += c.rootCause ? "true" : "false";
     out += "},\"slices_done\":";
     appendUint(out, checkpoint.slicesDone);
     out += ",\"feed_bytes\":";
@@ -156,6 +158,11 @@ encodeCheckpoint(const Checkpoint &checkpoint)
         out += ",\"metrics\":";
         harness::codec::appendMetricsSnapshot(
             out, checkpoint.metricsTotals);
+    }
+    if (checkpoint.attributionTotals.enabled) {
+        out += ",\"attribution\":";
+        harness::codec::appendAttributionSnapshot(
+            out, checkpoint.attributionTotals);
     }
     out += '}';
     return out;
@@ -209,6 +216,11 @@ decodeCheckpoint(std::string_view text, Checkpoint &out,
             return fail(errorOut, "campaign metrics not a bool");
         c.metrics = metrics->boolean;
     }
+    if (const json::Value *rc = campaign->find("root_cause")) {
+        if (!rc->isBool())
+            return fail(errorOut, "campaign root_cause not a bool");
+        c.rootCause = rc->boolean;
+    }
 
     if (!readUint(doc, "slices_done", out.slicesDone, errorOut) ||
         !readUint(doc, "feed_bytes", out.feedBytes, errorOut))
@@ -257,6 +269,11 @@ decodeCheckpoint(std::string_view text, Checkpoint &out,
     if (const json::Value *metrics = doc.find("metrics")) {
         if (!harness::codec::decodeMetricsSnapshot(
                 *metrics, out.metricsTotals, errorOut))
+            return false;
+    }
+    if (const json::Value *attr = doc.find("attribution")) {
+        if (!harness::codec::decodeAttributionSnapshot(
+                *attr, out.attributionTotals, errorOut))
             return false;
     }
     return true;

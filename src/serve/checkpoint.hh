@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/avf_estimator.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 #include "serve/protocol.hh"
 
@@ -54,6 +55,11 @@ struct Checkpoint
     std::vector<core::EstimatorState> lastStates;
     /** Merged metrics totals (enabled only with campaign.metrics). */
     obs::MetricsSnapshot metricsTotals;
+    /** Merged root-cause attribution table (enabled only with
+     *  campaign.rootCause). Folded submission-order, so the bytes
+     *  persisted here equal an uninterrupted run's at any worker
+     *  count. */
+    obs::AttributionSnapshot attributionTotals;
 };
 
 /** Serialize to one JSON document (fixed key order, %.17g). */

@@ -146,6 +146,11 @@ parseCampaign(const json::Value &body, CampaignSpec &out,
             return fail(errorOut, "metrics must be a bool");
         out.metrics = metrics->boolean;
     }
+    if (const json::Value *rc = body.find("root_cause")) {
+        if (!rc->isBool())
+            return fail(errorOut, "root_cause must be a bool");
+        out.rootCause = rc->boolean;
+    }
     return true;
 }
 
@@ -224,6 +229,8 @@ encodeRequest(const Request &request)
                             c.checkpointEverySlices));
         out += ",\"metrics\":";
         out += c.metrics ? "true" : "false";
+        out += ",\"root_cause\":";
+        out += c.rootCause ? "true" : "false";
         out += '}';
     }
     out += '}';
@@ -328,6 +335,17 @@ feedSummaryLine(const CampaignRollup &rollup)
     appendUint(out, rollup.injections);
     out += ",\"failures\":";
     appendUint(out, rollup.failures);
+    out += '}';
+    return out;
+}
+
+std::string
+feedAttributionLine(const obs::AttributionSnapshot &attr)
+{
+    std::string out;
+    out.reserve(256);
+    out += "{\"attribution\":true,\"table\":";
+    harness::codec::appendAttributionSnapshot(out, attr);
     out += '}';
     return out;
 }

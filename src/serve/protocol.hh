@@ -24,6 +24,7 @@
 
 #include "core/structures.hh"
 #include "harness/engine.hh"
+#include "obs/attribution.hh"
 #include "util/types.hh"
 
 namespace avf::serve
@@ -68,6 +69,15 @@ struct CampaignSpec
     int checkpointEverySlices = 1;
     /** Collect and merge per-slice metrics snapshots. */
     bool metrics = false;
+    /**
+     * Collect and merge per-slice root-cause attribution tables
+     * (obs/attribution.hh). Slices run with campaign-global phase
+     * buckets (phaseBase = the slice's first global interval), so
+     * the merged table — persisted in the checkpoint and streamed
+     * as the feed's attribution row — is byte-identical at any
+     * worker count and across crash/resume.
+     */
+    bool rootCause = false;
 
     /** Slice count: ceil(intervals / sliceIntervals). */
     std::uint64_t numSlices() const
@@ -157,6 +167,14 @@ std::string feedIntervalLine(std::uint64_t globalInterval,
 
 /** Final feed row: means and totals from the rollup. */
 std::string feedSummaryLine(const CampaignRollup &rollup);
+
+/**
+ * Attribution rollup row (written before the summary row when the
+ * campaign ran with rootCause): the merged blame table, keyed by its
+ * "attribution" member so feed readers can tell it from interval
+ * rows.
+ */
+std::string feedAttributionLine(const obs::AttributionSnapshot &attr);
 
 /**
  * Fold one finished slice into the rollup: interval sums, pipeline

@@ -29,6 +29,16 @@ makeSliceConfig(const CampaignSpec &spec, std::uint64_t index)
                               : harness::RunOptions{}.lanes;
     config.numIntervals = spec.sliceLength(index);
     config.metrics = spec.metrics;
+    if (spec.rootCause) {
+        // Campaign-global phase buckets: the slice's windows land in
+        // buckets offset by its first global interval, so merged
+        // tables read the same at any slicing.
+        config.attribution.enabled = true;
+        config.attribution.phaseBase = static_cast<std::uint32_t>(
+            index * static_cast<std::uint64_t>(spec.sliceIntervals));
+        config.attribution.phaseCount = static_cast<std::uint32_t>(
+            spec.sliceLength(index));
+    }
     config.snapshotEstimators = true;
     harness::deriveTaskSeeds(config, spec.seedSalt, index);
     return config;

@@ -647,6 +647,37 @@ TEST(AvflintMetricNames, SetupRegistrationAndStepCallsAreClean)
                     .empty());
 }
 
+TEST(AvflintMetricNames, AppliesToBlameUnitRegistration)
+{
+    // The attribution tracker's blame units share the exported-name
+    // contract: literal names must be snake_case and never register
+    // from a per-cycle hot path.
+    auto findings = withId(
+        lintText("src/foo.cc",
+                 "CoverageProbe::CoverageProbe(AttributionTracker &t) "
+                 "{\n"
+                 "    unit = t.registerBlameUnit(\"FetchBuf\");\n"
+                 "}\n"
+                 "void Probe::onCycle(Cycle now) {\n"
+                 "    t.registerBlameUnit(\"fetch_buf\");\n"
+                 "}\n"),
+        "metric-name-discipline");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_NE(findings[0].message.find("FetchBuf"),
+              std::string::npos);
+    EXPECT_NE(findings[1].message.find("hot path"),
+              std::string::npos);
+
+    EXPECT_TRUE(withId(
+        lintText("src/foo.cc",
+                 "CoverageProbe::CoverageProbe(AttributionTracker &t) "
+                 "{\n"
+                 "    unit = t.registerBlameUnit(\"fetch_buf\");\n"
+                 "}\n"),
+        "metric-name-discipline")
+                    .empty());
+}
+
 TEST(AvflintMetricNames, ControlLoopRegistrationIsClean)
 {
     // The controller's decision metrics, as registered at

@@ -290,14 +290,23 @@ TEST(LifecycleExport, JsonlAndSummaryBlockFromRealRun)
     for (int s = 0; s < core::numStructures; ++s)
         retained += result.lifecycle.structures[s].records.size();
     ASSERT_GT(retained, 0u);
-    EXPECT_EQ(lines.size(), retained);
-    for (const auto &line : lines) {
+    // First line is the legend naming the hop-kind/outcome taxonomy;
+    // every later line is one record.
+    ASSERT_EQ(lines.size(), retained + 1);
+    EXPECT_NE(lines[0].find("\"legend\": true"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"hop_kinds\": [\"read_carry\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"outcomes\": ["), std::string::npos);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const auto &line = lines[i];
         EXPECT_EQ(line.front(), '{');
         EXPECT_EQ(line.back(), '}');
         EXPECT_NE(line.find("\"benchmark\": \"bzip2\""),
                   std::string::npos);
         EXPECT_NE(line.find("\"lane\": "), std::string::npos);
         EXPECT_NE(line.find("\"outcome\": \""), std::string::npos);
+        EXPECT_NE(line.find("\"blame_pc\": "), std::string::npos);
+        EXPECT_NE(line.find("\"blame_op\": \""), std::string::npos);
         EXPECT_NE(line.find("\"hops\": {\"read_carry\": "),
                   std::string::npos);
     }

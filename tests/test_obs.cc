@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "core/injection_port.hh"
 #include "harness/experiment.hh"
 #include "obs/lifecycle.hh"
 #include "trace/spec_profiles.hh"
@@ -52,7 +53,7 @@ TEST(LifecycleTracker, ExpiredWhenNothingHappens)
 {
     LifecycleTracker tracker(smallTrackerConfig());
     tracker.openRecord(Structure::IQ, 0, 3, 1, true, 10);
-    tracker.closeRecord(Structure::IQ, 0, 110);
+    tracker.closeRecord(Structure::IQ, 0, 110, core::Outcome{});
 
     auto summary = tracker.summary();
     const auto &iq = summary.structures[0];
@@ -76,8 +77,11 @@ TEST(LifecycleTracker, FailureOutcomeMatchesRetiringOp)
     cpu::RetireInfo info;
     info.failureMask = bit;
     tracker.onRetire(instrAt(trace::OpClass::Store, 40), info);
+    core::Outcome store_fail;
+    store_fail.failed = true;
+    store_fail.failOp = static_cast<int>(trace::OpClass::Store);
     tracker.closeRecord(Structure::REG, core::channelOf(Structure::REG),
-                        100);
+                        100, store_fail);
 
     auto summary = tracker.summary();
     const auto &reg =
@@ -102,7 +106,7 @@ TEST(LifecycleTracker, KillWithoutFailureIsKilled)
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 25), bit,
                        cpu::ErrorHop::OverwriteKill);
     tracker.closeRecord(Structure::REG, core::channelOf(Structure::REG),
-                        100);
+                        100, core::Outcome{});
 
     auto summary = tracker.summary();
     const auto &reg =
@@ -128,7 +132,10 @@ TEST(LifecycleTracker, FailureWinsOverLaterKill)
     tracker.onRetire(instrAt(trace::OpClass::BranchCond, 30), info);
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 50), bit,
                        cpu::ErrorHop::OverwriteKill);
-    tracker.closeRecord(Structure::IQ, 0, 100);
+    core::Outcome branch_fail;
+    branch_fail.failed = true;
+    branch_fail.failOp = static_cast<int>(trace::OpClass::BranchCond);
+    tracker.closeRecord(Structure::IQ, 0, 100, branch_fail);
 
     auto summary = tracker.summary();
     const auto &iq = summary.structures[0];
@@ -153,8 +160,8 @@ TEST(LifecycleTracker, HopsAttributeByLaneBit)
                        iq_bit | reg_bit, cpu::ErrorHop::ReadCarry);
     tracker.onErrorHop(instrAt(trace::OpClass::IntAlu, 12), reg_bit,
                        cpu::ErrorHop::FuTransit);
-    tracker.closeRecord(Structure::IQ, 0, 100);
-    tracker.closeRecord(Structure::REG, 1, 100);
+    tracker.closeRecord(Structure::IQ, 0, 100, core::Outcome{});
+    tracker.closeRecord(Structure::REG, 1, 100, core::Outcome{});
 
     auto summary = tracker.summary();
     const auto &iq = summary.structures[0];
@@ -177,7 +184,8 @@ TEST(LifecycleTracker, RetentionCapDropsRecordsNotCounts)
         tracker.openRecord(Structure::FXU, 2, 0, -1, false,
                            static_cast<Cycle>(100 * k));
         tracker.closeRecord(Structure::FXU, 2,
-                            static_cast<Cycle>(100 * (k + 1)));
+                            static_cast<Cycle>(100 * (k + 1)),
+                            core::Outcome{});
     }
     auto summary = tracker.summary();
     const auto &fxu =

@@ -16,6 +16,12 @@
  *                                  projected MTTF, arbitration
  *                                  target, throttle state, coverage)
  *   lifecycle FILE.jsonl           lifecycle outcome summary
+ *   root-cause ROOTCAUSE.json [--by instruction|structure|opcode|phase]
+ *              [--top N] [--json]  failure-accountability ranking
+ *                                  from a root-cause attribution
+ *                                  export (default: top failing
+ *                                  instructions); --json emits the
+ *                                  ranking as one JSON object
  *   lint LINT.json [--github]      avflint --format=json report;
  *                                  --github adds ::error/::warning
  *                                  workflow-command annotations
@@ -24,7 +30,8 @@
  *                                  --follow keeps polling a feed that
  *                                  is still being written until the
  *                                  summary row lands (or N empty
- *                                  polls pass)
+ *                                  polls pass; poll period =
+ *                                  AVF_TAIL_POLL_MS, default 200 ms)
  *   serve-status DIR               per-campaign checkpoint progress
  *                                  of a serve state directory
  *
@@ -59,6 +66,8 @@ usage()
         "  diff OLD_METRICS.json NEW_METRICS.json\n"
         "  budget METRICS.json [--task NAME]\n"
         "  lifecycle FILE.jsonl\n"
+        "  root-cause ROOTCAUSE.json [--by instruction|structure|"
+        "opcode|phase] [--top N] [--json]\n"
         "  lint LINT.json [--github]\n"
         "  tail FEED.jsonl [--follow] [--max-polls N]\n"
         "  serve-status DIR\n");
@@ -212,6 +221,43 @@ main(int argc, char **argv)
             return 2;
         }
         return 0;
+    }
+
+    if (command == "root-cause") {
+        if (argc < 3)
+            return usage();
+        std::string by = "instruction";
+        std::size_t top = 10;
+        bool jsonOut = false;
+        for (int i = 3; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--by") == 0 && i + 1 < argc)
+                by = argv[++i];
+            else if (std::strcmp(argv[i], "--top") == 0 &&
+                     i + 1 < argc)
+                top = static_cast<std::size_t>(
+                    std::stoul(argv[++i]));
+            else if (std::strcmp(argv[i], "--json") == 0)
+                jsonOut = true;
+            else
+                return usage();
+        }
+        if (by != "instruction" && by != "structure" &&
+            by != "opcode" && by != "phase")
+            return usage();
+        std::string text, error;
+        if (!report::readFile(argv[2], text, error)) {
+            std::fprintf(stderr, "avf-report: %s\n", error.c_str());
+            return 2;
+        }
+        json::Value doc;
+        if (!report::loadRootCauseDoc(text, doc, error)) {
+            std::fprintf(stderr, "avf-report: %s: %s\n", argv[2],
+                         error.c_str());
+            return 2;
+        }
+        return report::printRootCause(std::cout, doc, by, top,
+                                      jsonOut)
+            ? 0 : 2;
     }
 
     if (command == "tail") {

@@ -7,8 +7,11 @@
 #include <map>
 #include <ostream>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "core/structures.hh"
+#include "harness/export.hh"
 #include "obs/metrics.hh"
 
 namespace avf::report
@@ -488,6 +491,30 @@ printLifecycle(std::ostream &out, const std::string &jsonl,
                     parseError;
             return false;
         }
+        if (rec.find("legend")) {
+            // writeLifecycleJsonl's first line names the hop kinds
+            // and outcome strings instead of carrying a record.
+            const auto *hopKinds =
+                rec.find("hop_kinds", json::Value::Kind::Array);
+            if (lineNo != 1 || !hopKinds) {
+                error = "line " + std::to_string(lineNo) +
+                        ": unexpected legend line";
+                return false;
+            }
+            std::string kinds;
+            for (const auto &kind : hopKinds->items) {
+                if (!kind.isString()) {
+                    error = "line 1: legend hop_kinds entry is not "
+                            "a string";
+                    return false;
+                }
+                if (!kinds.empty())
+                    kinds += ", ";
+                kinds += kind.text;
+            }
+            line(out, "hop kinds: %s\n", kinds.c_str());
+            continue;
+        }
         const auto *structure = rec.find("structure",
                                          json::Value::Kind::String);
         const auto *outcome = rec.find("outcome",
@@ -522,6 +549,251 @@ printLifecycle(std::ostream &out, const std::string &jsonl,
              static_cast<unsigned long long>(agg.records),
              outcomes.c_str());
     }
+    return true;
+}
+
+bool
+loadRootCauseDoc(const std::string &text, json::Value &doc,
+                 std::string &error)
+{
+    if (!json::parse(text, doc, error)) {
+        error = "not valid JSON: " + error;
+        return false;
+    }
+    if (!doc.isObject()) {
+        error = "document is not a JSON object";
+        return false;
+    }
+    const auto *schema = doc.find("schema", json::Value::Kind::String);
+    if (!schema) {
+        error = "missing \"schema\" string";
+        return false;
+    }
+    if (schema->text != "avf-rootcause-v1") {
+        error = "unsupported schema '" + schema->text +
+                "' (expected 'avf-rootcause-v1')";
+        return false;
+    }
+    if (!doc.find("campaign", json::Value::Kind::String)) {
+        error = "missing \"campaign\" string";
+        return false;
+    }
+    const auto *attribution =
+        doc.find("attribution", json::Value::Kind::Object);
+    if (!attribution) {
+        error = "missing \"attribution\" object";
+        return false;
+    }
+    const auto *units =
+        attribution->find("units", json::Value::Kind::Array);
+    if (!units) {
+        error = "attribution lacks a \"units\" array";
+        return false;
+    }
+    for (const auto &unit : units->items) {
+        if (!unit.isString()) {
+            error = "\"units\" entry is not a string";
+            return false;
+        }
+    }
+    const auto *rows =
+        attribution->find("rows", json::Value::Kind::Array);
+    if (!rows) {
+        error = "attribution lacks a \"rows\" array";
+        return false;
+    }
+    for (std::size_t i = 0; i < rows->items.size(); ++i) {
+        const auto &row = rows->items[i];
+        const std::string where = "row " + std::to_string(i);
+        if (!row.isObject()) {
+            error = where + ": not an object";
+            return false;
+        }
+        if (!row.find("unit", json::Value::Kind::String) ||
+            !row.find("op", json::Value::Kind::String)) {
+            error = where + ": missing \"unit\"/\"op\" strings";
+            return false;
+        }
+        for (const char *key :
+             {"phase", "pc", "windows", "live", "failures"}) {
+            const auto *value = row.find(key);
+            if (!value || value->kind != json::Value::Kind::Uint) {
+                error = where + ": missing integer \"" +
+                        std::string(key) + "\"";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+printRootCause(std::ostream &out, const json::Value &doc,
+               const std::string &by, std::size_t topN, bool jsonOut)
+{
+    if (by != "instruction" && by != "structure" && by != "opcode" &&
+        by != "phase") {
+        out << "unknown --by grouping '" << by
+            << "' (expected instruction, structure, opcode, or "
+               "phase)\n";
+        return false;
+    }
+
+    const std::string &campaign =
+        doc.find("campaign", json::Value::Kind::String)->text;
+    const auto *rowsValue =
+        doc.find("attribution", json::Value::Kind::Object)
+            ->find("rows", json::Value::Kind::Array);
+
+    struct Agg
+    {
+        std::uint64_t windows = 0;
+        std::uint64_t live = 0;
+        std::uint64_t failures = 0;
+    };
+    // One key type covers every grouping; unused members keep their
+    // defaults so map order doubles as the deterministic tiebreak.
+    using Key = std::tuple<std::uint64_t, std::string, std::string>;
+    std::map<Key, Agg> groups;
+    Agg total;
+
+    for (const auto &row : rowsValue->items) {
+        const std::uint64_t phase = row.find("phase")->asUint();
+        const std::uint64_t pc = row.find("pc")->asUint();
+        const std::string &unit = row.find("unit")->text;
+        const std::string &op = row.find("op")->text;
+        const std::uint64_t windows = row.find("windows")->asUint();
+        const std::uint64_t live = row.find("live")->asUint();
+        const std::uint64_t failures =
+            row.find("failures")->asUint();
+        total.windows += windows;
+        total.live += live;
+        total.failures += failures;
+
+        Key key;
+        if (by == "instruction") {
+            if (pc == 0)
+                continue; // masked mass has no blamed instruction
+            key = {pc, op, unit};
+        } else if (by == "structure") {
+            key = {0, unit, ""};
+        } else if (by == "opcode") {
+            if (op == "-")
+                continue;
+            key = {0, op, ""};
+        } else {
+            key = {phase, "", ""};
+        }
+        Agg &agg = groups[key];
+        agg.windows += windows;
+        agg.live += live;
+        agg.failures += failures;
+    }
+
+    std::vector<std::pair<Key, Agg>> ranked(groups.begin(),
+                                            groups.end());
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.failures >
+                                b.second.failures;
+                     });
+    if (ranked.size() > topN)
+        ranked.resize(topN);
+
+    auto ull = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    auto share = [&](std::uint64_t failures) {
+        return total.failures == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(failures) /
+                         static_cast<double>(total.failures);
+    };
+
+    if (jsonOut) {
+        // Integer counts only — derived rates stay out so the bytes
+        // are deterministic without a float-formatting contract.
+        out << "{\"schema\": \"avf-rootcause-report-v1\", "
+            << "\"campaign\": \"" << harness::jsonEscape(campaign)
+            << "\", \"by\": \"" << by
+            << "\", \"total_windows\": " << total.windows
+            << ", \"total_live\": " << total.live
+            << ", \"total_failures\": " << total.failures
+            << ", \"rows\": [";
+        for (std::size_t i = 0; i < ranked.size(); ++i) {
+            const auto &[key, agg] = ranked[i];
+            out << (i ? ", " : "") << "{";
+            if (by == "instruction")
+                out << "\"pc\": " << std::get<0>(key)
+                    << ", \"op\": \""
+                    << harness::jsonEscape(std::get<1>(key))
+                    << "\", \"unit\": \""
+                    << harness::jsonEscape(std::get<2>(key))
+                    << "\", ";
+            else if (by == "structure")
+                out << "\"unit\": \""
+                    << harness::jsonEscape(std::get<1>(key))
+                    << "\", ";
+            else if (by == "opcode")
+                out << "\"op\": \""
+                    << harness::jsonEscape(std::get<1>(key))
+                    << "\", ";
+            else
+                out << "\"phase\": " << std::get<0>(key) << ", ";
+            out << "\"windows\": " << agg.windows
+                << ", \"live\": " << agg.live
+                << ", \"failures\": " << agg.failures << "}";
+        }
+        out << "]}\n";
+        return true;
+    }
+
+    line(out,
+         "campaign %s: %llu failures over %llu windows "
+         "(%llu live injections)\n",
+         campaign.c_str(), ull(total.failures), ull(total.windows),
+         ull(total.live));
+    if (by == "instruction")
+        line(out, "%-18s %-10s %-12s %10s %7s\n", "pc", "op", "unit",
+             "failures", "share");
+    else if (by == "structure")
+        line(out, "%-12s %10s %10s %10s %8s %7s\n", "unit",
+             "windows", "live", "failures", "rate", "share");
+    else if (by == "opcode")
+        line(out, "%-10s %10s %7s\n", "op", "failures", "share");
+    else
+        line(out, "%-8s %10s %10s %7s\n", "phase", "windows",
+             "failures", "share");
+    for (const auto &[key, agg] : ranked) {
+        if (by == "instruction") {
+            char pcText[32];
+            std::snprintf(pcText, sizeof(pcText), "0x%llx",
+                          ull(std::get<0>(key)));
+            line(out, "%-18s %-10s %-12s %10llu %6.1f%%\n", pcText,
+                 std::get<1>(key).c_str(), std::get<2>(key).c_str(),
+                 ull(agg.failures), share(agg.failures));
+        } else if (by == "structure") {
+            double rate =
+                agg.windows == 0
+                    ? 0.0
+                    : static_cast<double>(agg.failures) /
+                          static_cast<double>(agg.windows);
+            line(out, "%-12s %10llu %10llu %10llu %8.4f %6.1f%%\n",
+                 std::get<1>(key).c_str(), ull(agg.windows),
+                 ull(agg.live), ull(agg.failures), rate,
+                 share(agg.failures));
+        } else if (by == "opcode") {
+            line(out, "%-10s %10llu %6.1f%%\n",
+                 std::get<1>(key).c_str(), ull(agg.failures),
+                 share(agg.failures));
+        } else {
+            line(out, "%-8llu %10llu %10llu %6.1f%%\n",
+                 ull(std::get<0>(key)), ull(agg.windows),
+                 ull(agg.failures), share(agg.failures));
+        }
+    }
+    if (ranked.empty())
+        out << "(no rows)\n";
     return true;
 }
 

@@ -15,6 +15,7 @@
 #ifndef AVF_REPORT_REPORT_HH
 #define AVF_REPORT_REPORT_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -116,11 +117,41 @@ bool printBudget(std::ostream &out, const json::Value &doc,
 /**
  * Summarize an injection-lifecycle JSONL stream (export.hh:
  * writeLifecycleJsonl): records and failure/outcome counts per
- * structure. @return false with @p error on the first malformed
- * line.
+ * structure. The stream's leading legend line (the `"legend": true`
+ * object naming the hop kinds and outcome strings) is rendered as a
+ * "hop kinds:" line; legacy streams without one still parse. @return
+ * false with @p error on the first malformed line.
  */
 bool printLifecycle(std::ostream &out, const std::string &jsonl,
                     std::string &error);
+
+/**
+ * Parse and validate one ROOTCAUSE.json document (export.hh:
+ * writeRootCauseJson): must be JSON carrying
+ * `"schema": "avf-rootcause-v1"`, a "campaign" string, and an
+ * "attribution" object with a "units" string array and a "rows"
+ * array whose entries carry string unit/op plus integer
+ * phase/pc/windows/live/failures. Anything else is rejected with a
+ * message naming the offending part.
+ */
+bool loadRootCauseDoc(const std::string &text, json::Value &doc,
+                      std::string &error);
+
+/**
+ * Render the root-cause blame table from a validated ROOTCAUSE.json.
+ * @p by selects the grouping: "instruction" (the default — failure
+ * rows ranked by blamed (pc, op, unit) identity), "structure" (per
+ * blame unit, with windows/live/failure-rate), "opcode" (per blamed
+ * opcode class), or "phase" (per campaign-global workload phase
+ * bucket). Rows sort by failures descending, canonical key order on
+ * ties; @p topN caps the table. With @p jsonOut the same ranking is
+ * emitted as one deterministic JSON object (integer counts only, no
+ * derived floats) instead of the human table. @return false (after
+ * printing the reason to @p out) when @p by names no grouping.
+ */
+bool printRootCause(std::ostream &out, const json::Value &doc,
+                    const std::string &by, std::size_t topN,
+                    bool jsonOut);
 
 /**
  * Parse and validate one `avflint --format=json` report: must be

@@ -1,6 +1,7 @@
 #include "serve_report.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <ctime>
 #include <ostream>
@@ -10,6 +11,7 @@
 #include <dirent.h>
 
 #include "core/structures.hh"
+#include "harness/config_loader.hh"
 #include "serve/campaign.hh"
 #include "serve/checkpoint.hh"
 #include "serve/protocol.hh"
@@ -20,9 +22,6 @@ namespace avf::report
 
 namespace
 {
-
-/** Milliseconds between follow-mode polls (fixed, never adaptive). */
-constexpr long pollMillis = 200;
 
 /** One formatted double cell. */
 std::string
@@ -105,6 +104,40 @@ printFeedRow(std::ostream &out, const std::string &line,
         return true;
     }
 
+    if (row.find("attribution")) {
+        // Root-cause rollup row (serve::feedAttributionLine): a
+        // compact attribution table. The tail renders a one-line
+        // digest; `avf-report root-cause` on the ROOTCAUSE.json
+        // export is the full view.
+        const json::Value *table =
+            row.find("table", json::Value::Kind::Object);
+        const json::Value *tableRows =
+            table ? table->find("rows", json::Value::Kind::Array)
+                  : nullptr;
+        if (!tableRows) {
+            error = "feed attribution row is malformed";
+            return false;
+        }
+        std::uint64_t windows = 0;
+        std::uint64_t failures = 0;
+        std::size_t blamed = 0;
+        for (const json::Value &entry : tableRows->items) {
+            if (!entry.isArray() || entry.items.size() != 7) {
+                error = "feed attribution row is malformed";
+                return false;
+            }
+            windows += entry.items[4].asUint();
+            failures += entry.items[6].asUint();
+            if (entry.items[2].asUint() != 0)
+                ++blamed;
+        }
+        out << "root-cause: " << tableRows->items.size()
+            << " blame sites (" << blamed
+            << " instruction-attributed), " << failures << "/"
+            << windows << " failures/windows\n";
+        return true;
+    }
+
     if (row.find("summary")) {
         std::vector<double> online;
         const json::Value *intervals = row.find("intervals");
@@ -164,6 +197,7 @@ printFeedTail(std::ostream &out, const std::string &path, bool follow,
         return false;
     }
 
+    const long pollMillis = harness::tailPollMsFromEnv();
     bool sawHeader = false;
     bool done = false;
     bool ok = true;
@@ -218,7 +252,10 @@ printFeedTail(std::ostream &out, const std::string &path, bool follow,
             break;
         }
         std::clearerr(feed);
-        timespec pause{0, pollMillis * 1000000L};
+        // Split the period: tv_nsec must stay under a second and
+        // AVF_TAIL_POLL_MS allows up to 60000.
+        timespec pause{pollMillis / 1000,
+                       (pollMillis % 1000) * 1000000L};
         (void)::nanosleep(&pause, nullptr);
     }
 

@@ -22,6 +22,7 @@
  * Campaign flags: --name N --benchmark B [--intervals I]
  *   [--slice-intervals S] [--m M] [--n N] [--lanes L]
  *   [--seed-salt SALT] [--checkpoint-every K] [--metrics]
+ *   [--root-cause]
  *
  * Every spec — client- or batch-side — round-trips through
  * serve::parseRequest before it runs, so the CLI enforces exactly the
@@ -60,7 +61,8 @@ usage()
         "campaign flags:\n"
         "  --name N --benchmark B [--intervals I]\n"
         "  [--slice-intervals S] [--m M] [--n N] [--lanes L]\n"
-        "  [--seed-salt SALT] [--checkpoint-every K] [--metrics]\n");
+        "  [--seed-salt SALT] [--checkpoint-every K] [--metrics]\n"
+        "  [--root-cause]\n");
     return 1;
 }
 
@@ -90,6 +92,10 @@ parseCampaignFlags(int argc, char **argv, int first,
 {
     for (int i = first; i < argc; ++i) {
         const char *flag = argv[i];
+        if (std::strcmp(flag, "--root-cause") == 0) {
+            spec.rootCause = true;
+            continue;
+        }
         if (std::strcmp(flag, "--metrics") == 0) {
             spec.metrics = true;
             continue;

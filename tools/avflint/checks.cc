@@ -492,7 +492,7 @@ checkMetricNames(const SourceFile &src, const CheckContext &,
 {
     static const std::set<std::string_view> registrars = {
         "registerCounter", "registerGauge", "registerHistogram",
-        "registerSeries"};
+        "registerSeries", "registerBlameUnit"};
     // Per-cycle execution contexts: registration inside one of these
     // turns a one-time setup cost into a per-cycle string lookup.
     static const std::set<std::string_view> hotFuncs = {

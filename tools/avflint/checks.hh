@@ -42,8 +42,10 @@
  *                 core::InjectionPort (see DESIGN.md).
  *   metric-name-discipline
  *                 literal names passed to the obs/metrics register*
- *                 calls must be snake_case, registered at most once
- *                 per file, and never from a per-cycle hot path.
+ *                 calls (and to the attribution tracker's
+ *                 registerBlameUnit) must be snake_case, registered
+ *                 at most once per file, and never from a per-cycle
+ *                 hot path.
  *   shared-state-discipline
  *                 non-const static-storage variables written outside
  *                 their initializer must be std::atomic, carry an
